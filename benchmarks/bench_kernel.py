@@ -1,0 +1,62 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These are classic pytest-benchmark measurements (many iterations): the
+event loop, logical-clock alarm inversion, and a small end-to-end
+system round, so substrate regressions show up independently of the
+experiment suite.
+"""
+
+from repro.clocks import ConstantRate, HardwareClock, LogicalClock
+from repro.core.params import Parameters
+from repro.core.system import FtgcsSystem
+from repro.sim import Simulator
+from repro.topology import ClusterGraph
+
+
+def test_event_throughput(benchmark):
+    """Schedule-and-run 10k self-chaining events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.call_in(1.0, tick)
+
+        sim.call_at(0.0, tick)
+        sim.run_until_idle()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_alarm_inversion_with_rate_changes(benchmark):
+    """Alarms surviving 1k rate changes reschedule in O(log n)."""
+
+    def run():
+        sim = Simulator()
+        hw = HardwareClock(sim, ConstantRate(1.0), rho=0.01)
+        clock = LogicalClock(sim, hw, phi=0.01, mu=0.001)
+        fired = []
+        for i in range(100):
+            clock.at_value(2000.0 + i, fired.append, i)
+        for i in range(1_000):
+            sim.call_at(float(i), clock.set_delta, 1.0 + (i % 2) * 0.5)
+        sim.run(until=3000.0)
+        return len(fired)
+
+    assert benchmark(run) == 100
+
+
+def test_system_round_throughput(benchmark):
+    """One full round of a 12-node, 3-cluster system."""
+    params = Parameters.practical(rho=1e-4, d=1.0, u=0.1, f=1)
+
+    def run():
+        system = FtgcsSystem.build(ClusterGraph.line(3), params, seed=1)
+        result = system.run_rounds(1)
+        return result.rounds_completed
+
+    assert benchmark(run) >= 1

@@ -1,0 +1,14 @@
+"""Benchmark T1: local skew vs diameter (Theorem 1.1)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import t01_local_skew_vs_diameter
+
+
+def test_t01_local_skew_vs_diameter(benchmark, show):
+    table = run_once(benchmark, t01_local_skew_vs_diameter, quick=True)
+    show(table)
+    assert all(table.column("holds"))
+    # The bound grows with D (logarithmically via the level count).
+    bounds = table.column("cluster bound")
+    assert bounds == sorted(bounds)

@@ -1,0 +1,15 @@
+"""Benchmark T2: intra-cluster skew vs cluster size (Corollary 3.2)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import t02_intra_cluster_skew
+
+
+def test_t02_intra_cluster_skew(benchmark, show):
+    table = run_once(benchmark, t02_intra_cluster_skew, quick=True)
+    show(table)
+    assert all(table.column("holds"))
+    # Pulse diameters stay below the steady-state error E.
+    for pulse, cap_e in zip(table.column("max ||p(r)||"),
+                            table.column("E")):
+        assert pulse <= cap_e

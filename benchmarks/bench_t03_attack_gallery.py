@@ -1,0 +1,17 @@
+"""Benchmark T3: attack gallery; fault-intolerant GCS fails."""
+
+from conftest import run_once
+
+from repro.harness.experiments import t03_attack_gallery
+
+
+def test_t03_attack_gallery(benchmark, show):
+    table = run_once(benchmark, t03_attack_gallery, quick=True)
+    show(table)
+    for row in table.rows:
+        system, _attack, _intra, _local, holds, trend = row
+        if system == "FTGCS":
+            assert holds
+            assert trend == "bounded"
+        else:
+            assert trend == "GROWS"

@@ -1,0 +1,17 @@
+"""Benchmark T4: master-slave skew-wave compression vs FTGCS."""
+
+from conftest import run_once
+
+from repro.harness.experiments import t04_master_slave_compression
+
+
+def test_t04_master_slave_compression(benchmark, show):
+    table = run_once(benchmark, t04_master_slave_compression, quick=True)
+    show(table)
+    for row in table.rows:
+        _d, injected, ms_interior, ft_interior, cap, ratio = row
+        # Master-slave pushes (nearly) the full injected skew through
+        # interior edges; FTGCS keeps them within the gradient cap.
+        assert ms_interior > 0.5 * injected
+        assert ft_interior <= cap
+        assert ms_interior > 2 * ft_interior

@@ -1,0 +1,12 @@
+"""Benchmark T6: unanimous cluster rates and errors (Lemma 3.6)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import t06_unanimous_rates
+
+
+def test_t06_unanimous_rates(benchmark, show):
+    table = run_once(benchmark, t06_unanimous_rates, quick=True)
+    show(table)
+    assert all(table.column("holds"))
+    assert {"fast", "slow"} == set(table.column("mode"))

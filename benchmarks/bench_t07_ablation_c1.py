@@ -1,0 +1,15 @@
+"""Benchmark T7: the amortization-stretch ablation (Section 1)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import t07_ablation_c1
+
+
+def test_t07_ablation_c1(benchmark, show):
+    table = run_once(benchmark, t07_ablation_c1, quick=True)
+    show(table)
+    outcomes = table.column("fast outruns slow")
+    # Naive (small) c1 destroys the fast/slow gap; the paper's
+    # c1 = Theta(1/rho) restores it.
+    assert outcomes[0] is False
+    assert outcomes[-1] is True

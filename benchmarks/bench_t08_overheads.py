@@ -1,0 +1,17 @@
+"""Benchmark T8: augmentation overhead accounting (Theorem 1.1)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import t08_overheads
+
+
+def test_t08_overheads(benchmark, show):
+    table = run_once(benchmark, t08_overheads, quick=True)
+    show(table)
+    for row in table.rows:
+        _graph, f, k, _nodes, node_factor, _edges, edge_factor = row
+        assert k == 3 * f + 1
+        assert node_factor == k
+        # Edge factor is Theta(k^2) = Theta(f^2) for f >= 1.
+        if f >= 1:
+            assert k * k / 2 <= edge_factor <= 2 * k * k

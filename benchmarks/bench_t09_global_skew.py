@@ -1,0 +1,24 @@
+"""Benchmark T9: global skew bound and the Theorem C.3 max-rule."""
+
+import math
+
+from conftest import run_once
+
+from repro.harness.experiments import t09_global_skew
+
+
+def test_t09_global_skew(benchmark, show):
+    table = run_once(benchmark, t09_global_skew, quick=True)
+    show(table)
+    recovery = {}
+    for row in table.rows:
+        scenario, _d, policy, value, bound, holds = row
+        if scenario == "random init":
+            assert holds
+            assert value <= bound
+        else:
+            recovery[policy] = value
+    # The max-rule recovers; slow-default freezes below the trigger
+    # thresholds and never does.
+    assert math.isfinite(recovery["max_rule"])
+    assert recovery["max_rule"] < recovery["slow_default"]

@@ -1,0 +1,17 @@
+"""Benchmark T11: Lynch-Welch vs Srikanth-Toueg cliques (Appendix A)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import t11_lw_vs_st
+
+
+def test_t11_lw_vs_st(benchmark, show):
+    table = run_once(benchmark, t11_lw_vs_st, quick=True)
+    show(table)
+    lw = table.column("LW steady skew")
+    st = table.column("ST steady skew")
+    # Lynch-Welch (the paper's choice) wins at every uncertainty level,
+    # and both measured skews shrink with U.
+    for lw_skew, st_skew in zip(lw, st):
+        assert lw_skew <= st_skew
+    assert lw == sorted(lw, reverse=True)

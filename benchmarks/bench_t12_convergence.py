@@ -1,0 +1,13 @@
+"""Benchmark T12: convergence from loose initialization (Prop. B.14)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import t12_convergence
+
+
+def test_t12_convergence(benchmark, show):
+    table = run_once(benchmark, t12_convergence, quick=True)
+    show(table)
+    assert all(table.column("within"))
+    predicted = table.column("predicted e(r)")
+    assert predicted == sorted(predicted, reverse=True)

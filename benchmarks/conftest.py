@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one experiment table (T1-T12, see DESIGN.md)
+and prints it, so ``pytest benchmarks/ --benchmark-only`` reproduces
+every "table and figure" of the paper in one go.  Timings use
+``benchmark.pedantic`` with a single iteration: the experiments are
+deterministic simulations, so repetition would only measure the
+interpreter's warmth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a harness table outside pytest's capture."""
+
+    def _show(table) -> None:
+        with capsys.disabled():
+            print()
+            print(table.format())
+
+    return _show
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Benchmark one experiment function with a single timed run."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

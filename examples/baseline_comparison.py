@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The paper's motivating comparisons, reproduced in one script.
+
+1. *Master–slave tree* (the "simplistic approach"): a skew wave
+   injected at the root compresses the full global skew onto every
+   interior edge — no non-trivial local skew bound.
+2. *Fault-intolerant GCS* (Lenzen–Locher–Wattenhofer, one node per
+   vertex): a single Byzantine liar makes the local skew between
+   correct neighbors grow without bound.
+3. *FTGCS* (this paper): same injections, bounded local skew.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro import ClusterGraph, Parameters
+from repro.baselines.gcs_single import GcsParams, GcsSingleSystem
+from repro.baselines.master_slave import MasterSlaveSystem
+from repro.core.system import FtgcsSystem, SystemConfig
+
+params = Parameters.practical(rho=1e-4, d=1.0, u=0.05, f=0, eps=0.2,
+                              k_stab=1)
+n = 6
+injected = 6.0 * params.kappa
+
+print("=== 1. master-slave tree vs FTGCS: skew-wave compression ===")
+offsets = [injected] + [0.0] * (n - 1)
+ms = MasterSlaveSystem(ClusterGraph.line(n), params, seed=1, jump=True,
+                       cluster_offsets=list(offsets), track_edges=True)
+ms_maxima = ms.run_rounds(25)
+ms_interior = max(s for e, s in ms_maxima.edge_maxima.items()
+                  if 0 not in e)
+
+ft = FtgcsSystem.build(
+    ClusterGraph.line(n), params, seed=1,
+    config=SystemConfig(cluster_offsets=list(offsets), track_edges=True))
+ft_result = ft.run_rounds(25)
+ft_interior = max(s for e, s in ft_result.edge_maxima.items()
+                  if 0 not in e)
+
+print(f"injected global skew at root : {injected:.2f}")
+print(f"master-slave interior edges  : {ms_interior:.2f}  "
+      f"(full compression — the [15] failure)")
+print(f"FTGCS interior edges         : {ft_interior:.2f}  "
+      f"(capped near 2*kappa = {2 * params.kappa:.2f})")
+
+print()
+print("=== 2. fault-intolerant GCS vs FTGCS: one Byzantine node ===")
+gcs = GcsParams.default(rho=1e-4, d=1.0, u=0.1)
+liar_system = GcsSingleSystem(ClusterGraph.ring(6), gcs, seed=2,
+                              liars={0: {1: +1, 5: -1}})
+samples = liar_system.run(until=8000.0)
+quarter = len(samples) // 4
+print("plain GCS local skew over correct edges (growing without bound):")
+for i in range(0, len(samples), quarter):
+    t, local, _global = samples[i]
+    print(f"  t={t:7.0f}  local skew = {local:7.3f}")
+
+params_ft = Parameters.practical(rho=1e-4, d=1.0, u=0.1, f=1)
+from repro.faults import EquivocatorStrategy, place_in_clusters
+aug = ClusterGraph.ring(6).augment(params_ft.cluster_size)
+ft2 = FtgcsSystem.build(
+    ClusterGraph.ring(6), params_ft, seed=2,
+    config=SystemConfig(byzantine=place_in_clusters(
+        aug, [0], 1, lambda nid: EquivocatorStrategy())))
+r2 = ft2.run_rounds(12)
+print(f"FTGCS under an equivocator   : local skew "
+      f"{r2.max_local_cluster_skew:.3f} <= bound "
+      f"{r2.bounds.local_skew_bound:.3f} -> {r2.within_local_cluster_bound}")

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment has no network access and no ``wheel`` package, so PEP
+517 editable installs (which build a wheel) fail.  Keeping a classic
+``setup.py`` lets ``pip install -e . --no-build-isolation`` fall back to
+the legacy ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,105 @@
+"""Theoretical bound calculators for every claim we reproduce.
+
+Includes the combinatorial reliability bound of Inequality (1) and a
+:class:`BoundsReport` that packages, for one run, every bound the
+measured skews are compared against in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.params import Parameters
+from repro.errors import ParameterError
+
+
+# ----------------------------------------------------------------------
+# Inequality (1): probability a cluster exceeds its fault budget
+# ----------------------------------------------------------------------
+
+def cluster_failure_probability(f: int, p: float,
+                                cluster_size: int | None = None) -> float:
+    """Exact ``P[more than f of k nodes fail]`` with i.i.d. failures.
+
+    ``cluster_size`` defaults to ``3f + 1`` as in Inequality (1).
+    """
+    if f < 0:
+        raise ParameterError(f"f must be non-negative: {f!r}")
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"p must be a probability: {p!r}")
+    k = 3 * f + 1 if cluster_size is None else cluster_size
+    if k < f:
+        raise ParameterError(f"cluster_size {k!r} smaller than f={f!r}")
+    # P[X > f] = 1 - P[X <= f]; the head sum has f+1 <= k+1 terms.
+    head = 0.0
+    for i in range(f + 1):
+        head += math.comb(k, i) * p ** i * (1.0 - p) ** (k - i)
+    return max(0.0, 1.0 - head)
+
+
+def cluster_failure_bound_binomial(f: int, p: float) -> float:
+    """The middle bound of Inequality (1): ``C(3f+1, f+1) p^(f+1)``."""
+    return math.comb(3 * f + 1, f + 1) * p ** (f + 1)
+
+
+def cluster_failure_bound_3ep(f: int, p: float) -> float:
+    """The closed-form bound of Inequality (1): ``(3 e p)^(f+1)``."""
+    return (3.0 * math.e * p) ** (f + 1)
+
+
+def system_failure_probability(num_clusters: int, f: int, p: float,
+                               cluster_size: int | None = None) -> float:
+    """``P[any cluster exceeds its budget]`` under independence."""
+    q = cluster_failure_probability(f, p, cluster_size)
+    return 1.0 - (1.0 - q) ** num_clusters
+
+
+# ----------------------------------------------------------------------
+# Per-run bound report
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BoundsReport:
+    """Every bound a run's measurements are checked against.
+
+    ``local_skew_bound`` and ``node_local_skew_bound`` depend on the
+    global skew ``S``; they are instantiated with the *theoretical*
+    global bound, which dominates any measured value in a correct run.
+    """
+
+    cap_e: float
+    intra_cluster_bound: float
+    intra_cluster_bound_paper: float
+    estimate_error_bound: float
+    global_skew_bound: float
+    local_skew_bound: float
+    node_local_skew_bound: float
+    kappa: float
+    delta_trigger: float
+    diameter: int
+
+    @classmethod
+    def for_run(cls, params: Parameters, diameter: int,
+                global_skew: float | None = None) -> "BoundsReport":
+        """Build the report for a topology of the given diameter.
+
+        ``global_skew`` overrides the Theorem C.3 bound as the ``S``
+        fed to the local-skew level count — pass the *measured* global
+        skew to get the sharpest comparable local bound.
+        """
+        s_bound = params.global_skew_bound(diameter)
+        s_for_local = s_bound if global_skew is None else max(
+            global_skew, params.kappa)
+        return cls(
+            cap_e=params.cap_e,
+            intra_cluster_bound=params.intra_skew_bound(),
+            intra_cluster_bound_paper=params.intra_skew_bound_paper(),
+            estimate_error_bound=params.estimate_error_bound(),
+            global_skew_bound=s_bound,
+            local_skew_bound=params.local_skew_bound(s_for_local),
+            node_local_skew_bound=params.node_local_skew_bound(s_for_local),
+            kappa=params.kappa,
+            delta_trigger=params.delta_trigger,
+            diameter=diameter,
+        )

@@ -1,0 +1,160 @@
+"""Skew metrics over snapshots of logical clock values.
+
+The quantities the paper bounds:
+
+* **intra-cluster skew** — ``max - min`` of correct logical clocks in
+  one cluster (Corollary 3.2 bounds it by ``2 theta_g E``);
+* **cluster clock** — ``L_C = (L^+_C + L^-_C) / 2`` (Definition 3.3);
+* **cluster-level local skew** — ``|L_B - L_C|`` over ``(B, C) in E``
+  (Theorem 4.10 / Theorem 1.1 bound it by ``O(kappa log D)``);
+* **node-level local skew** — ``|L_v - L_w|`` over node edges of the
+  augmented graph (Theorem 1.1's statement);
+* **global skew** — ``max - min`` over all correct nodes (Theorem C.3).
+
+Because intercluster links form *complete* bipartite graphs, the
+node-level local skew across a cluster edge ``(B, C)`` equals
+``max(maxB - minC, maxC - minB)``; everything here is therefore
+computed from per-cluster extrema in ``O(|C| + |E|)`` per snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ClusterExtrema:
+    """Min/max/derived values of one cluster's correct clocks."""
+
+    low: float
+    high: float
+
+    @property
+    def cluster_clock(self) -> float:
+        """Definition 3.3: ``(L^+ + L^-) / 2``."""
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def spread(self) -> float:
+        """Intra-cluster skew ``L^+ - L^-``."""
+        return self.high - self.low
+
+
+def cluster_extrema(values: dict[int, float]) -> ClusterExtrema:
+    """Extrema of one cluster's correct clock values (non-empty)."""
+    low = min(values.values())
+    high = max(values.values())
+    return ClusterExtrema(low=low, high=high)
+
+
+@dataclass
+class SkewSnapshot:
+    """All skew metrics at one instant."""
+
+    time: float
+    global_skew: float
+    max_intra_cluster: float
+    max_local_cluster: float
+    max_local_node: float
+    #: cluster-level skew per edge of ``G`` (for gradient profiles).
+    edge_skews: dict[tuple[int, int], float] = field(default_factory=dict)
+
+
+def compute_snapshot(time: float,
+                     values_by_cluster: dict[int, dict[int, float]],
+                     cluster_edges: list[tuple[int, int]],
+                     include_edges: bool = False) -> SkewSnapshot:
+    """Compute every skew metric from per-cluster correct clock values.
+
+    Parameters
+    ----------
+    values_by_cluster:
+        ``{cluster: {node: L_v(t)}}`` restricted to *correct* nodes;
+        clusters whose correct membership is empty must be omitted.
+    cluster_edges:
+        Edge list of ``G``; edges touching omitted clusters are skipped.
+    include_edges:
+        Also record the per-edge cluster-skew map (costlier to store).
+    """
+    extrema = {c: cluster_extrema(vals)
+               for c, vals in values_by_cluster.items() if vals}
+    if not extrema:
+        return SkewSnapshot(time, 0.0, 0.0, 0.0, 0.0)
+
+    lows = [e.low for e in extrema.values()]
+    highs = [e.high for e in extrema.values()]
+    global_skew = max(highs) - min(lows)
+    max_intra = max(e.spread for e in extrema.values())
+
+    max_local_cluster = 0.0
+    max_local_node = max_intra  # clique edges are node edges too
+    edge_skews: dict[tuple[int, int], float] = {}
+    for a, b in cluster_edges:
+        ea = extrema.get(a)
+        eb = extrema.get(b)
+        if ea is None or eb is None:
+            continue
+        cluster_skew = abs(ea.cluster_clock - eb.cluster_clock)
+        max_local_cluster = max(max_local_cluster, cluster_skew)
+        node_skew = max(ea.high - eb.low, eb.high - ea.low)
+        max_local_node = max(max_local_node, node_skew)
+        if include_edges:
+            edge_skews[(a, b)] = cluster_skew
+    return SkewSnapshot(
+        time=time, global_skew=global_skew, max_intra_cluster=max_intra,
+        max_local_cluster=max_local_cluster, max_local_node=max_local_node,
+        edge_skews=edge_skews)
+
+
+def pulse_diameters(pulse_log: dict[tuple[int, int], list[tuple[int, float]]]
+                    ) -> dict[tuple[int, int], float]:
+    """Per-(cluster, round) pulse diameters ``‖p_C(r)‖`` (Def. B.7).
+
+    ``pulse_log`` maps ``(cluster, round)`` to ``(node, pulse_time)``
+    entries of correct members.
+    """
+    result: dict[tuple[int, int], float] = {}
+    for key, entries in pulse_log.items():
+        if len(entries) >= 2:
+            times = [t for _, t in entries]
+            result[key] = max(times) - min(times)
+        elif entries:
+            result[key] = 0.0
+    return result
+
+
+def unanimity_by_round(mode_logs: dict[int, list[tuple[int, int]]]
+                       ) -> dict[int, tuple[bool, int]]:
+    """Which rounds a cluster was unanimous in, and in which mode.
+
+    Parameters
+    ----------
+    mode_logs:
+        ``{node: [(round, gamma), ...]}`` for the cluster's correct
+        members.
+
+    Returns
+    -------
+    dict
+        ``{round: (unanimous, gamma)}`` where ``gamma`` is meaningful
+        only when ``unanimous`` is true.  Rounds not yet reached by all
+        members are omitted.
+    """
+    per_round: dict[int, set[int]] = {}
+    for node, entries in mode_logs.items():
+        for round_index, gamma in entries:
+            per_round.setdefault(round_index, set()).add(gamma)
+    expected = len(mode_logs)
+    result: dict[int, tuple[bool, int]] = {}
+    counts: dict[int, int] = {}
+    for node, entries in mode_logs.items():
+        for round_index, _ in entries:
+            counts[round_index] = counts.get(round_index, 0) + 1
+    for round_index, gammas in per_round.items():
+        if counts.get(round_index, 0) != expected:
+            continue
+        if len(gammas) == 1:
+            result[round_index] = (True, next(iter(gammas)))
+        else:
+            result[round_index] = (False, -1)
+    return result

@@ -1,0 +1,110 @@
+"""Periodic skew sampling during a simulation run.
+
+A :class:`SkewSampler` is a self-rescheduling kernel event that
+snapshots all correct logical clocks every ``interval`` time units,
+maintains running maxima of every skew metric, and (optionally) a full
+time series plus per-edge maxima for gradient-profile plots.
+
+Sampling is an *observation* device: it reads clocks without touching
+algorithm state, so its cadence affects only measurement resolution,
+never the execution.  Skews between samples can exceed the recorded
+maxima by at most ``(theta_max - 1) * interval``, which is negligible
+for the default cadence of a quarter round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.metrics import SkewSnapshot, compute_snapshot
+from repro.errors import ConfigError
+from repro.sim.kernel import Simulator
+
+#: ``collector() -> {cluster: {node: value}}`` for correct nodes only.
+Collector = Callable[[], dict[int, dict[int, float]]]
+
+
+@dataclass
+class SkewMaxima:
+    """Running maxima over all samples taken so far."""
+
+    global_skew: float = 0.0
+    intra_cluster: float = 0.0
+    local_cluster: float = 0.0
+    local_node: float = 0.0
+    samples: int = 0
+    edge_maxima: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def update(self, snap: SkewSnapshot) -> None:
+        self.global_skew = max(self.global_skew, snap.global_skew)
+        self.intra_cluster = max(self.intra_cluster, snap.max_intra_cluster)
+        self.local_cluster = max(self.local_cluster, snap.max_local_cluster)
+        self.local_node = max(self.local_node, snap.max_local_node)
+        self.samples += 1
+        for edge, skew in snap.edge_skews.items():
+            if skew > self.edge_maxima.get(edge, 0.0):
+                self.edge_maxima[edge] = skew
+
+
+class SkewSampler:
+    """Self-rescheduling skew probe.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    interval:
+        Sampling period (Newtonian time).
+    collector:
+        Returns the current correct clock values, grouped by cluster.
+    cluster_edges:
+        Edge list of the cluster graph ``G``.
+    record_series:
+        Keep every :class:`~repro.analysis.metrics.SkewSnapshot`.
+    track_edges:
+        Maintain per-edge cluster-skew maxima (needed for profiles).
+    """
+
+    def __init__(self, sim: Simulator, interval: float,
+                 collector: Collector,
+                 cluster_edges: list[tuple[int, int]],
+                 record_series: bool = False,
+                 track_edges: bool = False) -> None:
+        if interval <= 0:
+            raise ConfigError(f"interval must be positive: {interval!r}")
+        self._sim = sim
+        self._interval = interval
+        self._collector = collector
+        self._cluster_edges = list(cluster_edges)
+        self._record_series = record_series
+        self._track_edges = track_edges
+        self.maxima = SkewMaxima()
+        self.series: list[SkewSnapshot] = []
+        self._running = False
+
+    def start(self) -> None:
+        """Take a first sample now and re-arm every ``interval``."""
+        if self._running:
+            raise ConfigError("sampler already started")
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def sample_now(self) -> SkewSnapshot:
+        """Take one sample immediately (also updates maxima)."""
+        snap = compute_snapshot(
+            self._sim.now, self._collector(), self._cluster_edges,
+            include_edges=self._track_edges)
+        self.maxima.update(snap)
+        if self._record_series:
+            self.series.append(snap)
+        return snap
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.sample_now()
+        self._sim.call_in(self._interval, self._tick)

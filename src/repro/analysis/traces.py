@@ -1,0 +1,159 @@
+"""Clock-trajectory recording for figures and offline analysis.
+
+A :class:`ClockTraceRecorder` samples a set of named clocks on a fixed
+cadence, producing per-clock time series plus derived difference
+series (e.g. a node's logical clock minus the reference ``t``, which
+is what the paper's figures would plot).  The experiment harness uses
+skew *maxima* (cheap); this module is for the long-form traces a user
+exporting plots wants.
+
+Series are plain ``list[tuple[float, float]]`` so downstream tooling
+(numpy, CSV writers, matplotlib) can consume them without adapters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.sim.kernel import Simulator
+
+#: A named readable: ``reader() -> float`` (usually ``clock.value``).
+Reader = Callable[[], float]
+
+
+@dataclass
+class Trace:
+    """One recorded time series."""
+
+    name: str
+    samples: list[tuple[float, float]] = field(default_factory=list)
+
+    def times(self) -> list[float]:
+        return [t for t, _ in self.samples]
+
+    def values(self) -> list[float]:
+        return [v for _, v in self.samples]
+
+    def offsets_from_time(self) -> list[tuple[float, float]]:
+        """``value - t`` per sample: the drift-relative trajectory.
+
+        Logical clocks advance at ~1, so plotting the raw value is a
+        featureless diagonal; the offset view is what shows dynamics.
+        """
+        return [(t, v - t) for t, v in self.samples]
+
+    def max_value(self) -> float:
+        if not self.samples:
+            raise ConfigError(f"trace {self.name!r} is empty")
+        return max(v for _, v in self.samples)
+
+
+def difference_series(a: Trace, b: Trace) -> list[tuple[float, float]]:
+    """Pointwise ``a - b`` for traces recorded on the same cadence."""
+    if len(a.samples) != len(b.samples):
+        raise ConfigError(
+            f"traces {a.name!r} and {b.name!r} have different lengths "
+            f"({len(a.samples)} vs {len(b.samples)})")
+    result = []
+    for (ta, va), (tb, vb) in zip(a.samples, b.samples):
+        if ta != tb:
+            raise ConfigError(
+                f"traces {a.name!r} and {b.name!r} sampled at "
+                f"different times ({ta} vs {tb})")
+        result.append((ta, va - vb))
+    return result
+
+
+class ClockTraceRecorder:
+    """Periodic sampler for a set of named clock readers.
+
+    Example
+    -------
+    >>> from repro.sim import Simulator
+    >>> sim = Simulator()
+    >>> rec = ClockTraceRecorder(sim, interval=1.0)
+    >>> rec.watch("wall", lambda: sim.now)
+    >>> rec.start()
+    >>> sim.run(until=3.0)
+    >>> rec.trace("wall").values()
+    [0.0, 1.0, 2.0, 3.0]
+    """
+
+    def __init__(self, sim: Simulator, interval: float) -> None:
+        if interval <= 0:
+            raise ConfigError(f"interval must be positive: {interval!r}")
+        self._sim = sim
+        self._interval = interval
+        self._readers: dict[str, Reader] = {}
+        self._traces: dict[str, Trace] = {}
+        self._running = False
+
+    def watch(self, name: str, reader: Reader) -> None:
+        """Register a clock to record (before or after :meth:`start`)."""
+        if name in self._readers:
+            raise ConfigError(f"duplicate trace name: {name!r}")
+        self._readers[name] = reader
+        self._traces[name] = Trace(name=name)
+
+    def watch_system_nodes(self, system, which: str = "logical") -> None:
+        """Convenience: watch every honest node of an
+        :class:`~repro.core.system.FtgcsSystem`.
+
+        ``which`` is ``"logical"`` or ``"max_estimate"``.
+        """
+        for node in system.honest_nodes():
+            if which == "logical":
+                self.watch(f"L[{node.node_id}]", node.logical.value)
+            elif which == "max_estimate":
+                if node.max_estimate is not None:
+                    self.watch(f"M[{node.node_id}]",
+                               node.max_estimate.value)
+            else:
+                raise ConfigError(f"unknown watch target: {which!r}")
+
+    def start(self) -> None:
+        if self._running:
+            raise ConfigError("recorder already started")
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self._sim.now
+        for name, reader in self._readers.items():
+            self._traces[name].samples.append((now, reader()))
+        self._sim.call_in(self._interval, self._tick)
+
+    def trace(self, name: str) -> Trace:
+        try:
+            return self._traces[name]
+        except KeyError:
+            raise ConfigError(f"no trace named {name!r}") from None
+
+    def names(self) -> list[str]:
+        return list(self._traces)
+
+    def skew_series(self, name_a: str,
+                    name_b: str) -> list[tuple[float, float]]:
+        """``|a - b|`` over time — a per-edge skew trajectory."""
+        diff = difference_series(self.trace(name_a), self.trace(name_b))
+        return [(t, abs(v)) for t, v in diff]
+
+    def to_csv(self, path: str) -> None:
+        """Write all traces as a wide CSV (time + one column each)."""
+        names = self.names()
+        if not names:
+            raise ConfigError("no traces to write")
+        rows = zip(*(self._traces[name].samples for name in names))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("time," + ",".join(names) + "\n")
+            for row in rows:
+                time = row[0][0]
+                values = ",".join(f"{v!r}" for _, v in row)
+                handle.write(f"{time!r},{values}\n")

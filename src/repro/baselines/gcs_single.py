@@ -1,0 +1,265 @@
+"""Baseline: the fault-INtolerant GCS algorithm, one node per vertex.
+
+This is the Lenzen–Locher–Wattenhofer gradient algorithm the paper
+builds on, run directly on ``G`` without clusters: nodes periodically
+broadcast their logical clock *value*, keep per-neighbor estimates, and
+set their mode from the same FT/ST triggers (re-using
+:mod:`repro.core.triggers`).  In fault-free networks it achieves the
+``O(kappa log D)`` local skew; its purpose here is the motivating
+negative result of the paper's introduction:
+
+    "The GCS algorithm utterly fails in face of non-benign faults."
+
+:class:`GcsLiarNode` implements the attack: a Byzantine node feeds each
+neighbor a *fabricated* clock value anchored to that neighbor's own
+clock — one neighbor sees a phantom that is always ``bias + ramp * t``
+ahead, the other a phantom equally far behind.  The ahead-phantom drags
+its victim (and, transitively, the victim's side of the network) fast
+through ever-higher trigger levels, while the behind-phantom pins the
+other side slow; the skew across the *correct* edges in between grows
+linearly with time, unboundedly.  Experiment T3 contrasts this with the
+full FTGCS construction under equivalent attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clocks.hardware import HardwareClock
+from repro.clocks.logical import LogicalClock
+from repro.clocks.rate_models import ConstantRate
+from repro.core import triggers
+from repro.errors import ConfigError
+from repro.net.delays import UniformDelay
+from repro.net.message import ValueMessage
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.topology.cluster_graph import ClusterGraph
+
+
+@dataclass
+class GcsParams:
+    """Parameters of the single-node GCS baseline.
+
+    ``kappa`` must dominate the estimation error ``U + (mu + 2 rho) *
+    period``; the :meth:`default` constructor picks it that way.
+    """
+
+    rho: float
+    d: float
+    u: float
+    mu: float
+    period: float
+    kappa: float
+    slack: float
+
+    @classmethod
+    def default(cls, rho: float = 1e-4, d: float = 1.0, u: float = 0.1,
+                mu: float | None = None,
+                period: float | None = None) -> "GcsParams":
+        if mu is None:
+            mu = 100.0 * rho
+        if period is None:
+            period = 10.0 * d
+        error = u + (mu + 2.0 * rho) * period + rho * d
+        kappa = 8.0 * error
+        return cls(rho=rho, d=d, u=u, mu=mu, period=period,
+                   kappa=kappa, slack=kappa / 3.0)
+
+
+@dataclass
+class GcsNodeStats:
+    fast_periods: int = 0
+    slow_periods: int = 0
+
+
+class GcsSingleNode:
+    """One correct node of the plain GCS algorithm."""
+
+    def __init__(self, node_id: int, sim: Simulator, network: Network,
+                 params: GcsParams, hardware: HardwareClock) -> None:
+        self.node_id = node_id
+        self._sim = sim
+        self._network = network
+        self._params = params
+        self._hardware = hardware
+        self.logical = LogicalClock(
+            sim, hardware, phi=0.0, mu=params.mu, delta=0.0, gamma=0,
+            name=f"gcs-L[{node_id}]")
+        #: neighbor -> (anchor_value, hardware_at_receipt)
+        self._estimates: dict[int, tuple[float, float]] = {}
+        self._period_index = 1
+        self.stats = GcsNodeStats()
+
+    def start(self) -> None:
+        self._arm()
+
+    def _arm(self) -> None:
+        target = self._period_index * self._params.period
+        self.logical.at_value(target, self._on_period, self._period_index)
+
+    def estimate(self, neighbor: int) -> float | None:
+        """Current estimate of a neighbor's clock (midpoint-delay
+        compensated, extrapolated at own hardware rate)."""
+        anchored = self._estimates.get(neighbor)
+        if anchored is None:
+            return None
+        value, hw_at_receipt = anchored
+        return value + (self._hardware.value() - hw_at_receipt)
+
+    def on_message(self, message, _receive_time: float) -> None:
+        if isinstance(message, ValueMessage):
+            compensated = message.value + self._params.d - self._params.u / 2
+            self._estimates[message.sender] = (compensated,
+                                               self._hardware.value())
+
+    def _on_period(self, index: int) -> None:
+        self._network.broadcast(self.node_id, ValueMessage(
+            sender=self.node_id, value=self.logical.value()))
+        estimates = {}
+        for neighbor in self._network.neighbors(self.node_id):
+            est = self.estimate(neighbor)
+            if est is not None:
+                estimates[neighbor] = est
+        decision = triggers.evaluate(
+            self.logical.value(), estimates,
+            self._params.kappa, self._params.slack)
+        gamma = 1 if decision.fast else 0
+        self.logical.set_gamma(gamma)
+        if gamma:
+            self.stats.fast_periods += 1
+        else:
+            self.stats.slow_periods += 1
+        self._period_index = index + 1
+        self._arm()
+
+
+class GcsLiarNode:
+    """The Byzantine value-fabricator (see module docstring).
+
+    ``directions`` maps each neighbor to ``+1`` (feed it a phantom
+    *ahead*: drag it fast) or ``-1`` (phantom *behind*: pin it slow).
+    The phantom is anchored to the victim's own last reported value, so
+    it remains maximally credible forever.
+    """
+
+    def __init__(self, node_id: int, sim: Simulator, network: Network,
+                 params: GcsParams, directions: dict[int, int],
+                 bias: float | None = None,
+                 ramp: float | None = None) -> None:
+        self.node_id = node_id
+        self._sim = sim
+        self._network = network
+        self._params = params
+        self._directions = dict(directions)
+        self._bias = bias if bias is not None else 4.0 * params.kappa
+        # Default ramp: half the speed advantage fast mode grants, so
+        # victims can physically follow the phantom forever.
+        self._ramp = ramp if ramp is not None else params.mu / 2.0
+        self._last_values: dict[int, float] = {}
+
+    def start(self) -> None:
+        self._arm()
+
+    def _arm(self) -> None:
+        self._sim.call_in(self._params.period, self._tick)
+
+    def on_message(self, message, _receive_time: float) -> None:
+        if isinstance(message, ValueMessage):
+            self._last_values[message.sender] = message.value
+
+    def _tick(self) -> None:
+        now = self._sim.now
+        for neighbor, direction in self._directions.items():
+            anchor = self._last_values.get(neighbor, now)
+            phantom = anchor + direction * (self._bias + self._ramp * now)
+            self._network.send(self.node_id, neighbor, ValueMessage(
+                sender=self.node_id, value=phantom))
+        self._arm()
+
+
+class GcsSingleSystem:
+    """Plain GCS on a cluster graph (one node per vertex)."""
+
+    def __init__(self, graph: ClusterGraph, params: GcsParams,
+                 seed: int = 0,
+                 liars: dict[int, dict[int, int]] | None = None,
+                 rate_spread: bool = True) -> None:
+        """``liars`` maps a node id to its per-neighbor phantom
+        directions (see :class:`GcsLiarNode`)."""
+        self.graph = graph
+        self.params = params
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        self.network = Network(
+            self.sim, d=params.d, u=params.u,
+            default_delay_model=UniformDelay(
+                params.d, params.u, self.rng.stream("delays")))
+        n = graph.num_clusters
+        for node_id in range(n):
+            self.network.add_node(node_id)
+        for a, b in graph.edges:
+            self.network.add_link(a, b)
+
+        liars = liars or {}
+        self.faulty_ids = frozenset(liars)
+        self.nodes: dict[int, GcsSingleNode] = {}
+        self.liars: dict[int, GcsLiarNode] = {}
+        for node_id in range(n):
+            if node_id in liars:
+                directions = liars[node_id]
+                for neighbor in directions:
+                    if not self.network.has_link(node_id, neighbor):
+                        raise ConfigError(
+                            f"liar {node_id} given non-neighbor "
+                            f"{neighbor}")
+                liar = GcsLiarNode(node_id, self.sim, self.network,
+                                   params, directions)
+                self.liars[node_id] = liar
+                self.network.set_handler(node_id, liar.on_message)
+                continue
+            if rate_spread:
+                rate = 1.0 + params.rho * (node_id % 2)
+            else:
+                rate = 1.0
+            hardware = HardwareClock(self.sim, ConstantRate(rate),
+                                     rho=params.rho)
+            node = GcsSingleNode(node_id, self.sim, self.network,
+                                 params, hardware)
+            self.nodes[node_id] = node
+            self.network.set_handler(node_id, node.on_message)
+
+    def correct_edges(self) -> list[tuple[int, int]]:
+        return [(a, b) for a, b in self.graph.edges
+                if a not in self.faulty_ids and b not in self.faulty_ids]
+
+    def max_local_skew(self) -> float:
+        """Max |L_a - L_b| over edges between correct nodes, now."""
+        worst = 0.0
+        for a, b in self.correct_edges():
+            skew = abs(self.nodes[a].logical.value()
+                       - self.nodes[b].logical.value())
+            worst = max(worst, skew)
+        return worst
+
+    def global_skew(self) -> float:
+        values = [n.logical.value() for n in self.nodes.values()]
+        return max(values) - min(values) if values else 0.0
+
+    def run(self, until: float, sample_interval: float | None = None
+            ) -> list[tuple[float, float, float]]:
+        """Run to ``until``; returns ``(t, local_skew, global_skew)``
+        samples."""
+        for node in self.nodes.values():
+            node.start()
+        for liar in self.liars.values():
+            liar.start()
+        interval = sample_interval or self.params.period
+        samples = []
+        t = interval
+        while t <= until:
+            self.sim.run(until=t)
+            samples.append((t, self.max_local_skew(), self.global_skew()))
+            t += interval
+        return samples

@@ -1,0 +1,45 @@
+"""Baseline: the plain (amortized) Lynch–Welch algorithm on a clique.
+
+Running the full system on a single-cluster graph *is* the Lynch–Welch
+algorithm of Section 3 — there are no intercluster edges, the triggers
+never fire, and ``gamma`` stays 0.  This module packages that
+configuration for experiments comparing clique synchronization quality
+(e.g. against Srikanth–Toueg, or across cluster sizes/fault counts).
+"""
+
+from __future__ import annotations
+
+from repro.core.params import Parameters
+from repro.core.system import FtgcsSystem, RunResult, SystemConfig
+from repro.faults.strategies import ByzantineStrategy
+from repro.topology.cluster_graph import ClusterGraph
+
+
+def build_clique_system(params: Parameters, seed: int = 0,
+                        byzantine: dict[int, ByzantineStrategy]
+                        | None = None,
+                        config: SystemConfig | None = None
+                        ) -> FtgcsSystem:
+    """A single fully connected cluster of ``params.cluster_size``
+    nodes running Lynch–Welch."""
+    if config is None:
+        config = SystemConfig()
+    if byzantine:
+        config.byzantine = dict(byzantine)
+    return FtgcsSystem.build(ClusterGraph.line(1), params, seed=seed,
+                             config=config)
+
+
+def run_lynch_welch(params: Parameters, rounds: int, seed: int = 0,
+                    byzantine: dict[int, ByzantineStrategy]
+                    | None = None,
+                    config: SystemConfig | None = None) -> RunResult:
+    """Run the clique for ``rounds`` rounds and return the result.
+
+    The relevant output is ``max_intra_cluster_skew`` (here the global
+    skew as well, since ``D = 1``), to be compared against
+    ``params.intra_skew_bound()``.
+    """
+    system = build_clique_system(params, seed=seed, byzantine=byzantine,
+                                 config=config)
+    return system.run_rounds(rounds)

@@ -1,0 +1,89 @@
+"""Command-line entry point: run the paper's experiments.
+
+Usage::
+
+    python -m repro t07              # one experiment, quick size
+    python -m repro t01 t04 --full   # selected experiments, full size
+    python -m repro --all            # everything, quick size
+    python -m repro --list           # what's available
+
+Experiment names are the T-identifiers of DESIGN.md section 3
+(``t01`` … ``t12``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.harness.experiments import ALL_EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of 'Fault Tolerant "
+                    "Gradient Clock Synchronization' (PODC 2019).")
+    parser.add_argument(
+        "experiments", nargs="*", metavar="tNN",
+        help="experiment ids (t01..t12); see --list")
+    parser.add_argument(
+        "--all", action="store_true",
+        help="run every experiment in order")
+    parser.add_argument(
+        "--full", action="store_true",
+        help="full-size sweeps (default: quick sizes)")
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list available experiments and exit")
+    return parser
+
+
+def list_experiments() -> str:
+    lines = ["available experiments:"]
+    for name in sorted(ALL_EXPERIMENTS):
+        doc = (ALL_EXPERIMENTS[name].__doc__ or "").strip()
+        summary = doc.splitlines()[0] if doc else ""
+        lines.append(f"  {name}  {summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(list_experiments())
+        return 0
+
+    if args.all:
+        names = sorted(ALL_EXPERIMENTS)
+    else:
+        names = [name.lower() for name in args.experiments]
+    if not names:
+        parser.print_usage()
+        print("error: give experiment ids, --all, or --list",
+              file=sys.stderr)
+        return 2
+
+    unknown = [name for name in names if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"error: unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print(list_experiments(), file=sys.stderr)
+        return 2
+
+    for name in names:
+        started = time.perf_counter()
+        table = ALL_EXPERIMENTS[name](quick=not args.full)
+        elapsed = time.perf_counter() - started
+        print(table.format())
+        print(f"[{name} finished in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

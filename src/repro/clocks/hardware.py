@@ -1,0 +1,91 @@
+"""Hardware clocks: drifting oscillators with rates in ``[1, 1+rho]``.
+
+A :class:`HardwareClock` integrates a :class:`~repro.clocks.rate_models.
+RateModel` trajectory exactly and notifies registered listeners (the
+node's logical clock, estimate clocks, max-estimate clock) whenever its
+rate steps, so they can fold the change into their own piecewise state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.clocks.base import IntegratingClock
+from repro.clocks.rate_models import RateModel
+from repro.errors import ClockError
+from repro.sim.kernel import Simulator
+
+#: Slack for validating model rates against [1, 1+rho]; strategy models
+#: used by *Byzantine* nodes may exceed the envelope on purpose.
+_BOUND_TOL = 1e-12
+
+
+class HardwareClock(IntegratingClock):
+    """A drifting hardware clock following a rate model.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    rate_model:
+        Piecewise-constant rate trajectory.
+    rho:
+        Drift bound; honest rates must stay within ``[1, 1+rho]``.
+    enforce_bounds:
+        When ``True`` (default) a model rate outside ``[1, 1+rho]``
+        raises :class:`ClockError`.  Byzantine nodes construct their
+        clocks with ``enforce_bounds=False`` — a faulty oscillator is
+        exactly a clock violating its specification.
+    """
+
+    def __init__(self, sim: Simulator, rate_model: RateModel, rho: float,
+                 enforce_bounds: bool = True, name: str = "") -> None:
+        if rho < 0:
+            raise ClockError(f"rho must be non-negative: {rho!r}")
+        self._model = rate_model
+        self._rho = rho
+        self._enforce = enforce_bounds
+        self._listeners: list[Callable[[], None]] = []
+        initial = rate_model.initial_rate()
+        self._check(initial)
+        super().__init__(sim, initial_value=0.0, initial_rate=initial,
+                         name=name)
+        self._schedule_next_change()
+
+    @property
+    def rho(self) -> float:
+        """The drift bound this clock was configured with."""
+        return self._rho
+
+    def _check(self, rate: float) -> None:
+        if not self._enforce:
+            if rate <= 0:
+                raise ClockError(f"rate must be positive: {rate!r}")
+            return
+        if rate < 1.0 - _BOUND_TOL or rate > 1.0 + self._rho + _BOUND_TOL:
+            raise ClockError(
+                f"hardware rate {rate!r} outside [1, 1+rho] with "
+                f"rho={self._rho!r}")
+
+    def add_listener(self, callback: Callable[[], None]) -> None:
+        """Register ``callback()`` to run after every rate change.
+
+        Listeners are invoked in registration order, after this clock's
+        own state has been updated, so reading :attr:`rate` from inside
+        a listener sees the new value.
+        """
+        self._listeners.append(callback)
+
+    def _schedule_next_change(self) -> None:
+        change = self._model.next_change(self._sim.now)
+        if change is None:
+            return
+        t, rate = change
+        self._check(rate)
+        self._sim.call_at(t, self._apply_change, rate)
+
+    def _apply_change(self, rate: float) -> None:
+        self._change_rate(rate)
+        self._schedule_next_change()
+        for callback in self._listeners:
+            callback()

@@ -1,0 +1,172 @@
+"""Logical clocks implementing Eq. (2) of the paper.
+
+The logical clock of node ``v`` is
+
+    L_v(t) = ∫_0^t (1 + phi * delta_v(τ)) (1 + mu * gamma_v(τ)) h_v(τ) dτ
+
+where the algorithm controls ``delta_v(t) >= 0`` (the amortized
+Lynch–Welch correction, Section 3) and ``gamma_v(t) ∈ {0, 1}`` (the GCS
+fast-mode flag, Section 4), and ``h_v`` is the hardware rate.
+
+:class:`LogicalClock` realizes this exactly on top of
+:class:`~repro.clocks.base.IntegratingClock`: any change to ``delta``,
+``gamma`` or the hardware rate folds the elapsed segment into the state
+and re-inverts pending alarms.
+
+:class:`ScaledClock` is the simpler sibling used for the global-skew
+estimate ``M_v`` of Lemma C.2: it advances at ``scale * h_v(t)`` (with
+``scale = 1/(1+rho)``) and additionally supports the *upward jumps*
+that max-pulse flooding performs.
+"""
+
+from __future__ import annotations
+
+from repro.clocks.base import IntegratingClock
+from repro.clocks.hardware import HardwareClock
+from repro.errors import ClockError
+from repro.sim.kernel import Simulator
+
+
+class LogicalClock(IntegratingClock):
+    """The paper's logical clock ``L_v`` (Eq. (2)).
+
+    Parameters
+    ----------
+    sim, hardware:
+        Kernel and the driving hardware clock.  The logical clock
+        registers itself as a hardware rate-change listener.
+    phi, mu:
+        The constants of Eq. (2): ``0 <= phi < 1``, ``mu >= 0``.
+        (The paper requires ``phi > 0`` for the full algorithm; plain
+        baselines may run with ``phi = 0``.)
+    delta, gamma:
+        Initial control values; the defaults (``delta=1``, ``gamma=0``)
+        match phases 1–2 of Algorithm 1 in slow mode.
+    """
+
+    def __init__(self, sim: Simulator, hardware: HardwareClock,
+                 phi: float, mu: float, delta: float = 1.0,
+                 gamma: int = 0, initial_value: float = 0.0,
+                 name: str = "") -> None:
+        if not 0.0 <= phi < 1.0:
+            raise ClockError(f"phi must be in [0, 1): {phi!r}")
+        if mu < 0:
+            raise ClockError(f"mu must be non-negative: {mu!r}")
+        if delta < 0:
+            raise ClockError(f"delta must be non-negative: {delta!r}")
+        if gamma not in (0, 1):
+            raise ClockError(f"gamma must be 0 or 1: {gamma!r}")
+        self._hardware = hardware
+        self._phi = phi
+        self._mu = mu
+        self._delta = delta
+        self._gamma = gamma
+        rate = self._multiplier() * hardware.rate
+        super().__init__(sim, initial_value=initial_value,
+                         initial_rate=rate, name=name)
+        hardware.add_listener(self._on_hardware_change)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hardware(self) -> HardwareClock:
+        return self._hardware
+
+    @property
+    def phi(self) -> float:
+        return self._phi
+
+    @property
+    def mu(self) -> float:
+        return self._mu
+
+    @property
+    def delta(self) -> float:
+        """Current amortization control ``delta_v(t)``."""
+        return self._delta
+
+    @property
+    def gamma(self) -> int:
+        """Current GCS mode flag ``gamma_v(t)`` (1 = fast)."""
+        return self._gamma
+
+    def _multiplier(self) -> float:
+        return (1.0 + self._phi * self._delta) * (1.0 + self._mu * self._gamma)
+
+    def _refresh_rate(self) -> None:
+        self._change_rate(self._multiplier() * self._hardware.rate)
+
+    def _on_hardware_change(self) -> None:
+        self._refresh_rate()
+
+    # ------------------------------------------------------------------
+    # Algorithm controls
+    # ------------------------------------------------------------------
+
+    def set_delta(self, delta: float) -> None:
+        """Set ``delta_v`` (phase-3 amortization level)."""
+        if delta < 0:
+            raise ClockError(f"delta must be non-negative: {delta!r}")
+        if delta != self._delta:
+            self._delta = delta
+            self._refresh_rate()
+
+    def set_gamma(self, gamma: int) -> None:
+        """Set ``gamma_v`` (1 = fast mode, 0 = slow mode)."""
+        if gamma not in (0, 1):
+            raise ClockError(f"gamma must be 0 or 1: {gamma!r}")
+        if gamma != self._gamma:
+            self._gamma = gamma
+            self._refresh_rate()
+
+    def jump_to(self, value: float) -> bool:
+        """Discontinuously raise the clock to ``value`` (forward only).
+
+        The FTGCS algorithm never jumps — Eq. (2) clocks are continuous
+        by construction.  This exists for *baselines* (e.g. the
+        jump-based master–slave tree), whose unbounded instantaneous
+        rate is exactly the property the paper's construction avoids.
+        Returns ``True`` when the jump was applied.
+        """
+        if value <= self.value():
+            return False
+        self._jump_to_value(value)
+        return True
+
+
+class ScaledClock(IntegratingClock):
+    """A clock advancing at ``scale * h_v(t)``, with upward jumps.
+
+    Used for the max-estimate ``M_v`` (Lemma C.2), which increases at
+    rate ``h_v/(1+rho) <= 1`` and jumps forward when max-pulse flooding
+    reveals a larger system clock.
+    """
+
+    def __init__(self, sim: Simulator, hardware: HardwareClock,
+                 scale: float, initial_value: float = 0.0,
+                 name: str = "") -> None:
+        if scale <= 0:
+            raise ClockError(f"scale must be positive: {scale!r}")
+        self._hardware = hardware
+        self._scale = scale
+        super().__init__(sim, initial_value=initial_value,
+                         initial_rate=scale * hardware.rate, name=name)
+        hardware.add_listener(self._on_hardware_change)
+
+    @property
+    def scale(self) -> float:
+        return self._scale
+
+    def _on_hardware_change(self) -> None:
+        self._change_rate(self._scale * self._hardware.rate)
+
+    def jump_to(self, value: float) -> bool:
+        """Raise the reading to ``value`` if that is an increase.
+
+        Returns ``True`` when the jump was applied, ``False`` when the
+        clock already read at least ``value``.
+        """
+        if value <= self.value():
+            return False
+        self._jump_to_value(value)
+        return True

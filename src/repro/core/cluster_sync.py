@@ -1,0 +1,301 @@
+"""ClusterSync — Algorithm 1, the amortized Lynch–Welch round engine.
+
+One :class:`ClusterSyncCore` drives one logical clock through the
+paper's round structure:
+
+* **Phase 1** (``delta_v = 1``): wait; *pulse* at its end.
+* **Phase 2**: collect the cluster's pulses; at its end compute the
+  approximate-agreement correction
+  ``Delta_v(r) = (S^(f+1) + S^(n-f)) / 2`` over the multiset ``S`` of
+  relative arrival times ``tau_wv = L_v(t_wv) - L_v(t_vv)``.
+* **Phase 3**: amortize the correction by holding
+  ``delta_v = 1 - (1 + 1/phi) * Delta / (tau3 + Delta)``, which by
+  Lemma 3.1 makes the nominal round length ``T(r) + Delta_v(r)``.
+
+The same engine serves two roles:
+
+* **active** — a cluster member: it physically broadcasts its pulse
+  (via a callback) and listens to its ``k-1`` peers;
+* **passive** — Corollary 3.5's observer: a node adjacent to the
+  cluster simulates the algorithm on its *estimate clock* without
+  transmitting, listening to all ``k`` members.
+
+In both roles the engine's own (possibly simulated) pulse contributes
+the sample ``tau_vv = 0`` exactly, because the reference point *is* the
+own-pulse reception; the self-reception *time* still matters since it
+anchors the other samples, so a self-delay in ``[d-U, d]`` is drawn for
+it.
+
+Robustness beyond proper executions (counted in :class:`CoreStats`):
+
+* a peer pulse missing at the end of phase 2 is substituted with the
+  latest possible arrival (the phase-2 end itself);
+* corrections are clamped to ``|Delta| <= phi * tau3`` (equivalently
+  ``delta_v in [0, 2/(1-phi)]``, Lemma B.4) so logical rates always
+  respect the GCS axioms, even when a Byzantine majority of samples
+  would demand more;
+* pulses are attributed to rounds by per-sender arrival order (the
+  i-th pulse from ``w`` is ``w``'s round-``i`` pulse) — the only sound
+  attribution for contentless pulses; stale or flooded pulses are
+  dropped and counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.clocks.logical import LogicalClock
+from repro.core.rounds import RoundSchedule
+from repro.errors import ConfigError
+
+#: How many rounds ahead of the local round a pulse may be credited.
+#: Honest senders are never more than one round ahead in a proper
+#: execution; the extra slack tolerates mild improper intervals without
+#: letting a Byzantine flooder allocate unbounded buffers.
+MAX_ROUNDS_AHEAD = 2
+
+
+@dataclass
+class RoundRecord:
+    """Measurements of one completed round (for analysis)."""
+
+    round_index: int
+    gamma: int
+    t_start: float
+    l_start: float
+    t_end: float = float("nan")
+    l_end: float = float("nan")
+    correction: float = float("nan")
+    pulse_time: float = float("nan")
+
+    @property
+    def amortized_rate(self) -> float:
+        """Mean logical rate over the round (Lemma 3.6's quantity)."""
+        return (self.l_end - self.l_start) / (self.t_end - self.t_start)
+
+
+@dataclass
+class CoreStats:
+    """Counters describing how cleanly the engine is executing."""
+
+    rounds_completed: int = 0
+    pulses_received: int = 0
+    missing_pulses: int = 0
+    stale_pulses: int = 0
+    flooded_pulses: int = 0
+    clamped_corrections: int = 0
+    self_reference_misses: int = 0
+    corrections: list[float] = field(default_factory=list)
+
+    @property
+    def improper_rounds(self) -> int:
+        """Rounds that violated proper execution (clamped corrections)."""
+        return self.clamped_corrections
+
+
+class ClusterSyncCore:
+    """The Algorithm 1 round engine for one (real or simulated) clock.
+
+    Parameters
+    ----------
+    clock:
+        The logical clock this engine controls (sets ``delta_v``).
+    schedule:
+        Shared round schedule.
+    base:
+        Logical base of the tracked cluster: round ``r`` starts when
+        the clock reads ``base + schedule.round_start(r)``.
+    peer_ids:
+        Sender ids whose pulses feed the multiset ``S`` (the engine's
+        own sample is added implicitly as ``0``).
+    f:
+        Trim depth: ``f`` lowest and ``f`` highest samples are
+        discarded by the midpoint rule.
+    self_delay:
+        Zero-argument callable drawing the self-reception delay.
+    broadcast:
+        Called at pulse times to transmit (``None`` for passive mode).
+    on_round_start:
+        Called as ``on_round_start(r)`` at the start of each round —
+        the hook the intercluster layer uses to set ``gamma``.
+    record_rounds:
+        Keep per-round :class:`RoundRecord` entries (analysis runs).
+    """
+
+    def __init__(self, clock: LogicalClock, schedule: RoundSchedule,
+                 base: float, peer_ids: tuple[int, ...], f: int, *,
+                 self_delay: Callable[[], float],
+                 broadcast: Callable[[], None] | None = None,
+                 on_round_start: Callable[[int], None] | None = None,
+                 on_pulse_sent: Callable[[int, float], None] | None = None,
+                 record_rounds: bool = False,
+                 name: str = "") -> None:
+        n_samples = len(peer_ids) + 1
+        if n_samples < 3 * f + 1:
+            raise ConfigError(
+                f"{name or 'core'}: {n_samples} samples cannot tolerate "
+                f"f={f} faults (need n >= 3f + 1)")
+        if clock.phi <= 0.0:
+            raise ConfigError(
+                f"{name or 'core'}: ClusterSync requires phi > 0 for "
+                f"amortized corrections")
+        self._clock = clock
+        self._sim = clock.sim
+        self._schedule = schedule
+        self._base = base
+        self._peer_ids = tuple(peer_ids)
+        self._f = f
+        self._self_delay = self_delay
+        self._broadcast = broadcast
+        self._on_round_start = on_round_start
+        self._on_pulse_sent = on_pulse_sent
+        self._record_rounds = record_rounds
+        self.name = name
+
+        self.stats = CoreStats()
+        self.records: list[RoundRecord] = []
+        self._round = 1
+        self._pulse_counts: dict[int, int] = {w: 0 for w in peer_ids}
+        self._arrivals: dict[int, dict[int, float]] = {}
+        self._self_reference: dict[int, float] = {}
+        self._alarms: list = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> LogicalClock:
+        return self._clock
+
+    @property
+    def current_round(self) -> int:
+        return self._round
+
+    @property
+    def base(self) -> float:
+        return self._base
+
+    def start(self) -> None:
+        """Begin round 1.  Call once after the owner is fully wired."""
+        if self._running:
+            raise ConfigError(f"{self.name}: already started")
+        self._running = True
+        self._begin_round(1)
+
+    def stop(self) -> None:
+        """Cancel all pending activity (crash support)."""
+        self._running = False
+        for alarm in self._alarms:
+            self._clock.cancel_alarm(alarm)
+        self._alarms.clear()
+
+    # ------------------------------------------------------------------
+    # Round machinery
+    # ------------------------------------------------------------------
+
+    def _at(self, offset: float, callback, *args) -> None:
+        alarm = self._clock.at_value(self._base + offset, callback, *args)
+        self._alarms.append(alarm)
+
+    def _begin_round(self, r: int) -> None:
+        self._round = r
+        self._clock.set_delta(1.0)
+        self._alarms.clear()
+        sched = self._schedule
+        self._at(sched.pulse_offset(r), self._do_pulse, r)
+        self._at(sched.phase2_end_offset(r), self._do_correct, r)
+        self._at(sched.round_start(r + 1), self._end_round, r)
+        if self._record_rounds:
+            self.records.append(RoundRecord(
+                round_index=r, gamma=self._clock.gamma,
+                t_start=self._sim.now, l_start=self._clock.value()))
+        if self._on_round_start is not None:
+            self._on_round_start(r)
+
+    def _do_pulse(self, r: int) -> None:
+        now = self._sim.now
+        if self._broadcast is not None:
+            self._broadcast()
+        if self._on_pulse_sent is not None:
+            self._on_pulse_sent(r, now)
+        if self._record_rounds and self.records:
+            self.records[-1].pulse_time = now
+        # Self-reception anchors the sample multiset; tau_vv itself is
+        # identically zero (both terms of the difference coincide).
+        self._sim.call_in(self._self_delay(), self._record_self_reference, r)
+
+    def _record_self_reference(self, r: int) -> None:
+        self._self_reference[r] = self._clock.value()
+
+    def on_pulse(self, sender: int, _receive_time: float) -> None:
+        """Feed one received pulse from cluster member ``sender``."""
+        if not self._running:
+            return
+        count = self._pulse_counts.get(sender)
+        if count is None:
+            raise ConfigError(
+                f"{self.name}: pulse from unexpected sender {sender!r}")
+        self.stats.pulses_received += 1
+        inferred_round = count + 1
+        self._pulse_counts[sender] = inferred_round
+        if inferred_round < self._round:
+            self.stats.stale_pulses += 1
+            return
+        if inferred_round > self._round + MAX_ROUNDS_AHEAD:
+            # A flooder is far ahead of its plausible schedule; don't
+            # let it grow our buffers.  (Undo the count bump so honest
+            # behaviour later is unaffected -- it cannot be honest
+            # anyway, but bounded state matters.)
+            self._pulse_counts[sender] = count
+            self.stats.flooded_pulses += 1
+            return
+        bucket = self._arrivals.setdefault(inferred_round, {})
+        bucket[sender] = self._clock.value()
+
+    def _do_correct(self, r: int) -> None:
+        clock_now = self._clock.value()
+        reference = self._self_reference.pop(r, None)
+        if reference is None:
+            # Self-reception did not land inside phase 2 -- possible
+            # only in improper executions.  Fall back to "now".
+            self.stats.self_reference_misses += 1
+            reference = clock_now
+        arrivals = self._arrivals.pop(r, {})
+        samples = [0.0]  # tau_vv = 0 by definition
+        for w in self._peer_ids:
+            value = arrivals.get(w)
+            if value is None:
+                # Latest-possible substitution; at most f honest-free
+                # entries in a proper execution, removed by trimming.
+                self.stats.missing_pulses += 1
+                value = clock_now
+            samples.append(value - reference)
+        samples.sort()
+        n = len(samples)
+        f = self._f
+        correction = 0.5 * (samples[f] + samples[n - 1 - f])
+
+        tau3 = self._schedule.tau3(r)
+        cap = self._clock.phi * tau3
+        if correction > cap:
+            correction = cap
+            self.stats.clamped_corrections += 1
+        elif correction < -cap:
+            correction = -cap
+            self.stats.clamped_corrections += 1
+        self.stats.corrections.append(correction)
+        if self._record_rounds and self.records:
+            self.records[-1].correction = correction
+
+        phi = self._clock.phi
+        delta = 1.0 - (1.0 + 1.0 / phi) * correction / (tau3 + correction)
+        self._clock.set_delta(delta)
+
+    def _end_round(self, r: int) -> None:
+        self.stats.rounds_completed = r
+        if self._record_rounds and self.records:
+            record = self.records[-1]
+            record.t_end = self._sim.now
+            record.l_end = self._clock.value()
+        self._begin_round(r + 1)

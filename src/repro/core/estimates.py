@@ -1,0 +1,98 @@
+"""Passive cluster-clock estimation (Corollary 3.5).
+
+A node ``w`` adjacent to cluster ``C`` estimates ``C``'s cluster clock
+by *simulating* ClusterSync on ``C``'s pulses without transmitting: it
+keeps a dedicated estimate clock ``L~_wC`` (driven by ``w``'s own
+hardware clock) and runs a passive :class:`~repro.core.cluster_sync.
+ClusterSyncCore` over it, listening to all ``k`` members of ``C``.
+The engine's approximate-agreement corrections pull the estimate onto
+the cluster's pulse schedule each round, so by the paper's analysis
+(applied unchanged, with ``w`` as a silent ``k+1``-st member)
+``|L~_wC(t) - L_v(t)| <= E`` for every correct ``v in C``.
+
+The estimate clock's ``gamma`` mirrors the *owner's* current mode:
+Eq. (2) defines the nominal rate through the owner's own ``gamma_w``,
+and any rate in the ``[1, theta_g]`` envelope satisfies the analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.clocks.hardware import HardwareClock
+from repro.clocks.logical import LogicalClock
+from repro.core.cluster_sync import ClusterSyncCore, CoreStats
+from repro.core.rounds import RoundSchedule
+from repro.sim.kernel import Simulator
+
+
+class ClusterEstimator:
+    """A node's running estimate ``L~`` of one adjacent cluster clock.
+
+    Parameters
+    ----------
+    sim, hardware:
+        The owner's kernel and hardware clock (the simulation runs on
+        the owner's hardware, as in the paper).
+    params, schedule:
+        Shared algorithm parameters and round schedule.
+    cluster_id:
+        The tracked cluster (for bookkeeping only).
+    member_ids:
+        All ``k`` member node ids of the tracked cluster.
+    base:
+        The tracked cluster's logical base offset.
+    initial_value:
+        Starting estimate; initialization (Section 2) guarantees this
+        is within the invariant envelope of the true cluster clock.
+    self_delay:
+        Draw for the *simulated* self-reception delay.
+    """
+
+    def __init__(self, sim: Simulator, hardware: HardwareClock,
+                 params, schedule: RoundSchedule, cluster_id: int,
+                 member_ids: tuple[int, ...], base: float,
+                 initial_value: float,
+                 self_delay: Callable[[], float],
+                 name: str = "") -> None:
+        self.cluster_id = cluster_id
+        self._clock = LogicalClock(
+            sim, hardware, phi=params.phi, mu=params.mu,
+            delta=1.0, gamma=0, initial_value=initial_value,
+            name=name or f"estimate[{cluster_id}]")
+        self._core = ClusterSyncCore(
+            self._clock, schedule, base, member_ids, params.f,
+            self_delay=self_delay, broadcast=None,
+            name=name or f"estimator[{cluster_id}]")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> LogicalClock:
+        return self._clock
+
+    @property
+    def stats(self) -> CoreStats:
+        return self._core.stats
+
+    @property
+    def current_round(self) -> int:
+        return self._core.current_round
+
+    def start(self) -> None:
+        self._core.start()
+
+    def stop(self) -> None:
+        self._core.stop()
+
+    def value(self, t: float | None = None) -> float:
+        """The current estimate ``L~_wC(t)``."""
+        return self._clock.value(t)
+
+    def set_gamma(self, gamma: int) -> None:
+        """Mirror the owner's mode onto the simulated nominal rate."""
+        self._clock.set_gamma(gamma)
+
+    def on_pulse(self, sender: int, receive_time: float) -> None:
+        """Feed a pulse received from a member of the tracked cluster."""
+        self._core.on_pulse(sender, receive_time)

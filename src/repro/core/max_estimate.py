@@ -1,0 +1,174 @@
+"""The global-skew estimate ``M_v`` (Lemma C.2).
+
+Every node maintains a conservative estimate of the maximum logical
+clock in the system:
+
+* ``M_v`` increases at rate ``h_v / (1 + rho) <= 1``, so it can never
+  overtake the true maximum (which increases at rate ``>= 1``);
+* whenever ``M_v`` crosses a multiple of the *level unit*, the node
+  broadcasts a MAX pulse (a channel distinguishable from sync pulses);
+* a node that has registered level-``k`` pulses from ``f + 1`` distinct
+  members of any single cluster knows at least one *correct* node had
+  ``M >= k * unit`` at send time; messages travel ``>= d - U``, so it
+  may raise its own estimate to ``(k + 1) * unit`` — Lemma C.2's rule —
+  and then emits its own pulses for all levels it has now reached,
+  producing a fault-tolerant flood.
+
+The paper uses ``unit = d - U`` and notes it makes "no attempt to keep
+the message complexity low"; with round lengths of order ``c1 * E``
+that is millions of pulses per round in simulation.  The unit is
+therefore configurable (default ``delta_trigger``): a coarser unit
+only adds ``O(unit)`` to the estimate lag, leaving the ``O(delta * D)``
+global bound intact while keeping message counts sane.  Setting
+``unit = d - U`` reproduces the letter of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.clocks.hardware import HardwareClock
+from repro.clocks.logical import ScaledClock
+from repro.errors import ConfigError
+from repro.sim.kernel import Simulator
+
+
+class MaxEstimate:
+    """One node's ``M_v`` state machine.
+
+    Parameters
+    ----------
+    sim, hardware:
+        Kernel and the owner's hardware clock.
+    rho:
+        Drift bound; the estimate advances at ``h_v / (1 + rho)``.
+    unit:
+        Level granularity (see module docstring).
+    f:
+        Per-cluster fault bound; ``f + 1`` same-cluster witnesses are
+        needed to accept a level.
+    cluster_of:
+        Maps a sender node id to its cluster id.
+    initial_value:
+        ``M_v(0)``; a node's own initial logical clock is always a
+        safe choice.
+    send_pulse:
+        Callback broadcasting one MAX pulse to all neighbors.
+    """
+
+    def __init__(self, sim: Simulator, hardware: HardwareClock,
+                 rho: float, unit: float, f: int,
+                 cluster_of: dict[int, int], initial_value: float,
+                 send_pulse: Callable[[], None],
+                 transit_bonus: float = 0.0,
+                 name: str = "") -> None:
+        if unit <= 0:
+            raise ConfigError(f"max-estimate unit must be positive: {unit!r}")
+        if transit_bonus < 0:
+            raise ConfigError(
+                f"transit_bonus must be non-negative: {transit_bonus!r}")
+        self._sim = sim
+        self._unit = unit
+        self._transit_bonus = transit_bonus
+        self._f = f
+        self._cluster_of = dict(cluster_of)
+        self._send_pulse = send_pulse
+        self.name = name
+        self._clock = ScaledClock(sim, hardware, scale=1.0 / (1.0 + rho),
+                                  initial_value=initial_value,
+                                  name=name or "max-estimate")
+        # Levels already announced by us; we announce every level we
+        # reach, whether by local progress or by a flood-induced jump.
+        # Receivers decode "k-th pulse from sender" as "sender reached
+        # level k", so announcements must start at level 1 even when a
+        # node's clock starts negative (a lagging initial offset) —
+        # otherwise receivers would overestimate M and break its
+        # "never exceeds the true maximum" invariant.
+        self._announced_level = max(0, self._level_of(initial_value))
+        #: per-sender highest pulse count == highest announced level.
+        self._sender_levels: dict[int, int] = {}
+        self.pulses_sent = 0
+        self.pulses_received = 0
+        self.jumps = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+
+    def _level_of(self, value: float) -> int:
+        return int(math.floor(value / self._unit + 1e-12))
+
+    def value(self, t: float | None = None) -> float:
+        """Current estimate ``M_v(t)``."""
+        return self._clock.value(t)
+
+    def observe_own(self, logical_value: float) -> None:
+        """Fold the owner's logical clock into the estimate.
+
+        ``L_v <= L_max`` always, so the own clock is sound evidence;
+        Lemma C.2's proof uses ``M_w >= L_w`` implicitly.  Without this
+        the estimate falls behind by ``(phi + mu) * t`` because logical
+        clocks advance at ``(1+phi)``-ish rates while the conservative
+        internal clock advances at ``h/(1+rho) <= 1``.
+        """
+        if self._clock.jump_to(logical_value):
+            self._announce_up_to(self._level_of(self.value()))
+
+    def start(self) -> None:
+        if self._running:
+            raise ConfigError(f"{self.name}: already started")
+        self._running = True
+        self._arm_next_level()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _arm_next_level(self) -> None:
+        next_level = self._announced_level + 1
+        self._clock.at_value(next_level * self._unit,
+                             self._on_level_reached, next_level)
+
+    def _on_level_reached(self, level: int) -> None:
+        if not self._running:
+            return
+        # A jump may have carried us past several levels; announce all.
+        self._announce_up_to(max(level, self._level_of(self.value())))
+        self._arm_next_level()
+
+    def _announce_up_to(self, level: int) -> None:
+        while self._announced_level < level:
+            self._announced_level += 1
+            self.pulses_sent += 1
+            self._send_pulse()
+
+    # ------------------------------------------------------------------
+
+    def on_pulse(self, sender: int, _receive_time: float) -> None:
+        """Process one received MAX pulse."""
+        if not self._running:
+            return
+        self.pulses_received += 1
+        level = self._sender_levels.get(sender, 0) + 1
+        self._sender_levels[sender] = level
+        confirmed = self._confirmed_level(self._cluster_of.get(sender))
+        if confirmed <= 0:
+            return
+        # A correct witness had M >= confirmed * unit at send time, and
+        # the message spent at least d - U in flight (the paper's "+1"
+        # with unit = d - U is exactly this transit bonus).
+        target = confirmed * self._unit + self._transit_bonus
+        if self._clock.jump_to(target):
+            self.jumps += 1
+            self._announce_up_to(self._level_of(self.value()))
+
+    def _confirmed_level(self, cluster: int | None) -> int:
+        """Highest level attested by ``f + 1`` members of ``cluster``."""
+        if cluster is None:
+            return 0
+        levels = sorted(
+            (lvl for sender, lvl in self._sender_levels.items()
+             if self._cluster_of.get(sender) == cluster),
+            reverse=True)
+        if len(levels) <= self._f:
+            return 0
+        return levels[self._f]

@@ -1,0 +1,227 @@
+"""The full FTGCS node: ClusterSync + estimators + InterclusterSync.
+
+An :class:`FtgcsNode` composes, for one correct node ``v`` in cluster
+``C``:
+
+* a logical clock ``L_v`` (Eq. (2)) on the node's hardware clock;
+* an *active* ClusterSync engine synchronizing ``L_v`` within ``C``;
+* one passive :class:`~repro.core.estimates.ClusterEstimator` per
+  adjacent cluster ``B``, providing ``L~_vB``;
+* an :class:`~repro.core.intercluster.InterclusterSync` controller that
+  sets ``gamma_v`` at every round start from the FT/ST triggers;
+* optionally a :class:`~repro.core.max_estimate.MaxEstimate` for the
+  Theorem C.3 global-skew rule.
+
+Message routing: a SYNC pulse from a same-cluster peer feeds the active
+engine; one from an adjacent cluster feeds that cluster's estimator;
+MAX pulses feed the max-estimate.  Senders are identified at link level
+(the paper assumes each node knows which neighbor, and hence which
+cluster, a pulse came from).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.clocks.hardware import HardwareClock
+from repro.clocks.logical import LogicalClock
+from repro.core.cluster_sync import ClusterSyncCore
+from repro.core.estimates import ClusterEstimator
+from repro.core.intercluster import InterclusterSync
+from repro.core.max_estimate import MaxEstimate
+from repro.core.params import Parameters
+from repro.core.rounds import RoundSchedule
+from repro.errors import ConfigError
+from repro.net.message import Pulse, PulseKind
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class MaxEstimateConfig:
+    """Settings for the optional global-skew estimate component."""
+
+    unit: float
+    enabled: bool = True
+
+
+@dataclass
+class NodeStats:
+    """Counters not covered by the engines' own stats."""
+
+    unknown_sender_pulses: int = 0
+    dropped_after_crash: int = 0
+    #: per-round gamma choices as ``(round, gamma)`` pairs.
+    mode_by_round: list[tuple[int, int]] = field(default_factory=list)
+
+
+class FtgcsNode:
+    """One correct node of the fault-tolerant GCS system."""
+
+    def __init__(self, node_id: int, cluster_id: int, *,
+                 sim: Simulator, network: Network, params: Parameters,
+                 schedule: RoundSchedule, hardware: HardwareClock,
+                 cluster_members: tuple[int, ...],
+                 adjacent_members: dict[int, tuple[int, ...]],
+                 bases: dict[int, float], initial_logical: float,
+                 estimator_initials: dict[int, float],
+                 rng: random.Random, policy: str = "slow_default",
+                 max_estimate: MaxEstimateConfig | None = None,
+                 record_rounds: bool = False,
+                 on_pulse_sent: Callable[[int, int, int, float], None]
+                 | None = None) -> None:
+        """Build and wire a node (see :class:`~repro.core.system.
+        FtgcsSystem` for the usual entry point).
+
+        ``cluster_members`` must include ``node_id`` itself;
+        ``adjacent_members`` maps each adjacent cluster to all its
+        member ids; ``bases`` must cover the own and all adjacent
+        clusters.  ``on_pulse_sent(cluster, round, node, time)`` is the
+        system's pulse-log hook.
+        """
+        if node_id not in cluster_members:
+            raise ConfigError(
+                f"node {node_id} missing from its own cluster list")
+        self.node_id = node_id
+        self.cluster_id = cluster_id
+        self._sim = sim
+        self._network = network
+        self._params = params
+        self._rng = rng
+        self._crashed = False
+        self.stats = NodeStats()
+        self._record_rounds = record_rounds
+
+        d, u = params.d, params.u
+        self._self_delay = lambda: d - u * rng.random()
+
+        self.hardware = hardware
+        self.logical = LogicalClock(
+            sim, hardware, phi=params.phi, mu=params.mu, delta=1.0,
+            gamma=0, initial_value=initial_logical, name=f"L[{node_id}]")
+
+        peers = tuple(m for m in cluster_members if m != node_id)
+        self._cluster_of: dict[int, int] = {
+            m: cluster_id for m in cluster_members}
+        pulse_hook = None
+        if on_pulse_sent is not None:
+            pulse_hook = (lambda r, t:
+                          on_pulse_sent(cluster_id, r, node_id, t))
+        self.core = ClusterSyncCore(
+            self.logical, schedule, bases[cluster_id], peers, params.f,
+            self_delay=self._self_delay, broadcast=self._broadcast_pulse,
+            on_round_start=self._on_round_start,
+            on_pulse_sent=pulse_hook,
+            record_rounds=record_rounds, name=f"core[{node_id}]")
+
+        self.estimators: dict[int, ClusterEstimator] = {}
+        for b_cluster, members in adjacent_members.items():
+            for m in members:
+                self._cluster_of[m] = b_cluster
+            self.estimators[b_cluster] = ClusterEstimator(
+                sim, hardware, params, schedule, b_cluster, members,
+                bases[b_cluster], estimator_initials[b_cluster],
+                self_delay=self._self_delay,
+                name=f"est[{node_id}->{b_cluster}]")
+
+        self.max_estimate: MaxEstimate | None = None
+        if max_estimate is not None and max_estimate.enabled:
+            self.max_estimate = MaxEstimate(
+                sim, hardware, params.rho, max_estimate.unit, params.f,
+                self._cluster_of, initial_logical,
+                send_pulse=self._broadcast_max_pulse,
+                transit_bonus=params.d - params.u,
+                name=f"max[{node_id}]")
+
+        self.intercluster = InterclusterSync(
+            params, policy, own_value=self.logical.value,
+            estimate_values=self._estimate_snapshot,
+            max_estimate=self.max_estimate,
+            record_history=record_rounds)
+
+        network.set_handler(node_id, self.on_message)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start all engines; call once after construction."""
+        for estimator in self.estimators.values():
+            estimator.start()
+        if self.max_estimate is not None:
+            self.max_estimate.start()
+        self.core.start()
+
+    def crash(self) -> None:
+        """Stop everything (benign crash-fault support)."""
+        self._crashed = True
+        self.core.stop()
+        for estimator in self.estimators.values():
+            estimator.stop()
+        if self.max_estimate is not None:
+            self.max_estimate.stop()
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+
+    def _broadcast_pulse(self) -> None:
+        self._network.broadcast(self.node_id, Pulse(
+            sender=self.node_id, kind=PulseKind.SYNC,
+            debug_round=self.core.current_round))
+
+    def _broadcast_max_pulse(self) -> None:
+        self._network.broadcast(self.node_id, Pulse(
+            sender=self.node_id, kind=PulseKind.MAX))
+
+    def on_message(self, message, receive_time: float) -> None:
+        """Network handler: route pulses to the right engine."""
+        if self._crashed:
+            self.stats.dropped_after_crash += 1
+            return
+        if not isinstance(message, Pulse):
+            self.stats.unknown_sender_pulses += 1
+            return
+        if message.kind is PulseKind.MAX:
+            if self.max_estimate is not None:
+                self.max_estimate.on_pulse(message.sender, receive_time)
+            return
+        if message.kind is not PulseKind.SYNC:
+            return  # other channels (e.g. PROPOSE) are not ours
+        sender_cluster = self._cluster_of.get(message.sender)
+        if sender_cluster is None:
+            self.stats.unknown_sender_pulses += 1
+            return
+        if sender_cluster == self.cluster_id:
+            if message.sender != self.node_id:
+                self.core.on_pulse(message.sender, receive_time)
+            return
+        estimator = self.estimators.get(sender_cluster)
+        if estimator is not None:
+            estimator.on_pulse(message.sender, receive_time)
+
+    # ------------------------------------------------------------------
+    # Mode control
+    # ------------------------------------------------------------------
+
+    def _estimate_snapshot(self) -> dict[int, float]:
+        return {b: est.value() for b, est in self.estimators.items()}
+
+    def _on_round_start(self, round_index: int) -> None:
+        if self.max_estimate is not None:
+            self.max_estimate.observe_own(self.logical.value())
+        gamma = self.intercluster.decide(round_index)
+        self.logical.set_gamma(gamma)
+        for estimator in self.estimators.values():
+            estimator.set_gamma(gamma)
+        self.stats.mode_by_round.append((round_index, gamma))
+        if self._record_rounds and self.core.records:
+            # The engine recorded the round before we chose gamma.
+            self.core.records[-1].gamma = gamma

@@ -1,0 +1,116 @@
+"""The shared round schedule (phase durations, logical start times).
+
+Algorithm 1 proceeds in rounds ``r = 1, 2, ...`` of three phases with
+*logical* durations ``tau1(r), tau2(r), tau3(r)``.  All correct nodes
+follow one deterministic schedule computed from the parameters:
+
+* with perfect initialization (``e(1) = E``), the durations are
+  constant (Eq. (10)) and round ``r`` starts at logical time
+  ``(r-1) * T`` relative to the node's cluster base;
+* with loose initialization (``e(1) > E``), the error bound sequence
+  contracts geometrically, ``e(r+1) = alpha * e(r) + beta`` (Corollary
+  B.13), and the durations shrink with it (Eq. (8) equalities) until
+  they reach the steady state.
+
+Different clusters may run at different logical *bases* (initial
+offsets); the schedule itself is base-free and the cluster-sync engine
+adds the base.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import Parameters
+from repro.errors import ParameterError
+
+
+class RoundSchedule:
+    """Per-round logical durations and cumulative start offsets.
+
+    All round indices are 1-based, matching the paper.  Offsets are
+    logical times relative to the cluster's base value (round 1 starts
+    at offset 0).
+    """
+
+    def __init__(self, params: Parameters, e1: float | None = None) -> None:
+        self._params = params
+        if e1 is None:
+            e1 = params.cap_e
+        if e1 < params.cap_e:
+            raise ParameterError(
+                f"initial error bound e1={e1!r} below steady state "
+                f"E={params.cap_e!r}")
+        self._e1 = e1
+        self._constant = (e1 == params.cap_e)
+        # Lazily extended caches, index 0 <-> round 1.
+        self._e: list[float] = [e1]
+        self._starts: list[float] = [0.0]
+
+    @property
+    def params(self) -> Parameters:
+        return self._params
+
+    @property
+    def is_constant(self) -> bool:
+        """True when every round has the steady-state durations."""
+        return self._constant
+
+    def _extend_to(self, r: int) -> None:
+        if r < 1:
+            raise ParameterError(f"rounds are 1-based: {r!r}")
+        p = self._params
+        while len(self._e) < r:
+            previous = self._e[-1]
+            nxt = max(p.alpha * previous + p.beta, p.cap_e)
+            self._e.append(nxt)
+            self._starts.append(self._starts[-1]
+                                + self._round_length_from_e(previous))
+
+    def _round_length_from_e(self, e: float) -> float:
+        p = self._params
+        scale = p.tau_stretch * p.theta_g
+        return scale * (e + (e + p.d) + (e + p.u) * p.c1)
+
+    # -- per-round quantities -------------------------------------------
+
+    def e(self, r: int) -> float:
+        """Error bound ``e(r)`` on the round-``r`` pulse diameter."""
+        self._extend_to(r)
+        return self._e[r - 1]
+
+    def tau1(self, r: int) -> float:
+        p = self._params
+        return p.tau_stretch * p.theta_g * self.e(r)
+
+    def tau2(self, r: int) -> float:
+        p = self._params
+        return p.tau_stretch * p.theta_g * (self.e(r) + p.d)
+
+    def tau3(self, r: int) -> float:
+        p = self._params
+        return p.tau_stretch * p.theta_g * (self.e(r) + p.u) * p.c1
+
+    def round_length(self, r: int) -> float:
+        """Total logical round length ``T(r)``."""
+        return self._round_length_from_e(self.e(r))
+
+    # -- cumulative offsets ----------------------------------------------
+
+    def round_start(self, r: int) -> float:
+        """Logical offset at which round ``r`` begins."""
+        self._extend_to(r)
+        return self._starts[r - 1]
+
+    def pulse_offset(self, r: int) -> float:
+        """Logical offset of the round-``r`` pulse (end of phase 1)."""
+        return self.round_start(r) + self.tau1(r)
+
+    def phase2_end_offset(self, r: int) -> float:
+        """Logical offset of the end of phase 2 of round ``r``."""
+        return self.round_start(r) + self.tau1(r) + self.tau2(r)
+
+    def rounds_until(self, logical_offset: float) -> int:
+        """Largest round whose start offset is ``<= logical_offset``."""
+        r = 1
+        while self.round_start(r + 1) <= logical_offset:
+            r += 1
+        return r

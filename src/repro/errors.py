@@ -1,0 +1,62 @@
+"""Exception hierarchy for the FTGCS reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event kernel is used incorrectly.
+
+    Examples: scheduling an event in the past, running a finished
+    simulator backwards, or reading a clock before its start time.
+    """
+
+
+class ClockError(ReproError):
+    """Raised for invalid clock configurations or queries.
+
+    Examples: non-positive clock rates, reading a clock at a time before
+    its last known state, or registering an alarm for a logical value
+    that lies in the past.
+    """
+
+
+class TopologyError(ReproError):
+    """Raised for malformed graphs or cluster assignments.
+
+    Examples: cluster sizes below ``3f + 1``, duplicate node
+    identifiers, or edges referencing unknown clusters.
+    """
+
+
+class ParameterError(ReproError):
+    """Raised when algorithm parameters are infeasible.
+
+    The cluster synchronization analysis requires ``alpha < 1`` (see
+    Eq. (11) of the paper) and ``0 < phi < 1``; violating either makes
+    the round structure meaningless, so we fail fast.
+    """
+
+
+class NetworkError(ReproError):
+    """Raised for invalid messaging operations.
+
+    Examples: sending to a non-neighbor, or a delay model returning a
+    delay outside ``[d - U, d]`` without being explicitly marked
+    adversarial-unchecked.
+    """
+
+
+class ConfigError(ReproError):
+    """Raised when an experiment configuration is inconsistent.
+
+    Examples: more faults requested than the placement can accommodate
+    (``f`` per cluster), or unknown mode-policy names.
+    """

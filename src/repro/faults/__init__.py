@@ -1,0 +1,35 @@
+"""Byzantine fault strategies and placement policies."""
+
+from repro.faults.placement import (
+    count_by_cluster,
+    place_everywhere,
+    place_in_clusters,
+    place_random_iid,
+)
+from repro.faults.strategies import (
+    ByzantineStrategy,
+    ColludingEquivocatorStrategy,
+    CrashStrategy,
+    EquivocatorStrategy,
+    FastClockStrategy,
+    PullApartStrategy,
+    RandomPulseStrategy,
+    SilentStrategy,
+    StrategyContext,
+)
+
+__all__ = [
+    "count_by_cluster",
+    "place_everywhere",
+    "place_in_clusters",
+    "place_random_iid",
+    "ByzantineStrategy",
+    "ColludingEquivocatorStrategy",
+    "CrashStrategy",
+    "EquivocatorStrategy",
+    "FastClockStrategy",
+    "PullApartStrategy",
+    "RandomPulseStrategy",
+    "SilentStrategy",
+    "StrategyContext",
+]

@@ -1,0 +1,95 @@
+"""Fault placement policies.
+
+The model fixes a set ``F`` of faulty nodes with at most ``f`` per
+cluster.  These helpers build the ``{node_id: strategy}`` maps that
+:class:`~repro.core.system.SystemConfig` consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.faults.strategies import ByzantineStrategy
+from repro.topology.cluster_graph import AugmentedGraph
+
+#: Builds a fresh strategy for a node id (strategies are stateful).
+StrategyFactory = Callable[[int], ByzantineStrategy]
+
+
+def place_in_clusters(graph: AugmentedGraph, clusters: list[int],
+                      per_cluster: int, factory: StrategyFactory,
+                      rng: random.Random | None = None,
+                      pick: str = "first"
+                      ) -> dict[int, ByzantineStrategy]:
+    """Make ``per_cluster`` nodes faulty in each listed cluster.
+
+    ``pick`` selects which members: ``"first"`` (deterministic: lowest
+    ids) or ``"random"`` (requires ``rng``).
+    """
+    if per_cluster < 0:
+        raise ConfigError(f"per_cluster must be >= 0: {per_cluster!r}")
+    if pick not in ("first", "random"):
+        raise ConfigError(f"pick must be 'first' or 'random': {pick!r}")
+    if pick == "random" and rng is None:
+        raise ConfigError("pick='random' requires an rng")
+    result: dict[int, ByzantineStrategy] = {}
+    for cluster in clusters:
+        members = list(graph.members(cluster))
+        if per_cluster > len(members):
+            raise ConfigError(
+                f"cluster {cluster} has only {len(members)} members, "
+                f"cannot make {per_cluster} faulty")
+        if pick == "random":
+            chosen = rng.sample(members, per_cluster)
+        else:
+            chosen = members[:per_cluster]
+        for node_id in chosen:
+            result[node_id] = factory(node_id)
+    return result
+
+
+def place_everywhere(graph: AugmentedGraph, per_cluster: int,
+                     factory: StrategyFactory,
+                     rng: random.Random | None = None,
+                     pick: str = "first") -> dict[int, ByzantineStrategy]:
+    """``per_cluster`` faults in *every* cluster — the worst allowed
+    deterministic placement."""
+    clusters = list(range(graph.cluster_graph.num_clusters))
+    return place_in_clusters(graph, clusters, per_cluster, factory,
+                             rng, pick)
+
+
+def place_random_iid(graph: AugmentedGraph, p: float,
+                     factory: StrategyFactory, rng: random.Random,
+                     cap_per_cluster: int | None = None
+                     ) -> dict[int, ByzantineStrategy]:
+    """Each node fails independently with probability ``p``.
+
+    This is the stochastic model behind Inequality (1).  When
+    ``cap_per_cluster`` is given, clusters that would exceed the cap
+    keep only that many faults (lowest ids kept faulty) — use ``None``
+    to sample the uncapped model and *measure* budget violations.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ConfigError(f"p must be a probability: {p!r}")
+    result: dict[int, ByzantineStrategy] = {}
+    for cluster in range(graph.cluster_graph.num_clusters):
+        failed = [m for m in graph.members(cluster) if rng.random() < p]
+        if cap_per_cluster is not None:
+            failed = failed[:cap_per_cluster]
+        for node_id in failed:
+            result[node_id] = factory(node_id)
+    return result
+
+
+def count_by_cluster(graph: AugmentedGraph,
+                     faulty: dict[int, ByzantineStrategy]
+                     ) -> dict[int, int]:
+    """Number of faulty nodes per cluster (validation/reporting)."""
+    counts: dict[int, int] = {}
+    for node_id in faulty:
+        cluster = graph.cluster_of(node_id)
+        counts[cluster] = counts.get(cluster, 0) + 1
+    return counts

@@ -1,0 +1,363 @@
+"""Byzantine fault strategies.
+
+The paper's faulty nodes are "fully Byzantine: we make no assumptions
+whatsoever about their behavior; in particular, they are not required
+to communicate by broadcast."  A :class:`ByzantineStrategy` describes
+one concrete adversarial behaviour; the system builder instantiates a
+*driver* per faulty node.
+
+Worst-case adversaries in proofs are existential; the gallery here
+implements the attack shapes known to be strongest against clock
+synchronization:
+
+* :class:`SilentStrategy` — sends nothing (receivers must cope with
+  missing samples every round).
+* :class:`CrashStrategy` — honest until a given time, then dead
+  (fail-stop; exercises the mid-run transition).
+* :class:`RandomPulseStrategy` — pulse spam at random times, stressing
+  round attribution and buffer bounds.
+* :class:`FastClockStrategy` — runs the *honest protocol* on an
+  out-of-spec oscillator (factor beyond ``1 + rho``); the classic
+  "sub/super-nominal clock that cannot be proven faulty" from the
+  introduction's impossibility discussion.
+* :class:`EquivocatorStrategy` — the two-faced attack: sends each
+  round's pulse *early* to one target group and *late* to another,
+  maximizing disagreement among receivers; the trim-f midpoint is
+  exactly the defense this probes.
+* :class:`PullApartStrategy` — an equivocator whose early/late group
+  assignment alternates over rounds, attempting to resonate with the
+  correction loop.
+
+Strategies whose behaviour is "honest protocol plus a twist" set
+``wants_honest_node`` and receive a fully built
+:class:`~repro.core.node.FtgcsNode` to corrupt; the rest implement
+their own (much simpler) driver.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.clocks.logical import LogicalClock
+from repro.clocks.rate_models import ConstantRate, RateModel
+from repro.errors import ConfigError
+from repro.net.message import Pulse, PulseKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.clocks.hardware import HardwareClock
+    from repro.core.node import FtgcsNode
+    from repro.core.params import Parameters
+    from repro.core.rounds import RoundSchedule
+    from repro.net.network import Network
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class StrategyContext:
+    """Everything a strategy may use to build its driver."""
+
+    node_id: int
+    cluster_id: int
+    sim: "Simulator"
+    network: "Network"
+    params: "Parameters"
+    schedule: "RoundSchedule"
+    hardware: "HardwareClock"
+    base: float
+    cluster_members: tuple[int, ...]
+    adjacent_members: dict[int, tuple[int, ...]]
+    rng: random.Random
+    honest_node: "FtgcsNode | None" = None
+
+    def all_neighbors(self) -> tuple[int, ...]:
+        peers = [m for m in self.cluster_members if m != self.node_id]
+        for members in self.adjacent_members.values():
+            peers.extend(members)
+        return tuple(peers)
+
+
+class ByzantineStrategy:
+    """Base class; concrete strategies override :meth:`build`."""
+
+    #: When True the system builds a normal honest node first and hands
+    #: it to :meth:`build` via ``ctx.honest_node``.
+    wants_honest_node = False
+
+    def hardware_spec(self, params: "Parameters",
+                      rng: random.Random
+                      ) -> tuple[RateModel, bool] | None:
+        """Override the node's hardware clock.
+
+        Returns ``(rate_model, enforce_bounds)`` or ``None`` to accept
+        the system default.  Returning ``enforce_bounds=False`` lets
+        the clock violate the ``[1, 1+rho]`` envelope — the faulty-
+        oscillator attack.
+        """
+        return None
+
+    def build(self, ctx: StrategyContext):
+        """Create and return the driver (any object with ``start()``)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class _NullDriver:
+    """Driver for strategies that take no actions at all."""
+
+    def start(self) -> None:
+        return None
+
+
+class SilentStrategy(ByzantineStrategy):
+    """Never sends anything; ignores everything."""
+
+    def build(self, ctx: StrategyContext) -> _NullDriver:
+        ctx.network.set_handler(ctx.node_id, lambda msg, t: None)
+        return _NullDriver()
+
+
+class CrashStrategy(ByzantineStrategy):
+    """Run the honest protocol, then fail-stop at ``crash_time``."""
+
+    wants_honest_node = True
+
+    def __init__(self, crash_time: float) -> None:
+        if crash_time < 0:
+            raise ConfigError(f"crash_time must be >= 0: {crash_time!r}")
+        self.crash_time = crash_time
+
+    def build(self, ctx: StrategyContext) -> "_CrashDriver":
+        if ctx.honest_node is None:
+            raise ConfigError("CrashStrategy requires an honest node")
+        return _CrashDriver(ctx.sim, ctx.honest_node, self.crash_time)
+
+    def describe(self) -> str:
+        return f"CrashStrategy(t={self.crash_time:g})"
+
+
+class _CrashDriver:
+    def __init__(self, sim: "Simulator", node: "FtgcsNode",
+                 crash_time: float) -> None:
+        self._sim = sim
+        self._node = node
+        self._crash_time = crash_time
+
+    def start(self) -> None:
+        self._sim.call_at(self._crash_time, self._node.crash)
+
+
+class RandomPulseStrategy(ByzantineStrategy):
+    """Broadcast SYNC pulses at exponential random intervals.
+
+    ``pulses_per_round`` scales the intensity relative to the round
+    length, so the attack automatically matches any parameter set.
+    """
+
+    def __init__(self, pulses_per_round: float = 3.0) -> None:
+        if pulses_per_round <= 0:
+            raise ConfigError(
+                f"pulses_per_round must be positive: {pulses_per_round!r}")
+        self.pulses_per_round = pulses_per_round
+
+    def build(self, ctx: StrategyContext) -> "_RandomPulseDriver":
+        ctx.network.set_handler(ctx.node_id, lambda msg, t: None)
+        mean_gap = ctx.schedule.round_length(1) / self.pulses_per_round
+        return _RandomPulseDriver(ctx, mean_gap)
+
+
+class _RandomPulseDriver:
+    def __init__(self, ctx: StrategyContext, mean_gap: float) -> None:
+        self._ctx = ctx
+        self._mean_gap = mean_gap
+
+    def start(self) -> None:
+        self._arm()
+
+    def _arm(self) -> None:
+        gap = self._ctx.rng.expovariate(1.0 / self._mean_gap)
+        self._ctx.sim.call_in(gap, self._fire)
+
+    def _fire(self) -> None:
+        self._ctx.network.broadcast(
+            self._ctx.node_id,
+            Pulse(sender=self._ctx.node_id, kind=PulseKind.SYNC))
+        self._arm()
+
+
+class FastClockStrategy(ByzantineStrategy):
+    """Honest protocol on an out-of-spec oscillator.
+
+    ``speed_factor > 1`` runs faster than ``1 + rho`` allows;
+    ``speed_factor < 1`` runs slower than ``1`` allows.  The node obeys
+    the algorithm to the letter — only its physics lies.
+    """
+
+    wants_honest_node = True
+
+    def __init__(self, speed_factor: float) -> None:
+        if speed_factor <= 0:
+            raise ConfigError(
+                f"speed_factor must be positive: {speed_factor!r}")
+        self.speed_factor = speed_factor
+
+    def hardware_spec(self, params: "Parameters", rng: random.Random
+                      ) -> tuple[RateModel, bool]:
+        if self.speed_factor >= 1.0:
+            rate = (1.0 + params.rho) * self.speed_factor
+        else:
+            rate = self.speed_factor
+        return ConstantRate(rate), False
+
+    def build(self, ctx: StrategyContext) -> _NullDriver:
+        # The honest node does all the work; its clock is the attack.
+        return _NullDriver()
+
+    def describe(self) -> str:
+        return f"FastClockStrategy(x{self.speed_factor:g})"
+
+
+class EquivocatorStrategy(ByzantineStrategy):
+    """Two-faced pulser: early pulses to one group, late to the other.
+
+    The node follows the honest round schedule on its own logical clock
+    (without corrections — it has no interest in agreeing), but at each
+    round's pulse time it unicasts to every neighbor individually:
+    *early* targets get the pulse ``spread`` logical time units before
+    the honest pulse point, *late* targets the same amount after.
+
+    ``spread`` defaults to the steady-state error ``E`` — large enough
+    to matter, small enough to stay inside the plausible window (a
+    grosser lie would land outside phase 2 and be trimmed or
+    substituted anyway, weakening the attack).
+
+    Group assignment: same-cluster peers split by id parity; entire
+    adjacent clusters get early when their id is below the attacker's
+    cluster id, late otherwise — sustained directional pressure that
+    tries to stretch the intercluster gradient.
+    """
+
+    def __init__(self, spread: float | None = None) -> None:
+        self.spread = spread
+
+    def build(self, ctx: StrategyContext) -> "_EquivocatorDriver":
+        ctx.network.set_handler(ctx.node_id, lambda msg, t: None)
+        spread = self.spread
+        if spread is None:
+            spread = ctx.params.cap_e
+        early, late = self._split_targets(ctx)
+        return _EquivocatorDriver(ctx, spread, early, late,
+                                  alternate=False)
+
+    @staticmethod
+    def _split_targets(ctx: StrategyContext
+                       ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        early: list[int] = []
+        late: list[int] = []
+        for m in ctx.cluster_members:
+            if m == ctx.node_id:
+                continue
+            (early if m % 2 == 0 else late).append(m)
+        for b_cluster, members in ctx.adjacent_members.items():
+            bucket = early if b_cluster < ctx.cluster_id else late
+            bucket.extend(members)
+        return tuple(early), tuple(late)
+
+
+class PullApartStrategy(EquivocatorStrategy):
+    """Equivocator that swaps its early/late groups every round,
+    attempting to resonate with the per-round correction loop."""
+
+    def build(self, ctx: StrategyContext) -> "_EquivocatorDriver":
+        ctx.network.set_handler(ctx.node_id, lambda msg, t: None)
+        spread = self.spread
+        if spread is None:
+            spread = ctx.params.cap_e
+        early, late = self._split_targets(ctx)
+        return _EquivocatorDriver(ctx, spread, early, late,
+                                  alternate=True)
+
+
+class ColludingEquivocatorStrategy(EquivocatorStrategy):
+    """Equivocators coordinating a single global push direction.
+
+    Independent equivocators partially cancel (each picks groups from
+    its own vantage point); colluders share one convention — *every*
+    faulty node sends early to lower-indexed clusters and late to
+    higher-indexed ones, and splits its own cluster the same way by
+    node id.  This is the strongest coalition the model allows short of
+    exceeding the per-cluster budget, and the hardest test for the
+    trimmed-midpoint defense.
+    """
+
+    def build(self, ctx: StrategyContext) -> "_EquivocatorDriver":
+        ctx.network.set_handler(ctx.node_id, lambda msg, t: None)
+        spread = self.spread
+        if spread is None:
+            spread = ctx.params.cap_e
+        early: list[int] = []
+        late: list[int] = []
+        cutoff = ctx.cluster_members[len(ctx.cluster_members) // 2]
+        for m in ctx.cluster_members:
+            if m == ctx.node_id:
+                continue
+            (early if m < cutoff else late).append(m)
+        for b_cluster, members in ctx.adjacent_members.items():
+            bucket = early if b_cluster < ctx.cluster_id else late
+            bucket.extend(members)
+        return _EquivocatorDriver(ctx, spread, tuple(early), tuple(late),
+                                  alternate=False)
+
+
+class _EquivocatorDriver:
+    """Round-driven two-faced pulse sender."""
+
+    def __init__(self, ctx: StrategyContext, spread: float,
+                 early: tuple[int, ...], late: tuple[int, ...],
+                 alternate: bool) -> None:
+        self._ctx = ctx
+        self._spread = spread
+        self._early = early
+        self._late = late
+        self._alternate = alternate
+        # Free-running logical clock at nominal honest rate; the
+        # attacker stays plausibly in-schedule without correcting.
+        self._clock = LogicalClock(
+            ctx.sim, ctx.hardware, phi=ctx.params.phi, mu=ctx.params.mu,
+            delta=1.0, gamma=0, initial_value=ctx.base,
+            name=f"byz[{ctx.node_id}]")
+        self._round = 1
+
+    def start(self) -> None:
+        self._arm_round(self._round)
+
+    def _arm_round(self, r: int) -> None:
+        sched = self._ctx.schedule
+        pulse = self._ctx.base + sched.pulse_offset(r)
+        early_at = max(pulse - self._spread,
+                       self._ctx.base + sched.round_start(r))
+        self._clock.at_value(early_at, self._send, r, True)
+        self._clock.at_value(pulse + self._spread, self._send, r, False)
+        self._clock.at_value(self._ctx.base + sched.round_start(r + 1),
+                             self._next_round, r + 1)
+
+    def _groups_for_round(self, r: int) -> tuple[tuple[int, ...],
+                                                 tuple[int, ...]]:
+        if self._alternate and r % 2 == 0:
+            return self._late, self._early
+        return self._early, self._late
+
+    def _send(self, r: int, is_early: bool) -> None:
+        early, late = self._groups_for_round(r)
+        targets = early if is_early else late
+        pulse = Pulse(sender=self._ctx.node_id, kind=PulseKind.SYNC,
+                      debug_round=r)
+        for target in targets:
+            self._ctx.network.send(self._ctx.node_id, target, pulse)
+
+    def _next_round(self, r: int) -> None:
+        self._round = r
+        self._arm_round(r)

@@ -1,0 +1,22 @@
+"""Experiment harness: scenario runners, tables, the T1-T12 suite."""
+
+from repro.harness.experiments import ALL_EXPERIMENTS, run_all
+from repro.harness.runner import (
+    ScenarioResult,
+    default_params,
+    gradient_offsets,
+    run_scenario,
+    step_offsets,
+)
+from repro.harness.tables import Table
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "run_all",
+    "ScenarioResult",
+    "default_params",
+    "gradient_offsets",
+    "run_scenario",
+    "step_offsets",
+    "Table",
+]

@@ -1,0 +1,85 @@
+"""Shared helpers for the experiment definitions.
+
+These wrap common scenario shapes — "line under attack", "steady-state
+tail measurement", "gradient initialization" — so each experiment in
+:mod:`repro.harness.experiments` reads as a parameter table rather than
+wiring code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import Parameters
+from repro.core.system import FtgcsSystem, RunResult, SystemConfig
+from repro.faults.placement import place_everywhere
+from repro.faults.strategies import ByzantineStrategy
+from repro.topology.cluster_graph import ClusterGraph
+
+
+def default_params(rho: float = 1e-4, d: float = 1.0, u: float = 0.1,
+                   f: int = 1, **kwargs) -> Parameters:
+    """The parameter set shared by most experiments."""
+    return Parameters.practical(rho=rho, d=d, u=u, f=f, **kwargs)
+
+
+@dataclass
+class ScenarioResult:
+    """A run plus the system (for post-hoc analysis accessors)."""
+
+    system: FtgcsSystem
+    result: RunResult
+
+    def steady_state_skews(self, tail_fraction: float = 0.5
+                           ) -> dict[str, float]:
+        """Max skews over the last ``tail_fraction`` of samples.
+
+        Excludes the initialization transient, which is governed by the
+        (arbitrary) initial jitter rather than by the algorithm.
+        """
+        series = self.result.series
+        if not series:
+            raise ValueError("scenario must run with record_series=True")
+        start = int(len(series) * (1.0 - tail_fraction))
+        tail = series[start:]
+        return {
+            "global": max(s.global_skew for s in tail),
+            "intra": max(s.max_intra_cluster for s in tail),
+            "local_cluster": max(s.max_local_cluster for s in tail),
+            "local_node": max(s.max_local_node for s in tail),
+        }
+
+
+def run_scenario(graph: ClusterGraph, params: Parameters, *,
+                 rounds: int, seed: int = 0,
+                 strategy_factory=None,
+                 faults_per_cluster: int | None = None,
+                 config: SystemConfig | None = None) -> ScenarioResult:
+    """Build and run one system, optionally with faults everywhere."""
+    if config is None:
+        config = SystemConfig()
+    if config.sample_interval is None:
+        config.sample_interval = params.round_length / 4.0
+    config.record_series = True
+    config.track_edges = True
+    if strategy_factory is not None:
+        per_cluster = (faults_per_cluster if faults_per_cluster
+                       is not None else params.f)
+        aug = graph.augment(params.cluster_size)
+        config.byzantine = place_everywhere(aug, per_cluster,
+                                            strategy_factory)
+    system = FtgcsSystem.build(graph, params, seed=seed, config=config)
+    result = system.run_rounds(rounds)
+    return ScenarioResult(system=system, result=result)
+
+
+def gradient_offsets(num_clusters: int, per_edge: float) -> list[float]:
+    """Linearly increasing cluster offsets: cluster i at ``i*per_edge``."""
+    return [i * per_edge for i in range(num_clusters)]
+
+
+def step_offsets(num_clusters: int, step_at: int,
+                 height: float) -> list[float]:
+    """Step function: clusters ``>= step_at`` offset by ``height``."""
+    return [height if i >= step_at else 0.0
+            for i in range(num_clusters)]

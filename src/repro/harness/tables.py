@@ -1,0 +1,75 @@
+"""Plain-text result tables for the experiment harness.
+
+Every experiment returns a :class:`Table`; benchmarks print it, and
+EXPERIMENTS.md records the rows.  Keeping this dependency-free (no
+pandas/rich) matches the offline environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigError
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled, column-aligned result table."""
+
+    title: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ConfigError(
+                f"row has {len(values)} cells for {len(self.columns)} "
+                f"columns")
+        self.rows.append(tuple(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column (for assertions in tests)."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise ConfigError(f"no column {name!r} in {self.columns}")
+        return [row[index] for row in self.rows]
+
+    def format(self) -> str:
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [len(c) for c in self.columns]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i])
+                           for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.format()

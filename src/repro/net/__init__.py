@@ -1,0 +1,26 @@
+"""Network substrate: messages, delay models, point-to-point delivery."""
+
+from repro.net.delays import (
+    BiasedDelay,
+    DelayModel,
+    ExtremalDelay,
+    FixedDelay,
+    PolicyDelay,
+    UniformDelay,
+)
+from repro.net.message import Pulse, PulseKind, ValueMessage
+from repro.net.network import Network, uniform_network
+
+__all__ = [
+    "BiasedDelay",
+    "DelayModel",
+    "ExtremalDelay",
+    "FixedDelay",
+    "PolicyDelay",
+    "UniformDelay",
+    "Pulse",
+    "PulseKind",
+    "ValueMessage",
+    "Network",
+    "uniform_network",
+]

@@ -1,0 +1,112 @@
+"""Link delay models.
+
+The model of Section 2: a pulse sent at time ``p`` arrives at each
+neighbor at some time in ``[p + d - U, p + d]`` where ``d`` is the
+maximum delay and ``U`` the delay uncertainty.  A :class:`DelayModel`
+draws the per-message delay; the network validates that every draw
+stays inside the envelope (Byzantine *links* are not part of the
+paper's model — only Byzantine nodes are).
+
+Models provided:
+
+* :class:`FixedDelay` — every message takes exactly ``delay``.
+* :class:`UniformDelay` — i.i.d. uniform draw from ``[d-U, d]``.
+* :class:`ExtremalDelay` — always the minimum or always the maximum;
+  the worst cases for synchronization error are at the envelope edges.
+* :class:`BiasedDelay` — per-*direction* fixed delays; lets an
+  experiment place ``d-U`` on one direction of a link and ``d`` on the
+  other, the classic configuration that maximizes one-round estimation
+  error.
+* :class:`PolicyDelay` — arbitrary callable, for adversarial schedules.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.errors import NetworkError
+
+
+class DelayModel(ABC):
+    """Draws the delay for one message on one directed link."""
+
+    @abstractmethod
+    def draw(self, sender: int, receiver: int, now: float) -> float:
+        """Delay (in Newtonian time units) for a message sent now."""
+
+
+class FixedDelay(DelayModel):
+    """Every message takes exactly ``delay``."""
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise NetworkError(f"delay must be non-negative: {delay!r}")
+        self._delay = delay
+
+    def draw(self, sender: int, receiver: int, now: float) -> float:
+        return self._delay
+
+
+class UniformDelay(DelayModel):
+    """I.i.d. uniform delay in ``[d - U, d]``."""
+
+    def __init__(self, d: float, u: float, rng: random.Random) -> None:
+        if d <= 0:
+            raise NetworkError(f"d must be positive: {d!r}")
+        if not 0 <= u <= d:
+            raise NetworkError(f"need 0 <= U <= d: U={u!r}, d={d!r}")
+        self._d = d
+        self._u = u
+        self._rng = rng
+
+    def draw(self, sender: int, receiver: int, now: float) -> float:
+        return self._d - self._u * self._rng.random()
+
+
+class ExtremalDelay(DelayModel):
+    """Always ``d - U`` (``mode='min'``) or always ``d`` (``mode='max'``)."""
+
+    def __init__(self, d: float, u: float, mode: str = "max") -> None:
+        if mode not in ("min", "max"):
+            raise NetworkError(f"mode must be 'min' or 'max': {mode!r}")
+        if not 0 <= u <= d:
+            raise NetworkError(f"need 0 <= U <= d: U={u!r}, d={d!r}")
+        self._delay = d if mode == "max" else d - u
+
+    def draw(self, sender: int, receiver: int, now: float) -> float:
+        return self._delay
+
+
+class BiasedDelay(DelayModel):
+    """Fixed delay per direction: ``forward`` when ``sender < receiver``,
+    else ``backward``.
+
+    With ``forward = d`` and ``backward = d - U`` this realizes the
+    asymmetric-link worst case for round-trip-free estimation.
+    """
+
+    def __init__(self, forward: float, backward: float) -> None:
+        if forward < 0 or backward < 0:
+            raise NetworkError("delays must be non-negative")
+        self._forward = forward
+        self._backward = backward
+
+    def draw(self, sender: int, receiver: int, now: float) -> float:
+        return self._forward if sender < receiver else self._backward
+
+
+class PolicyDelay(DelayModel):
+    """Delegates to ``policy(sender, receiver, now) -> delay``.
+
+    The network still validates the returned delay against the
+    ``[d-U, d]`` envelope, so a policy cannot smuggle out-of-model
+    behaviour in by accident.
+    """
+
+    def __init__(self, policy: Callable[[int, int, float], float]) -> None:
+        self._policy = policy
+
+    def draw(self, sender: int, receiver: int, now: float) -> float:
+        return self._policy(sender, receiver, now)

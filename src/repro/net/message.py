@@ -1,0 +1,66 @@
+"""Message types exchanged over the network.
+
+The paper's nodes communicate with *contentless pulses*.  We model a
+pulse as a small record carrying only routing metadata (sender) and a
+``kind`` tag distinguishing the two pulse channels the full algorithm
+uses:
+
+* :data:`PulseKind.SYNC` — the per-round clock pulse of Algorithm 1;
+* :data:`PulseKind.MAX` — the max-estimate flooding pulse of Lemma C.2
+  ("distinguishable from the ones for providing their actual clock
+  values").
+
+Baseline algorithms that are *not* restricted to contentless pulses
+(e.g. the fault-intolerant GCS baseline, which ships clock readings)
+use :class:`ValueMessage`.
+
+Honest algorithm code must never read anything but ``sender`` and
+``kind`` from a pulse: attribution of a pulse to a round happens by
+arrival order at the receiver, exactly as it would with genuinely
+contentless signals.  The ``debug_round`` field exists purely for
+assertions in tests and is ignored by algorithm logic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class PulseKind(enum.Enum):
+    """Channel tag for contentless pulses."""
+
+    SYNC = "sync"
+    MAX = "max"
+    PROPOSE = "propose"  # used by the Srikanth–Toueg baseline
+
+
+@dataclass(frozen=True, slots=True)
+class Pulse:
+    """A contentless pulse.
+
+    Attributes
+    ----------
+    sender:
+        Node id of the transmitter (link-level information: a receiver
+        knows which port a pulse arrived on).
+    kind:
+        Which pulse channel this is.
+    debug_round:
+        Sender-side round number for test assertions only; honest
+        receiver logic must not read it (Byzantine senders may set it
+        arbitrarily, which is one more reason not to trust it).
+    """
+
+    sender: int
+    kind: PulseKind = PulseKind.SYNC
+    debug_round: int = field(default=-1, compare=False)
+
+
+@dataclass(frozen=True, slots=True)
+class ValueMessage:
+    """A message carrying an explicit clock reading (baselines only)."""
+
+    sender: int
+    value: float
+    kind: str = "clock-value"

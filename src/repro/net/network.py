@@ -1,0 +1,217 @@
+"""The message-passing network.
+
+:class:`Network` owns the link set of the augmented graph and delivers
+messages with per-link delays drawn from :class:`~repro.net.delays.
+DelayModel` instances.  Every delay is validated against the model
+envelope ``[d - U, d]`` — the paper's adversary controls *which* delay
+a message experiences but only within the envelope; nodes (not links)
+are the Byzantine entities.
+
+Byzantine node power is expressed through the sending API:
+
+* honest nodes call :meth:`Network.broadcast`, which delivers one copy
+  to every neighbor with independent delay draws;
+* Byzantine nodes may call :meth:`Network.send` per neighbor (no
+  broadcast obligation — "they are not required to communicate by
+  broadcast") and may pick the exact delay within the envelope via
+  :meth:`Network.send_with_delay`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import NetworkError
+from repro.net.delays import DelayModel, UniformDelay
+from repro.sim.kernel import Simulator
+
+#: Numeric slack when validating drawn delays against [d-U, d].
+_ENVELOPE_TOL = 1e-9
+
+#: A message handler: ``handler(message, receive_time)``.
+Handler = Callable[[Any, float], None]
+
+
+class Network:
+    """Point-to-point network over an explicit link set.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    d, u:
+        Maximum delay and delay uncertainty; all deliveries take time
+        in ``[d - u, d]``.
+    default_delay_model:
+        Model used by links that do not override it.  ``None`` means
+        links must each specify their own model.
+    """
+
+    def __init__(self, sim: Simulator, d: float, u: float,
+                 default_delay_model: DelayModel | None = None) -> None:
+        if d <= 0:
+            raise NetworkError(f"d must be positive: {d!r}")
+        if not 0 <= u <= d:
+            raise NetworkError(f"need 0 <= U <= d: U={u!r}, d={d!r}")
+        self._sim = sim
+        self._d = d
+        self._u = u
+        self._default_model = default_delay_model
+        self._handlers: dict[int, Handler] = {}
+        self._adjacency: dict[int, list[int]] = {}
+        self._link_models: dict[tuple[int, int], DelayModel] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+
+    @property
+    def d(self) -> float:
+        return self._d
+
+    @property
+    def u(self) -> float:
+        return self._u
+
+    def add_node(self, node_id: int,
+                 handler: Handler | None = None) -> None:
+        """Register a node; ``handler`` may be attached later."""
+        if node_id in self._adjacency:
+            raise NetworkError(f"duplicate node id: {node_id!r}")
+        self._adjacency[node_id] = []
+        if handler is not None:
+            self._handlers[node_id] = handler
+
+    def set_handler(self, node_id: int, handler: Handler) -> None:
+        """Attach or replace the message handler of ``node_id``."""
+        if node_id not in self._adjacency:
+            raise NetworkError(f"unknown node: {node_id!r}")
+        self._handlers[node_id] = handler
+
+    def add_link(self, a: int, b: int,
+                 delay_model: DelayModel | None = None) -> None:
+        """Add the undirected link ``{a, b}``."""
+        if a == b:
+            raise NetworkError(f"self-links are not allowed: {a!r}")
+        for end in (a, b):
+            if end not in self._adjacency:
+                raise NetworkError(f"unknown node: {end!r}")
+        if b in self._adjacency[a]:
+            raise NetworkError(f"duplicate link: {{{a!r}, {b!r}}}")
+        self._adjacency[a].append(b)
+        self._adjacency[b].append(a)
+        if delay_model is not None:
+            self._link_models[(a, b)] = delay_model
+            self._link_models[(b, a)] = delay_model
+
+    def set_link_delay_model(self, a: int, b: int, model: DelayModel,
+                             direction: str = "both") -> None:
+        """Override the delay model of an existing link.
+
+        ``direction`` is ``"both"``, ``"ab"`` (messages a→b only) or
+        ``"ba"``.
+        """
+        if b not in self._adjacency.get(a, ()):
+            raise NetworkError(f"no such link: {{{a!r}, {b!r}}}")
+        if direction not in ("both", "ab", "ba"):
+            raise NetworkError(f"bad direction: {direction!r}")
+        if direction in ("both", "ab"):
+            self._link_models[(a, b)] = model
+        if direction in ("both", "ba"):
+            self._link_models[(b, a)] = model
+
+    def neighbors(self, node_id: int) -> tuple[int, ...]:
+        """Neighbors of ``node_id`` in deterministic insertion order."""
+        try:
+            return tuple(self._adjacency[node_id])
+        except KeyError:
+            raise NetworkError(f"unknown node: {node_id!r}") from None
+
+    def has_link(self, a: int, b: int) -> bool:
+        return b in self._adjacency.get(a, ())
+
+    def node_ids(self) -> tuple[int, ...]:
+        return tuple(self._adjacency)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+
+    def _model_for(self, sender: int, receiver: int) -> DelayModel:
+        model = self._link_models.get((sender, receiver))
+        if model is None:
+            model = self._default_model
+        if model is None:
+            raise NetworkError(
+                f"link ({sender!r}, {receiver!r}) has no delay model and "
+                f"no network default is set")
+        return model
+
+    def _validate_delay(self, delay: float) -> None:
+        low = self._d - self._u - _ENVELOPE_TOL
+        high = self._d + _ENVELOPE_TOL
+        if not low <= delay <= high:
+            raise NetworkError(
+                f"delay {delay!r} outside envelope [{self._d - self._u!r}, "
+                f"{self._d!r}]")
+
+    def send(self, sender: int, receiver: int, message: Any) -> None:
+        """Unicast ``message`` with a model-drawn delay."""
+        if receiver not in self._adjacency.get(sender, ()):
+            raise NetworkError(
+                f"{sender!r} is not adjacent to {receiver!r}")
+        delay = self._model_for(sender, receiver).draw(
+            sender, receiver, self._sim.now)
+        self._validate_delay(delay)
+        self.messages_sent += 1
+        self._sim.call_in(delay, self._deliver, receiver, message)
+
+    def send_with_delay(self, sender: int, receiver: int, message: Any,
+                        delay: float) -> None:
+        """Unicast with an explicitly chosen delay (adversary API).
+
+        The delay must still lie in ``[d - U, d]``: Byzantine nodes
+        control *when* and *what* they send, but physics still applies
+        to the wire.
+        """
+        if receiver not in self._adjacency.get(sender, ()):
+            raise NetworkError(
+                f"{sender!r} is not adjacent to {receiver!r}")
+        self._validate_delay(delay)
+        self.messages_sent += 1
+        self._sim.call_in(delay, self._deliver, receiver, message)
+
+    def broadcast(self, sender: int, message: Any) -> int:
+        """Send ``message`` to every neighbor; returns the copy count.
+
+        Each copy experiences an independent delay draw, matching the
+        model: "when a (correct) node broadcasts a pulse, all of its
+        neighbors receive the pulse after some delay, which is itself
+        subject to some uncertainty".
+        """
+        neighbors = self._adjacency.get(sender)
+        if neighbors is None:
+            raise NetworkError(f"unknown node: {sender!r}")
+        now = self._sim.now
+        for receiver in neighbors:
+            delay = self._model_for(sender, receiver).draw(
+                sender, receiver, now)
+            self._validate_delay(delay)
+            self.messages_sent += 1
+            self._sim.call_in(delay, self._deliver, receiver, message)
+        return len(neighbors)
+
+    def _deliver(self, receiver: int, message: Any) -> None:
+        handler = self._handlers.get(receiver)
+        self.messages_delivered += 1
+        if handler is not None:
+            handler(message, self._sim.now)
+
+
+def uniform_network(sim: Simulator, d: float, u: float,
+                    rng_stream) -> Network:
+    """Convenience: a network whose default model is i.i.d. uniform."""
+    return Network(sim, d, u,
+                   default_delay_model=UniformDelay(d, u, rng_stream))

@@ -1,0 +1,7 @@
+"""Discrete-event simulation substrate (kernel, events, RNG streams)."""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry, derive_seed
+
+__all__ = ["Event", "EventQueue", "Simulator", "RngRegistry", "derive_seed"]

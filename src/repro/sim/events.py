@@ -1,0 +1,126 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a scheduled callback with a firing time.  Events
+are ordered by ``(time, seq)`` where ``seq`` is a monotonically
+increasing sequence number assigned at scheduling time; this makes
+executions fully deterministic (FIFO among simultaneous events).
+
+Cancellation is *lazy*: cancelling marks the event and the kernel skips
+it when popped.  This keeps the priority queue a plain binary heap with
+O(log n) scheduling.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute (Newtonian) simulation time at which the event fires.
+    seq:
+        Tie-breaking sequence number; earlier-scheduled events fire
+        first among events with equal ``time``.
+    """
+
+    __slots__ = ("time", "seq", "_callback", "_args", "_cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., None], args: tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self._callback = callback
+        self._args = args
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self._cancelled = True
+        # Drop references eagerly so cancelled events do not pin large
+        # object graphs while they sit in the heap awaiting lazy removal.
+        self._callback = _noop
+        self._args = ()
+
+    def fire(self) -> None:
+        """Invoke the callback (kernel use only)."""
+        self._callback(*self._args)
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"Event(t={self.time:.6g}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def push(self, time: float, callback: Callable[..., None],
+             args: tuple[Any, ...] = ()) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        event = Event(time, self._seq, callback, args)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (lazy removal)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def pop(self) -> Event | None:
+        """Pop and return the next live event, or ``None`` if empty."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if not event.cancelled:
+                self._live -= 1
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the firing time of the next live event, or ``None``."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        return heap[0].time
+
+    def drain(self) -> Iterable[Event]:
+        """Pop live events until the queue is empty (testing helper)."""
+        while True:
+            event = self.pop()
+            if event is None:
+                return
+            yield event

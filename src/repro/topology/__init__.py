@@ -1,0 +1,38 @@
+"""Topologies: the cluster graph ``G`` and its augmentation ``G``."""
+
+from repro.topology.cluster_graph import AugmentedGraph, ClusterGraph
+from repro.topology.graphs import (
+    adjacency_from_edges,
+    balanced_tree_edges,
+    bfs_distances,
+    complete_edges,
+    grid_edges,
+    hop_diameter,
+    hypercube_edges,
+    is_connected,
+    line_edges,
+    normalize_edges,
+    random_connected_edges,
+    ring_edges,
+    star_edges,
+    torus_edges,
+)
+
+__all__ = [
+    "AugmentedGraph",
+    "ClusterGraph",
+    "adjacency_from_edges",
+    "balanced_tree_edges",
+    "bfs_distances",
+    "complete_edges",
+    "grid_edges",
+    "hop_diameter",
+    "hypercube_edges",
+    "is_connected",
+    "line_edges",
+    "normalize_edges",
+    "random_connected_edges",
+    "ring_edges",
+    "star_edges",
+    "torus_edges",
+]

@@ -1,0 +1,210 @@
+"""Tests for the analysis layer: metrics, sampling, traces."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    cluster_extrema,
+    compute_snapshot,
+    pulse_diameters,
+    unanimity_by_round,
+)
+from repro.analysis.sampling import SkewSampler
+from repro.analysis.traces import ClockTraceRecorder, difference_series
+from repro.errors import ConfigError
+from repro.sim import Simulator
+
+
+class TestClusterExtrema:
+    def test_cluster_clock_is_midpoint(self):
+        ext = cluster_extrema({1: 2.0, 2: 6.0, 3: 4.0})
+        assert ext.cluster_clock == pytest.approx(4.0)
+        assert ext.spread == pytest.approx(4.0)
+
+    def test_single_member(self):
+        ext = cluster_extrema({1: 3.0})
+        assert ext.cluster_clock == 3.0
+        assert ext.spread == 0.0
+
+
+class TestComputeSnapshot:
+    def test_known_values(self):
+        values = {0: {0: 0.0, 1: 1.0}, 1: {2: 4.0, 3: 5.0}}
+        snap = compute_snapshot(7.0, values, [(0, 1)],
+                                include_edges=True)
+        assert snap.time == 7.0
+        assert snap.global_skew == pytest.approx(5.0)
+        assert snap.max_intra_cluster == pytest.approx(1.0)
+        # Cluster clocks: 0.5 and 4.5.
+        assert snap.max_local_cluster == pytest.approx(4.0)
+        # Node-level: max(1-4, 5-0) = 5.
+        assert snap.max_local_node == pytest.approx(5.0)
+        assert snap.edge_skews[(0, 1)] == pytest.approx(4.0)
+
+    def test_empty_input(self):
+        snap = compute_snapshot(0.0, {}, [])
+        assert snap.global_skew == 0.0
+
+    def test_edges_with_missing_cluster_skipped(self):
+        values = {0: {0: 0.0}}
+        snap = compute_snapshot(0.0, values, [(0, 1)])
+        assert snap.max_local_cluster == 0.0
+
+
+class TestPulseDiameters:
+    def test_diameters(self):
+        log = {(0, 1): [(0, 1.0), (1, 1.4), (2, 1.2)],
+               (0, 2): [(0, 5.0)]}
+        table = pulse_diameters(log)
+        assert table[(0, 1)] == pytest.approx(0.4)
+        assert table[(0, 2)] == 0.0
+
+    def test_empty(self):
+        assert pulse_diameters({}) == {}
+
+
+class TestUnanimity:
+    def test_unanimous_round(self):
+        logs = {0: [(1, 0), (2, 1)], 1: [(1, 0), (2, 1)]}
+        result = unanimity_by_round(logs)
+        assert result[1] == (True, 0)
+        assert result[2] == (True, 1)
+
+    def test_split_round(self):
+        logs = {0: [(1, 0)], 1: [(1, 1)]}
+        assert unanimity_by_round(logs)[1] == (False, -1)
+
+    def test_incomplete_round_omitted(self):
+        logs = {0: [(1, 0), (2, 0)], 1: [(1, 0)]}
+        result = unanimity_by_round(logs)
+        assert 1 in result
+        assert 2 not in result
+
+
+class TestSkewSampler:
+    def make_sampler(self, values, interval=1.0, **kwargs):
+        sim = Simulator()
+        sampler = SkewSampler(sim, interval, lambda: values, [(0, 1)],
+                              **kwargs)
+        return sim, sampler
+
+    def test_running_maxima(self):
+        values = {0: {0: 0.0}, 1: {1: 3.0}}
+        sim, sampler = self.make_sampler(values)
+        sampler.start()
+        sim.run(until=5.0)
+        assert sampler.maxima.samples == 6  # t=0..5
+        assert sampler.maxima.global_skew == pytest.approx(3.0)
+
+    def test_series_recording(self):
+        values = {0: {0: 0.0}}
+        sim, sampler = self.make_sampler(values, record_series=True)
+        sampler.start()
+        sim.run(until=3.0)
+        assert len(sampler.series) == 4
+
+    def test_edge_tracking(self):
+        values = {0: {0: 0.0}, 1: {1: 2.0}}
+        sim, sampler = self.make_sampler(values, track_edges=True)
+        sampler.start()
+        sim.run(until=1.0)
+        assert sampler.maxima.edge_maxima[(0, 1)] == pytest.approx(2.0)
+
+    def test_stop(self):
+        values = {0: {0: 0.0}}
+        sim, sampler = self.make_sampler(values)
+        sampler.start()
+        sim.run(until=1.0)
+        sampler.stop()
+        sim.run(until=10.0)
+        assert sampler.maxima.samples == 2
+
+    def test_bad_interval(self):
+        with pytest.raises(ConfigError):
+            self.make_sampler({}, interval=0.0)
+
+    def test_double_start(self):
+        sim, sampler = self.make_sampler({0: {0: 0.0}})
+        sampler.start()
+        with pytest.raises(ConfigError):
+            sampler.start()
+
+
+class TestTraces:
+    def test_recorder_samples_on_cadence(self):
+        sim = Simulator()
+        recorder = ClockTraceRecorder(sim, interval=1.0)
+        recorder.watch("wall", lambda: sim.now)
+        recorder.start()
+        sim.run(until=3.0)
+        assert recorder.trace("wall").values() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_offsets_from_time(self):
+        sim = Simulator()
+        recorder = ClockTraceRecorder(sim, interval=1.0)
+        recorder.watch("shifted", lambda: sim.now + 2.0)
+        recorder.start()
+        sim.run(until=2.0)
+        offsets = recorder.trace("shifted").offsets_from_time()
+        assert all(v == pytest.approx(2.0) for _, v in offsets)
+
+    def test_difference_and_skew_series(self):
+        sim = Simulator()
+        recorder = ClockTraceRecorder(sim, interval=1.0)
+        recorder.watch("a", lambda: sim.now * 2.0)
+        recorder.watch("b", lambda: sim.now)
+        recorder.start()
+        sim.run(until=2.0)
+        diff = difference_series(recorder.trace("a"),
+                                 recorder.trace("b"))
+        assert diff == [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]
+        skew = recorder.skew_series("b", "a")
+        assert skew[-1] == (2.0, pytest.approx(2.0))
+
+    def test_mismatched_traces_rejected(self):
+        from repro.analysis.traces import Trace
+
+        a = Trace("a", [(0.0, 1.0)])
+        b = Trace("b", [(0.0, 1.0), (1.0, 2.0)])
+        with pytest.raises(ConfigError):
+            difference_series(a, b)
+
+    def test_duplicate_name_rejected(self):
+        sim = Simulator()
+        recorder = ClockTraceRecorder(sim, interval=1.0)
+        recorder.watch("x", lambda: 0.0)
+        with pytest.raises(ConfigError):
+            recorder.watch("x", lambda: 0.0)
+
+    def test_watch_system_nodes(self):
+        from repro.core.params import Parameters
+        from repro.core.system import FtgcsSystem
+        from repro.topology import ClusterGraph
+
+        params = Parameters.practical(rho=1e-4, d=1.0, u=0.1, f=1)
+        system = FtgcsSystem.build(ClusterGraph.line(2), params, seed=1)
+        recorder = ClockTraceRecorder(system.sim,
+                                      interval=params.round_length / 2)
+        recorder.watch_system_nodes(system)
+        recorder.start()
+        system.run_rounds(2)
+        assert len(recorder.names()) == 8
+        for name in recorder.names():
+            assert len(recorder.trace(name).samples) >= 3
+
+    def test_to_csv(self, tmp_path):
+        sim = Simulator()
+        recorder = ClockTraceRecorder(sim, interval=1.0)
+        recorder.watch("wall", lambda: sim.now)
+        recorder.start()
+        sim.run(until=2.0)
+        path = tmp_path / "traces.csv"
+        recorder.to_csv(str(path))
+        content = path.read_text()
+        assert content.splitlines()[0] == "time,wall"
+        assert len(content.splitlines()) == 4
+
+    def test_empty_trace_max_raises(self):
+        from repro.analysis.traces import Trace
+
+        with pytest.raises(ConfigError):
+            Trace("empty").max_value()

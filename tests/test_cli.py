@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, list_experiments, main
+
+
+class TestParser:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "t01" in out and "t12" in out
+
+    def test_listing_mentions_all_experiments(self):
+        text = list_experiments()
+        for i in range(1, 13):
+            assert f"t{i:02d}" in text
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["t99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_no_arguments_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_parser_accepts_full_flag(self):
+        args = build_parser().parse_args(["t01", "--full"])
+        assert args.full is True
+        assert args.experiments == ["t01"]
+
+
+class TestExecution:
+    def test_runs_single_experiment(self, capsys):
+        assert main(["t08"]) == 0
+        out = capsys.readouterr().out
+        assert "T8" in out
+        assert "finished in" in out
+
+    def test_case_insensitive_names(self, capsys):
+        assert main(["T08"]) == 0
+        assert "T8" in capsys.readouterr().out

@@ -1,0 +1,219 @@
+"""Unit tests for the ClusterSync engine (Algorithm 1)."""
+
+import pytest
+
+from repro.clocks import ConstantRate, HardwareClock, LogicalClock
+from repro.core.cluster_sync import ClusterSyncCore
+from repro.core.params import Parameters
+from repro.core.rounds import RoundSchedule
+from repro.errors import ConfigError
+from repro.sim import Simulator
+
+PEERS = (101, 102, 103)
+
+
+@pytest.fixture
+def params():
+    return Parameters.practical(rho=1e-4, d=1.0, u=0.1, f=1)
+
+
+def make_core(params, *, broadcasts=None, record=False, base=0.0,
+              peers=PEERS):
+    """A core on a drift-free clock with deterministic self-delay d."""
+    sim = Simulator()
+    hw = HardwareClock(sim, ConstantRate(1.0), rho=params.rho)
+    clock = LogicalClock(sim, hw, phi=params.phi, mu=params.mu,
+                         delta=1.0, gamma=0, initial_value=base)
+    schedule = RoundSchedule(params)
+
+    def on_broadcast():
+        if broadcasts is not None:
+            broadcasts.append(sim.now)
+
+    core = ClusterSyncCore(
+        clock, schedule, base, peers, params.f,
+        self_delay=lambda: params.d, broadcast=on_broadcast,
+        record_rounds=record, name="test-core")
+    return sim, clock, core
+
+
+def feed_symmetric_round(sim, core, params, r):
+    """Deliver all three peer pulses exactly at the self-reference
+    instant of round ``r``, making every sample 0 and Delta = 0."""
+    # Own pulse fires at logical tau1-offset; with rate (1+phi) from a
+    # start at round-start time, plus self-delay d in real time.
+    start_real = core_round_start_real(core, params, r)
+    t_ref = start_real + params.tau1 / (1.0 + params.phi) + params.d
+    for peer in PEERS:
+        sim.call_at(t_ref, core.on_pulse, peer, t_ref)
+
+
+def core_round_start_real(core, params, r):
+    # All rounds with Delta=0 take T/(1+phi) real time on a unit-rate
+    # hardware clock.
+    return (r - 1) * params.round_length / (1.0 + params.phi)
+
+
+class TestRoundStructure:
+    def test_pulse_at_logical_tau1(self, params):
+        broadcasts = []
+        sim, clock, core = make_core(params, broadcasts=broadcasts)
+        core.start()
+        sim.run(until=params.tau1)  # more than enough real time
+        assert broadcasts
+        expected = params.tau1 / (1.0 + params.phi)
+        assert broadcasts[0] == pytest.approx(expected, rel=1e-9)
+
+    def test_lemma_3_1_zero_correction(self, params):
+        """With Delta=0 the nominal round length is exactly T: the real
+        duration on a unit-rate clock is T / (1 + phi)."""
+        broadcasts = []
+        sim, clock, core = make_core(params, broadcasts=broadcasts,
+                                     record=True)
+        core.start()
+        for r in (1, 2, 3):
+            feed_symmetric_round(sim, core, params, r)
+        sim.run(until=3.2 * params.round_length)
+        assert core.stats.rounds_completed >= 2
+        rec = core.records[0]
+        duration = rec.t_end - rec.t_start
+        assert duration == pytest.approx(
+            params.round_length / (1.0 + params.phi), rel=1e-9)
+        assert core.stats.corrections[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_lemma_3_1_positive_correction(self, params):
+        """Peers arriving LATE by x make Delta = x and stretch the
+        round's real duration to (T + x) / (1 + phi)."""
+        x = 0.5  # well within the clamp phi*tau3
+        sim, clock, core = make_core(params, record=True)
+        core.start()
+        start_real = 0.0
+        t_ref = start_real + params.tau1 / (1.0 + params.phi) + params.d
+        t_late = t_ref + x / (1.0 + params.phi)  # logical offset x
+        for peer in PEERS:
+            sim.call_at(t_late, core.on_pulse, peer, t_late)
+        sim.run(until=2 * params.round_length)
+        assert core.stats.rounds_completed >= 1
+        assert core.stats.corrections[0] == pytest.approx(x, rel=1e-6)
+        rec = core.records[0]
+        duration = rec.t_end - rec.t_start
+        assert duration == pytest.approx(
+            (params.round_length + x) / (1.0 + params.phi), rel=1e-6)
+
+    def test_trimmed_midpoint_discards_extremes(self, params):
+        """One Byzantine extreme sample per side must not move Delta."""
+        sim, clock, core = make_core(params, record=True)
+        core.start()
+        t_ref = params.tau1 / (1.0 + params.phi) + params.d
+        # Two honest peers exactly on time; one peer wildly late.
+        for peer in (101, 102):
+            sim.call_at(t_ref, core.on_pulse, peer, t_ref)
+        t_wild = t_ref + 3.0 / (1.0 + params.phi)
+        sim.call_at(t_wild, core.on_pulse, 103, t_wild)
+        sim.run(until=2 * params.round_length)
+        # S = [0(self), 0, 0, 3]; f=1 trims one from each side:
+        # Delta = (S[1] + S[2]) / 2 = 0.
+        assert core.stats.corrections[0] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestRobustness:
+    def test_missing_pulses_substituted_and_counted(self, params):
+        sim, clock, core = make_core(params, record=True)
+        core.start()
+        sim.run(until=1.5 * params.round_length)
+        # No peer ever pulsed: 3 substitutions per completed round.
+        assert core.stats.rounds_completed >= 1
+        assert core.stats.missing_pulses >= 3
+        # Substituted samples take the latest-possible value: the
+        # phase-2 end, i.e. tau2 - d*(1+phi) logical units after the
+        # self-reference.
+        expected = params.tau2 - params.d * (1.0 + params.phi)
+        assert core.stats.corrections[0] == pytest.approx(
+            expected, rel=1e-6)
+
+    def test_early_pulses_clamp_to_correction_cap(self, params):
+        """Samples far in the past push Delta below -phi*tau3; the
+        clamp (Lemma B.4) kicks in and delta_v hits 2/(1-phi)."""
+        sim, clock, core = make_core(params, record=True)
+        core.start()
+        t_early = 1e-6  # right after the round starts, long before ref
+        for peer in PEERS:
+            sim.call_at(t_early, core.on_pulse, peer, t_early)
+        sim.run(until=1.05 * params.round_length)
+        assert core.stats.clamped_corrections >= 1
+        cap = params.phi * params.tau3
+        assert core.stats.corrections[0] == pytest.approx(-cap)
+
+    def test_clamp_keeps_delta_in_lemma_b4_range(self, params):
+        sim, clock, core = make_core(params)
+        core.start()
+        for peer in PEERS:
+            sim.call_at(1e-6, core.on_pulse, peer, 1e-6)
+        # Run to mid-phase-3 of round 1 (phases 1-2 take
+        # (tau1+tau2)/(1+phi) real time; stop before the round ends).
+        t_phase3 = (params.tau1 + params.tau2) / (1 + params.phi) + 1.0
+        sim.run(until=t_phase3)
+        # After the clamped correction, delta stays within [0, 2/(1-phi)].
+        assert clock.delta == pytest.approx(2.0 / (1.0 - params.phi))
+
+    def test_stale_pulse_dropped(self, params):
+        sim, clock, core = make_core(params)
+        core.start()
+        # Two early pulses from one peer: first credits round 1; the
+        # next credits round 2 -- then a third would credit round 3...
+        for _ in range(4):
+            core.on_pulse(101, 0.0)
+        # 4th pulse exceeds round 1 + MAX_ROUNDS_AHEAD -> flooded.
+        assert core.stats.flooded_pulses >= 1
+
+    def test_unknown_sender_rejected(self, params):
+        sim, clock, core = make_core(params)
+        core.start()
+        with pytest.raises(ConfigError):
+            core.on_pulse(999, 0.0)
+
+    def test_too_few_samples_rejected(self, params):
+        with pytest.raises(ConfigError):
+            make_core(params, peers=(101,))  # 2 samples < 3f+1
+
+    def test_stop_cancels_activity(self, params):
+        broadcasts = []
+        sim, clock, core = make_core(params, broadcasts=broadcasts)
+        core.start()
+        core.stop()
+        sim.run(until=2 * params.round_length)
+        assert broadcasts == []
+        assert core.stats.rounds_completed == 0
+
+    def test_double_start_rejected(self, params):
+        sim, clock, core = make_core(params)
+        core.start()
+        with pytest.raises(ConfigError):
+            core.start()
+
+
+class TestBaseOffsets:
+    def test_nonzero_base_shifts_schedule(self, params):
+        broadcasts = []
+        base = 500.0
+        sim, clock, core = make_core(params, broadcasts=broadcasts,
+                                     base=base)
+        core.start()
+        sim.run(until=params.tau1)
+        # L(0) = base, so the first pulse still comes tau1 later.
+        expected = params.tau1 / (1.0 + params.phi)
+        assert broadcasts[0] == pytest.approx(expected, rel=1e-9)
+
+    def test_round_start_hook_fires_each_round(self, params):
+        seen = []
+        sim, clock, _ = make_core(params)
+        # Rebuild with hook (make_core has no hook parameter).
+        hw = clock.hardware
+        schedule = RoundSchedule(params)
+        core = ClusterSyncCore(
+            clock, schedule, 0.0, PEERS, params.f,
+            self_delay=lambda: params.d, broadcast=None,
+            on_round_start=seen.append)
+        core.start()
+        sim.run(until=2.5 * params.round_length)
+        assert seen[:3] == [1, 2, 3]

@@ -1,0 +1,102 @@
+"""Property-based tests for the ClusterSync engine.
+
+These check the *unconditional* invariants of Algorithm 1 — the ones
+that must survive arbitrary (including Byzantine-garbage) pulse
+patterns because the GCS layer's axioms depend on them:
+
+* corrections are always clamped into ``[-phi*tau3, +phi*tau3]``;
+* hence ``delta_v in [0, 2/(1-phi)]`` and logical rates stay within
+  the Lemma B.4 envelope;
+* Lemma 3.1: the round's real duration on a unit-rate clock equals
+  ``(T + Delta) / (1 + phi)`` exactly, whatever Delta resulted.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks import ConstantRate, HardwareClock, LogicalClock
+from repro.core.cluster_sync import ClusterSyncCore
+from repro.core.params import Parameters
+from repro.core.rounds import RoundSchedule
+from repro.sim import Simulator
+
+PARAMS = Parameters.practical(rho=1e-4, d=1.0, u=0.1, f=1)
+PEERS = (101, 102, 103)
+
+
+def run_one_round(pulse_offsets):
+    """Run round 1 with each peer's pulse at the given real-time
+    offset into the round (``None`` = never arrives)."""
+    sim = Simulator()
+    hw = HardwareClock(sim, ConstantRate(1.0), rho=PARAMS.rho)
+    clock = LogicalClock(sim, hw, phi=PARAMS.phi, mu=PARAMS.mu)
+    schedule = RoundSchedule(PARAMS)
+    core = ClusterSyncCore(
+        clock, schedule, 0.0, PEERS, PARAMS.f,
+        self_delay=lambda: PARAMS.d, broadcast=None, record_rounds=True)
+    core.start()
+    for peer, offset in zip(PEERS, pulse_offsets):
+        if offset is not None:
+            sim.call_at(offset, core.on_pulse, peer, offset)
+    sim.run(until=1.5 * PARAMS.round_length)
+    return sim, clock, core
+
+
+# Phase 2 ends (on a unit-rate clock with delta=1) at this real time;
+# pulses anywhere in [0, end) exercise the full sample range.
+PHASE2_END_REAL = (PARAMS.tau1 + PARAMS.tau2) / (1 + PARAMS.phi)
+
+pulse_offset = st.one_of(
+    st.none(), st.floats(0.001, PHASE2_END_REAL * 0.999))
+
+
+class TestUnconditionalInvariants:
+    @given(offsets=st.tuples(pulse_offset, pulse_offset, pulse_offset))
+    @settings(max_examples=80, deadline=None)
+    def test_correction_always_clamped(self, offsets):
+        _sim, _clock, core = run_one_round(offsets)
+        assert core.stats.corrections, "round must complete"
+        cap = PARAMS.phi * PARAMS.tau3
+        for correction in core.stats.corrections:
+            assert -cap - 1e-9 <= correction <= cap + 1e-9
+
+    @given(offsets=st.tuples(pulse_offset, pulse_offset, pulse_offset))
+    @settings(max_examples=80, deadline=None)
+    def test_lemma_3_1_holds_for_any_pulses(self, offsets):
+        """Real round duration == (T + Delta) / (1 + phi) exactly."""
+        _sim, _clock, core = run_one_round(offsets)
+        record = core.records[0]
+        delta_corr = core.stats.corrections[0]
+        expected = ((PARAMS.round_length + delta_corr)
+                    / (1 + PARAMS.phi))
+        assert (record.t_end - record.t_start) == pytest.approx(
+            expected, rel=1e-9)
+
+    @given(offsets=st.tuples(pulse_offset, pulse_offset, pulse_offset))
+    @settings(max_examples=80, deadline=None)
+    def test_delta_v_in_lemma_b4_range(self, offsets):
+        sim, clock, core = run_one_round(offsets)
+        assert 0.0 <= clock.delta <= 2.0 / (1.0 - PARAMS.phi) + 1e-12
+
+    @given(offsets=st.tuples(pulse_offset, pulse_offset, pulse_offset),
+           extra_pulses=st.integers(0, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_flooding_never_stalls_rounds(self, offsets, extra_pulses):
+        """A peer spamming extra pulses cannot stop round progress."""
+        sim = Simulator()
+        hw = HardwareClock(sim, ConstantRate(1.0), rho=PARAMS.rho)
+        clock = LogicalClock(sim, hw, phi=PARAMS.phi, mu=PARAMS.mu)
+        schedule = RoundSchedule(PARAMS)
+        core = ClusterSyncCore(
+            clock, schedule, 0.0, PEERS, PARAMS.f,
+            self_delay=lambda: PARAMS.d, broadcast=None)
+        core.start()
+        for peer, offset in zip(PEERS, offsets):
+            if offset is not None:
+                sim.call_at(offset, core.on_pulse, peer, offset)
+        for i in range(extra_pulses):
+            sim.call_at(0.5 + 0.01 * i, core.on_pulse, PEERS[0],
+                        0.5 + 0.01 * i)
+        sim.run(until=3.2 * PARAMS.round_length)
+        assert core.stats.rounds_completed >= 3

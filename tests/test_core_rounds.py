@@ -1,0 +1,92 @@
+"""Unit tests for the round schedule."""
+
+import pytest
+
+from repro.core.params import Parameters
+from repro.core.rounds import RoundSchedule
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def params():
+    return Parameters.practical(rho=1e-4, d=1.0, u=0.1, f=1)
+
+
+class TestConstantSchedule:
+    def test_constant_when_e1_is_steady_state(self, params):
+        sched = RoundSchedule(params)
+        assert sched.is_constant
+        for r in (1, 2, 5, 20):
+            assert sched.e(r) == pytest.approx(params.cap_e)
+            assert sched.round_length(r) == pytest.approx(
+                params.round_length)
+
+    def test_round_starts_are_cumulative(self, params):
+        sched = RoundSchedule(params)
+        assert sched.round_start(1) == 0.0
+        assert sched.round_start(2) == pytest.approx(params.round_length)
+        assert sched.round_start(4) == pytest.approx(
+            3 * params.round_length)
+
+    def test_phase_offsets(self, params):
+        sched = RoundSchedule(params)
+        assert sched.pulse_offset(1) == pytest.approx(params.tau1)
+        assert sched.phase2_end_offset(1) == pytest.approx(
+            params.tau1 + params.tau2)
+        assert sched.pulse_offset(3) == pytest.approx(
+            2 * params.round_length + params.tau1)
+
+    def test_tau_match_params(self, params):
+        sched = RoundSchedule(params)
+        assert sched.tau1(1) == pytest.approx(params.tau1)
+        assert sched.tau2(1) == pytest.approx(params.tau2)
+        assert sched.tau3(1) == pytest.approx(params.tau3)
+
+
+class TestAdaptiveSchedule:
+    def test_error_contracts_geometrically(self, params):
+        e1 = 10 * params.cap_e
+        sched = RoundSchedule(params, e1=e1)
+        assert not sched.is_constant
+        assert sched.e(1) == pytest.approx(e1)
+        expected = params.alpha * e1 + params.beta
+        assert sched.e(2) == pytest.approx(expected)
+        # Monotone non-increasing toward the fixed point.
+        previous = sched.e(1)
+        for r in range(2, 60):
+            current = sched.e(r)
+            assert current <= previous + 1e-12
+            previous = current
+
+    def test_error_floors_at_steady_state(self, params):
+        sched = RoundSchedule(params, e1=4 * params.cap_e)
+        # alpha ~ 0.97 here: the gap shrinks by that factor per round.
+        e300 = sched.e(300)
+        assert params.cap_e <= e300 <= 1.01 * params.cap_e
+        # And never dips below the fixed point.
+        assert sched.e(2000) >= params.cap_e
+
+    def test_round_lengths_shrink_with_error(self, params):
+        sched = RoundSchedule(params, e1=10 * params.cap_e)
+        assert sched.round_length(1) > sched.round_length(50)
+        assert sched.round_length(500) == pytest.approx(
+            params.round_length)
+
+    def test_e1_below_steady_state_rejected(self, params):
+        with pytest.raises(ParameterError):
+            RoundSchedule(params, e1=0.5 * params.cap_e)
+
+    def test_round_indices_one_based(self, params):
+        sched = RoundSchedule(params)
+        with pytest.raises(ParameterError):
+            sched.e(0)
+
+
+class TestRoundsUntil:
+    def test_rounds_until(self, params):
+        sched = RoundSchedule(params)
+        t = params.round_length
+        assert sched.rounds_until(0.0) == 1
+        assert sched.rounds_until(t * 0.99) == 1
+        assert sched.rounds_until(t) == 2
+        assert sched.rounds_until(3.5 * t) == 4

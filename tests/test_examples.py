@@ -1,0 +1,45 @@
+"""The examples are part of the public API surface: run them.
+
+Each example is executed in-process (``runpy``) with stdout captured;
+we assert on the conclusions they print, so a regression that silently
+breaks a bound check in an example fails here.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "all bounds hold" in out
+        assert "BOUND VIOLATION" not in out
+
+    def test_byzantine_line(self, capsys):
+        out = run_example("byzantine_line.py", capsys)
+        assert "all bounds hold        : True" in out
+        assert "per-edge max cluster skew" in out
+
+    def test_noc_grid(self, capsys):
+        out = run_example("noc_grid.py", capsys)
+        assert "all bounds hold: True" in out
+
+    def test_attack_gallery(self, capsys):
+        out = run_example("attack_gallery.py", capsys)
+        assert "FAIL" not in out
+        assert out.count("OK") == 7
+
+    def test_baseline_comparison(self, capsys):
+        out = run_example("baseline_comparison.py", capsys)
+        assert "full compression" in out
+        assert "-> True" in out

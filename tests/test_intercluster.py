@@ -1,0 +1,117 @@
+"""Unit tests for InterclusterSync mode policies."""
+
+import pytest
+
+from repro.core.intercluster import InterclusterSync
+from repro.core.params import Parameters
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def params():
+    return Parameters.practical(rho=1e-4, d=1.0, u=0.1, f=1)
+
+
+class StubMax:
+    def __init__(self, value):
+        self._value = value
+
+    def value(self):
+        return self._value
+
+
+def make_sync(params, policy, own, estimates, max_value=None,
+              record=False):
+    max_est = StubMax(max_value) if max_value is not None else None
+    return InterclusterSync(
+        params, policy, own_value=lambda: own,
+        estimate_values=lambda: dict(estimates),
+        max_estimate=max_est, record_history=record)
+
+
+class TestPolicies:
+    def test_fast_trigger_wins(self, params):
+        sync = make_sync(params, "slow_default", 0.0,
+                         {1: 2 * params.kappa})
+        assert sync.decide(1) == 1
+        assert sync.stats.fast_rounds == 1
+
+    def test_slow_trigger_yields_slow(self, params):
+        sync = make_sync(params, "slow_default", 0.0,
+                         {1: -2 * params.kappa})
+        assert sync.decide(1) == 0
+
+    def test_slow_default_without_triggers(self, params):
+        sync = make_sync(params, "slow_default", 0.0, {1: 0.0})
+        assert sync.decide(1) == 0
+
+    def test_algorithm2_holds_previous_mode(self, params):
+        sync = make_sync(params, "algorithm2", 0.0, {1: 0.0})
+        # Start slow; no triggers: stays slow.
+        assert sync.decide(1) == 0
+        # Force fast via a changed estimate snapshot.
+        sync._estimate_values = lambda: {1: 2 * params.kappa}
+        assert sync.decide(2) == 1
+        # Back to neutral: holds fast.
+        sync._estimate_values = lambda: {1: 0.0}
+        assert sync.decide(3) == 1
+
+    def test_max_rule_activates_when_lagging(self, params):
+        lag = params.c_global * params.delta_trigger + 1.0
+        sync = make_sync(params, "max_rule", 0.0, {1: 0.0},
+                         max_value=lag)
+        assert sync.decide(1) == 1
+        assert sync.stats.max_rule_activations == 1
+
+    def test_max_rule_idle_when_current(self, params):
+        sync = make_sync(params, "max_rule", 0.0, {1: 0.0},
+                         max_value=0.0)
+        assert sync.decide(1) == 0
+        assert sync.stats.max_rule_activations == 0
+
+    def test_max_rule_defers_to_triggers(self, params):
+        # Slow trigger fires even though the node lags the max badly:
+        # Theorem C.3's rule list puts triggers first.
+        lag = params.c_global * params.delta_trigger + 1.0
+        sync = make_sync(params, "max_rule", 0.0,
+                         {1: -2 * params.kappa}, max_value=lag)
+        assert sync.decide(1) == 0
+
+    def test_unknown_policy_rejected(self, params):
+        with pytest.raises(ConfigError):
+            make_sync(params, "yolo", 0.0, {})
+
+    def test_max_rule_requires_estimate(self, params):
+        with pytest.raises(ConfigError):
+            InterclusterSync(params, "max_rule", lambda: 0.0,
+                             lambda: {})
+
+
+class TestRecording:
+    def test_history_records_decisions(self, params):
+        sync = make_sync(params, "slow_default", 0.0,
+                         {1: 2 * params.kappa}, record=True)
+        sync.decide(1)
+        sync._estimate_values = lambda: {1: 0.0}
+        sync.decide(2)
+        history = sync.stats.history
+        assert len(history) == 2
+        assert history[0].round_index == 1
+        assert history[0].gamma == 1
+        assert history[0].fast_trigger
+        assert history[1].gamma == 0
+
+    def test_mode_counters(self, params):
+        sync = make_sync(params, "slow_default", 0.0, {1: 0.0})
+        for r in range(1, 6):
+            sync.decide(r)
+        assert sync.stats.slow_rounds == 5
+        assert sync.stats.fast_rounds == 0
+
+    def test_mutual_exclusion_counter_stays_zero(self, params):
+        sync = make_sync(params, "slow_default", 0.0,
+                         {1: 2 * params.kappa, 2: -2 * params.kappa},
+                         record=True)
+        for r in range(1, 4):
+            sync.decide(r)
+        assert sync.stats.both_triggers_rounds == 0

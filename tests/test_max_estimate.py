@@ -1,0 +1,127 @@
+"""Unit tests for the global-skew estimate M_v (Lemma C.2)."""
+
+import pytest
+
+from repro.clocks import ConstantRate, HardwareClock
+from repro.core.max_estimate import MaxEstimate
+from repro.errors import ConfigError
+from repro.sim import Simulator
+
+#: Two clusters: 0 owns nodes 1..4, 1 owns nodes 5..8; node 0 is us.
+CLUSTER_OF = {n: 0 for n in range(1, 5)}
+CLUSTER_OF.update({n: 1 for n in range(5, 9)})
+
+
+def make_max(rho=0.1, unit=1.0, f=1, initial=0.0, hw_rate=None,
+             transit_bonus=1.0):
+    """Paper configuration: unit == transit_bonus == d - U."""
+    sim = Simulator()
+    rate = hw_rate if hw_rate is not None else 1.0 + rho
+    hw = HardwareClock(sim, ConstantRate(rate), rho=rho)
+    sent = []
+    est = MaxEstimate(sim, hw, rho, unit, f, CLUSTER_OF, initial,
+                      send_pulse=lambda: sent.append(sim.now),
+                      transit_bonus=transit_bonus)
+    return sim, est, sent
+
+
+class TestLocalProgress:
+    def test_rate_is_scaled_down(self):
+        sim, est, _ = make_max(rho=0.1, hw_rate=1.1)
+        est.start()
+        sim.run(until=11.0)
+        # h/(1+rho) = 1.1/1.1 = 1.0
+        assert est.value() == pytest.approx(11.0)
+
+    def test_never_exceeds_true_time_budget(self):
+        # With h <= 1+rho, M advances at <= 1: can never overtake a
+        # correct clock that advances at >= 1.
+        sim, est, _ = make_max(rho=0.1, hw_rate=1.05)
+        est.start()
+        sim.run(until=100.0)
+        assert est.value() <= 100.0 + 1e-9
+
+    def test_pulses_sent_at_unit_multiples(self):
+        sim, est, sent = make_max(rho=0.0, unit=2.0, hw_rate=1.0)
+        est.start()
+        sim.run(until=7.0)
+        # Crossings at M = 2, 4, 6 -> times 2, 4, 6.
+        assert [pytest.approx(t) for t in (2.0, 4.0, 6.0)] == sent
+
+    def test_initial_value_counts_toward_levels(self):
+        sim, est, sent = make_max(rho=0.0, unit=2.0, initial=5.0,
+                                  hw_rate=1.0)
+        est.start()
+        sim.run(until=2.0)
+        # M starts at 5 (level 2 announced implicitly); next crossing
+        # is M=6 at t=1.
+        assert len(sent) == 1
+        assert sent[0] == pytest.approx(1.0)
+
+
+class TestFloodRule:
+    def test_f_plus_one_witnesses_trigger_jump(self):
+        sim, est, sent = make_max(rho=0.1, unit=1.0, f=1, hw_rate=1.0)
+        est.start()
+        # Two members (f+1 = 2) of cluster 0 each announce 3 levels.
+        for _ in range(3):
+            est.on_pulse(1, sim.now)
+            est.on_pulse(2, sim.now)
+        # Confirmed level 3 -> jump to (3+1)*unit = 4.
+        assert est.value() == pytest.approx(4.0)
+        assert est.jumps >= 1
+        # Our own announcements must cover the jumped levels 1..4.
+        assert est.pulses_sent >= 4
+
+    def test_single_witness_is_ignored(self):
+        sim, est, _ = make_max(rho=0.1, unit=1.0, f=1, hw_rate=1.0)
+        est.start()
+        for _ in range(5):
+            est.on_pulse(1, sim.now)  # one Byzantine flooder
+        assert est.value() == pytest.approx(0.0)
+
+    def test_witnesses_split_across_clusters_ignored(self):
+        """One sender per cluster is not f+1 in any *single* cluster."""
+        sim, est, _ = make_max(rho=0.1, unit=1.0, f=1, hw_rate=1.0)
+        est.start()
+        for _ in range(4):
+            est.on_pulse(1, sim.now)  # cluster 0
+            est.on_pulse(5, sim.now)  # cluster 1
+        assert est.value() == pytest.approx(0.0)
+
+    def test_unknown_sender_ignored(self):
+        sim, est, _ = make_max()
+        est.start()
+        est.on_pulse(999, 0.0)
+        assert est.value() == pytest.approx(0.0)
+
+    def test_jump_is_monotone(self):
+        sim, est, _ = make_max(rho=0.1, unit=1.0, f=1, initial=10.0,
+                               hw_rate=1.0)
+        est.start()
+        est.on_pulse(1, sim.now)
+        est.on_pulse(2, sim.now)
+        # Confirmed level 1 -> target 2 < current 10: no jump.
+        assert est.value() == pytest.approx(10.0)
+        assert est.jumps == 0
+
+
+class TestValidation:
+    def test_bad_unit(self):
+        sim = Simulator()
+        hw = HardwareClock(sim, ConstantRate(1.0), rho=0.1)
+        with pytest.raises(ConfigError):
+            MaxEstimate(sim, hw, 0.1, 0.0, 1, {}, 0.0, lambda: None)
+
+    def test_double_start_rejected(self):
+        sim, est, _ = make_max()
+        est.start()
+        with pytest.raises(ConfigError):
+            est.start()
+
+    def test_stopped_estimate_ignores_pulses(self):
+        sim, est, _ = make_max(f=0)
+        est.start()
+        est.stop()
+        est.on_pulse(1, 0.0)
+        assert est.value() == pytest.approx(0.0)

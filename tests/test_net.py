@@ -1,0 +1,197 @@
+"""Unit tests for delay models and the network."""
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import (
+    BiasedDelay,
+    ExtremalDelay,
+    FixedDelay,
+    Network,
+    PolicyDelay,
+    Pulse,
+    PulseKind,
+    UniformDelay,
+)
+from repro.sim import Simulator
+
+
+def make_net(d=1.0, u=0.2, model=None):
+    sim = Simulator()
+    net = Network(sim, d=d, u=u, default_delay_model=model or FixedDelay(d))
+    return sim, net
+
+
+class TestDelayModels:
+    def test_fixed(self):
+        assert FixedDelay(0.7).draw(0, 1, 0.0) == pytest.approx(0.7)
+
+    def test_uniform_within_envelope(self):
+        rng = random.Random(0)
+        model = UniformDelay(1.0, 0.3, rng)
+        draws = [model.draw(0, 1, 0.0) for _ in range(200)]
+        assert all(0.7 <= x <= 1.0 for x in draws)
+        assert max(draws) - min(draws) > 0.1  # actually random
+
+    def test_extremal(self):
+        assert ExtremalDelay(1.0, 0.3, "max").draw(0, 1, 0.0) == 1.0
+        assert ExtremalDelay(1.0, 0.3, "min").draw(0, 1, 0.0) == 0.7
+        with pytest.raises(NetworkError):
+            ExtremalDelay(1.0, 0.3, "mid")
+
+    def test_biased_by_direction(self):
+        model = BiasedDelay(forward=1.0, backward=0.7)
+        assert model.draw(0, 1, 0.0) == 1.0
+        assert model.draw(1, 0, 0.0) == 0.7
+
+    def test_policy(self):
+        model = PolicyDelay(lambda s, r, now: 0.8 if s == 0 else 0.9)
+        assert model.draw(0, 5, 0.0) == 0.8
+        assert model.draw(5, 0, 0.0) == 0.9
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(NetworkError):
+            UniformDelay(0.0, 0.0, rng)
+        with pytest.raises(NetworkError):
+            UniformDelay(1.0, 1.5, rng)
+        with pytest.raises(NetworkError):
+            FixedDelay(-1.0)
+
+
+class TestTopologyConstruction:
+    def test_add_nodes_and_links(self):
+        _, net = make_net()
+        for i in range(3):
+            net.add_node(i)
+        net.add_link(0, 1)
+        net.add_link(1, 2)
+        assert net.neighbors(1) == (0, 2)
+        assert net.has_link(0, 1)
+        assert not net.has_link(0, 2)
+
+    def test_duplicate_node_rejected(self):
+        _, net = make_net()
+        net.add_node(0)
+        with pytest.raises(NetworkError):
+            net.add_node(0)
+
+    def test_self_link_rejected(self):
+        _, net = make_net()
+        net.add_node(0)
+        with pytest.raises(NetworkError):
+            net.add_link(0, 0)
+
+    def test_duplicate_link_rejected(self):
+        _, net = make_net()
+        net.add_node(0)
+        net.add_node(1)
+        net.add_link(0, 1)
+        with pytest.raises(NetworkError):
+            net.add_link(1, 0)
+
+    def test_unknown_node_rejected(self):
+        _, net = make_net()
+        net.add_node(0)
+        with pytest.raises(NetworkError):
+            net.add_link(0, 99)
+        with pytest.raises(NetworkError):
+            net.neighbors(99)
+
+
+class TestMessaging:
+    def test_unicast_delivery(self):
+        sim, net = make_net(d=1.0, u=0.0)
+        received = []
+        net.add_node(0)
+        net.add_node(1, lambda msg, t: received.append((msg, t)))
+        net.add_link(0, 1)
+        net.send(0, 1, "hello")
+        sim.run(until=2.0)
+        assert received == [("hello", pytest.approx(1.0))]
+
+    def test_broadcast_reaches_all_neighbors(self):
+        sim, net = make_net(d=0.5, u=0.0, model=FixedDelay(0.5))
+        inboxes = {i: [] for i in range(4)}
+        for i in range(4):
+            net.add_node(i, lambda msg, t, i=i: inboxes[i].append(msg))
+        net.add_link(0, 1)
+        net.add_link(0, 2)
+        net.add_link(0, 3)
+        count = net.broadcast(0, Pulse(sender=0))
+        sim.run(until=1.0)
+        assert count == 3
+        for i in (1, 2, 3):
+            assert len(inboxes[i]) == 1
+            assert inboxes[i][0].sender == 0
+            assert inboxes[i][0].kind is PulseKind.SYNC
+        assert inboxes[0] == []
+
+    def test_send_to_non_neighbor_rejected(self):
+        _, net = make_net()
+        net.add_node(0)
+        net.add_node(1)
+        with pytest.raises(NetworkError):
+            net.send(0, 1, "x")
+
+    def test_send_with_delay_envelope_enforced(self):
+        sim, net = make_net(d=1.0, u=0.2)
+        net.add_node(0)
+        net.add_node(1, lambda m, t: None)
+        net.add_link(0, 1)
+        net.send_with_delay(0, 1, "ok", 0.8)
+        with pytest.raises(NetworkError):
+            net.send_with_delay(0, 1, "early", 0.5)
+        with pytest.raises(NetworkError):
+            net.send_with_delay(0, 1, "late", 1.5)
+
+    def test_delay_model_violating_envelope_rejected(self):
+        sim, net = make_net(d=1.0, u=0.1, model=FixedDelay(0.2))
+        net.add_node(0)
+        net.add_node(1, lambda m, t: None)
+        net.add_link(0, 1)
+        with pytest.raises(NetworkError):
+            net.send(0, 1, "x")
+
+    def test_per_link_model_override(self):
+        sim, net = make_net(d=1.0, u=0.5, model=FixedDelay(1.0))
+        times = []
+        net.add_node(0)
+        net.add_node(1, lambda m, t: times.append(t))
+        net.add_link(0, 1)
+        net.set_link_delay_model(0, 1, FixedDelay(0.5), direction="ab")
+        net.send(0, 1, "fast")
+        sim.run(until=2.0)
+        assert times == [pytest.approx(0.5)]
+
+    def test_directional_override_leaves_reverse(self):
+        sim, net = make_net(d=1.0, u=0.5, model=FixedDelay(1.0))
+        times = []
+        net.add_node(0, lambda m, t: times.append(("to0", t)))
+        net.add_node(1, lambda m, t: times.append(("to1", t)))
+        net.add_link(0, 1)
+        net.set_link_delay_model(0, 1, FixedDelay(0.5), direction="ab")
+        net.send(1, 0, "slow")
+        sim.run(until=2.0)
+        assert times == [("to0", pytest.approx(1.0))]
+
+    def test_message_counters(self):
+        sim, net = make_net(d=1.0, u=0.0)
+        net.add_node(0)
+        net.add_node(1, lambda m, t: None)
+        net.add_link(0, 1)
+        net.send(0, 1, "x")
+        assert net.messages_sent == 1
+        sim.run(until=2.0)
+        assert net.messages_delivered == 1
+
+    def test_missing_handler_is_dropped_silently(self):
+        sim, net = make_net(d=1.0, u=0.0)
+        net.add_node(0)
+        net.add_node(1)  # no handler: models a crashed receiver
+        net.add_link(0, 1)
+        net.send(0, 1, "x")
+        sim.run(until=2.0)
+        assert net.messages_delivered == 1

@@ -1,0 +1,75 @@
+"""Unit tests for the event queue primitives."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+
+
+class TestEventOrdering:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, fired.append, ("b",))
+        queue.push(1.0, fired.append, ("a",))
+        queue.push(3.0, fired.append, ("c",))
+        for event in queue.drain():
+            event.fire()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_among_simultaneous_events(self):
+        queue = EventQueue()
+        fired = []
+        for tag in ("first", "second", "third"):
+            queue.push(5.0, fired.append, (tag,))
+        for event in queue.drain():
+            event.fire()
+        assert fired == ["first", "second", "third"]
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        e1 = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        queue.cancel(e1)
+        assert len(queue) == 1
+
+    def test_event_repr_and_lt(self):
+        a = Event(1.0, 0, lambda: None, ())
+        b = Event(1.0, 1, lambda: None, ())
+        c = Event(0.5, 2, lambda: None, ())
+        assert a < b
+        assert c < a
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, fired.append, ("x",))
+        queue.cancel(event)
+        assert queue.pop() is None
+        assert fired == []
+
+    def test_double_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 0
+
+    def test_cancel_releases_references(self):
+        queue = EventQueue()
+        payload = object()
+        event = queue.push(1.0, lambda x: None, (payload,))
+        queue.cancel(event)
+        assert event._args == ()
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        e1 = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(e1)
+        assert queue.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None

@@ -1,0 +1,126 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_call_at_and_call_in(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(1.0, fired.append, "at")
+        sim.call_in(0.5, fired.append, "in")
+        sim.run(until=2.0)
+        assert fired == ["in", "at"]
+
+    def test_run_advances_time_to_until(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_events_after_horizon_stay_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(5.0, fired.append, "late")
+        sim.run(until=1.0)
+        assert fired == []
+        sim.run(until=6.0)
+        assert fired == ["late"]
+
+    def test_scheduling_in_past_raises(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_tiny_past_tolerance_clamps(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        event = sim.call_at(5.0 - 1e-12, lambda: None)
+        assert event.time == 5.0
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_in(-1.0, lambda: None)
+
+    def test_run_backwards_raises(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+
+class TestExecution:
+    def test_callback_sees_current_time(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(2.5, lambda: seen.append(sim.now))
+        sim.run(until=3.0)
+        assert seen == [2.5]
+
+    def test_self_scheduling_chain(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) < 5:
+                sim.call_in(1.0, tick)
+
+        sim.call_at(0.0, tick)
+        sim.run(until=10.0)
+        assert ticks == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_cancel_pending_event(self):
+        sim = Simulator()
+        fired = []
+        event = sim.call_at(1.0, fired.append, "x")
+        sim.cancel(event)
+        sim.run(until=2.0)
+        assert fired == []
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_step_fires_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(1.0, fired.append, "a")
+        sim.call_at(2.0, fired.append, "b")
+        assert sim.step() is True
+        assert fired == ["a"]
+        assert sim.now == 1.0
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.call_at(float(i), lambda: None)
+        sim.run(until=10.0)
+        assert sim.events_processed == 4
+
+    def test_run_until_idle_bound(self):
+        sim = Simulator()
+
+        def forever():
+            sim.call_in(1.0, forever)
+
+        sim.call_at(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=10)
+
+    def test_run_until_idle_counts(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.call_at(float(i), lambda: None)
+        assert sim.run_until_idle() == 3
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abc":
+            sim.call_at(1.0, fired.append, tag)
+        sim.run(until=1.0)
+        assert fired == ["a", "b", "c"]
