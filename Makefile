@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-quick bench bench-record
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Pre-merge smoke check: kernel/substrate microbenchmarks, < 60 s.
+bench-quick:
+	$(PYTHON) -m repro bench-quick
+
+# Full pytest-benchmark suite (tables T1-T12 + kernel microbenches).
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_*.py -q --benchmark-only
+
+# Append current substrate throughput to BENCH_kernel.json.
+bench-record:
+	$(PYTHON) benchmarks/record_baseline.py

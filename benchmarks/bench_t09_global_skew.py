@@ -2,13 +2,14 @@
 
 import math
 
-from conftest import run_once
+from conftest import run_once, sweep_processes
 
 from repro.harness.experiments import t09_global_skew
 
 
 def test_t09_global_skew(benchmark, show):
-    table = run_once(benchmark, t09_global_skew, quick=True)
+    table = run_once(benchmark, t09_global_skew, quick=True,
+                     processes=sweep_processes())
     show(table)
     recovery = {}
     for row in table.rows:

@@ -1,12 +1,13 @@
 """Benchmark T12: convergence from loose initialization (Prop. B.14)."""
 
-from conftest import run_once
+from conftest import run_once, sweep_processes
 
 from repro.harness.experiments import t12_convergence
 
 
 def test_t12_convergence(benchmark, show):
-    table = run_once(benchmark, t12_convergence, quick=True)
+    table = run_once(benchmark, t12_convergence, quick=True,
+                     processes=sweep_processes())
     show(table)
     assert all(table.column("within"))
     predicted = table.column("predicted e(r)")

@@ -6,11 +6,33 @@ every "table and figure" of the paper in one go.  Timings use
 ``benchmark.pedantic`` with a single iteration: the experiments are
 deterministic simulations, so repetition would only measure the
 interpreter's warmth.
+
+The sweep-backed experiments (T1, T3, T9, T12) fan their scenario
+grids across a worker pool sized by :func:`sweep_processes`; per-cell
+results are bit-identical for any worker count, so the printed tables
+do not depend on the pool size.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+def sweep_processes() -> int:
+    """Worker pool size for sweep-backed benchmarks.
+
+    ``REPRO_BENCH_PROCESSES`` overrides, then the library-wide
+    ``REPRO_SWEEP_PROCESSES``; the stock default caps at 4 workers and
+    degrades to serial on single-CPU machines (where a pool can only
+    lose).
+    """
+    from repro.harness.sweep import default_processes
+
+    return default_processes(
+        os.environ.get("REPRO_BENCH_PROCESSES") or None,
+        fallback=min(4, os.cpu_count() or 1))
 
 
 @pytest.fixture

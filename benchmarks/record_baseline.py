@@ -1,0 +1,73 @@
+"""Record substrate throughput numbers to ``BENCH_kernel.json``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/record_baseline.py
+
+Appends one entry per invocation (keyed by git revision when
+available) so the perf trajectory of the kernel and the system hot
+path is tracked PR over PR.  The measurements are the shared
+microbenchmarks of :mod:`repro.harness.microbench`: event dispatch,
+repeating-event dispatch, alarm inversion under rate-change storms,
+full system rounds, and the sweep grid (serial vs pool, with the
+bit-identical check).
+
+Hardware context (CPU count) is recorded with every entry: the sweep
+speedup is meaningless without it — a single-CPU container can never
+show a pool win.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_kernel.json"
+
+
+def git_revision() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.harness.microbench import microbench_table, run_all_micro
+
+    results = run_all_micro(quick=True)
+    entry = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_revision": git_revision(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "results": {r["name"]: r for r in results},
+    }
+
+    history: list[dict] = []
+    if OUTPUT.exists():
+        try:
+            history = json.loads(OUTPUT.read_text())
+        except json.JSONDecodeError:
+            print(f"warning: {OUTPUT} was unreadable; starting fresh",
+                  file=sys.stderr)
+    history.append(entry)
+    OUTPUT.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(microbench_table(results).format())
+    print(f"\nrecorded entry {len(history)} to {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

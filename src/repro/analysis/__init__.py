@@ -12,6 +12,7 @@ from repro.analysis.metrics import (
     SkewSnapshot,
     cluster_extrema,
     compute_snapshot,
+    compute_snapshot_grouped,
     pulse_diameters,
     unanimity_by_round,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "SkewSnapshot",
     "cluster_extrema",
     "compute_snapshot",
+    "compute_snapshot_grouped",
     "pulse_diameters",
     "unanimity_by_round",
     "SkewMaxima",

@@ -60,11 +60,89 @@ class SkewSnapshot:
     edge_skews: dict[tuple[int, int], float] = field(default_factory=dict)
 
 
+def compute_snapshot_grouped(time: float,
+                             groups: list[tuple[int, list[float]]],
+                             cluster_edges: list[tuple[int, int]],
+                             include_edges: bool = False) -> SkewSnapshot:
+    """Compute every skew metric from grouped correct clock values.
+
+    This is the sampling hot path: node identities are irrelevant for
+    every metric (only per-cluster extrema matter), so values arrive as
+    flat per-cluster sequences in a stable order and the per-cluster
+    extrema are held as plain floats in two dicts — no intermediate
+    objects are allocated per sample beyond the returned snapshot.
+
+    Parameters
+    ----------
+    groups:
+        ``(cluster, values)`` pairs for *correct* nodes; clusters whose
+        correct membership is empty may appear with an empty sequence
+        (they are skipped).
+    cluster_edges:
+        Edge list of ``G``; edges touching skipped clusters are skipped.
+    include_edges:
+        Also record the per-edge cluster-skew map (costlier to store).
+    """
+    lows: dict[int, float] = {}
+    highs: dict[int, float] = {}
+    global_low = global_high = 0.0
+    max_intra = 0.0
+    first = True
+    for cluster, vals in groups:
+        if not vals:
+            continue
+        low = min(vals)
+        high = max(vals)
+        lows[cluster] = low
+        highs[cluster] = high
+        if first:
+            global_low, global_high = low, high
+            first = False
+        else:
+            if low < global_low:
+                global_low = low
+            if high > global_high:
+                global_high = high
+        spread = high - low
+        if spread > max_intra:
+            max_intra = spread
+    if first:
+        return SkewSnapshot(time, 0.0, 0.0, 0.0, 0.0)
+
+    max_local_cluster = 0.0
+    max_local_node = max_intra  # clique edges are node edges too
+    edge_skews: dict[tuple[int, int], float] = {}
+    for edge in cluster_edges:
+        a, b = edge
+        la = lows.get(a)
+        lb = lows.get(b)
+        if la is None or lb is None:
+            continue
+        ha = highs[a]
+        hb = highs[b]
+        cluster_skew = 0.5 * abs((la + ha) - (lb + hb))
+        if cluster_skew > max_local_cluster:
+            max_local_cluster = cluster_skew
+        node_skew = max(ha - lb, hb - la)
+        if node_skew > max_local_node:
+            max_local_node = node_skew
+        if include_edges:
+            edge_skews[edge] = cluster_skew
+    return SkewSnapshot(
+        time=time, global_skew=global_high - global_low,
+        max_intra_cluster=max_intra,
+        max_local_cluster=max_local_cluster, max_local_node=max_local_node,
+        edge_skews=edge_skews)
+
+
 def compute_snapshot(time: float,
                      values_by_cluster: dict[int, dict[int, float]],
                      cluster_edges: list[tuple[int, int]],
                      include_edges: bool = False) -> SkewSnapshot:
     """Compute every skew metric from per-cluster correct clock values.
+
+    Convenience wrapper over :func:`compute_snapshot_grouped` for
+    callers holding the nested-dict form.
 
     Parameters
     ----------
@@ -76,34 +154,10 @@ def compute_snapshot(time: float,
     include_edges:
         Also record the per-edge cluster-skew map (costlier to store).
     """
-    extrema = {c: cluster_extrema(vals)
-               for c, vals in values_by_cluster.items() if vals}
-    if not extrema:
-        return SkewSnapshot(time, 0.0, 0.0, 0.0, 0.0)
-
-    lows = [e.low for e in extrema.values()]
-    highs = [e.high for e in extrema.values()]
-    global_skew = max(highs) - min(lows)
-    max_intra = max(e.spread for e in extrema.values())
-
-    max_local_cluster = 0.0
-    max_local_node = max_intra  # clique edges are node edges too
-    edge_skews: dict[tuple[int, int], float] = {}
-    for a, b in cluster_edges:
-        ea = extrema.get(a)
-        eb = extrema.get(b)
-        if ea is None or eb is None:
-            continue
-        cluster_skew = abs(ea.cluster_clock - eb.cluster_clock)
-        max_local_cluster = max(max_local_cluster, cluster_skew)
-        node_skew = max(ea.high - eb.low, eb.high - ea.low)
-        max_local_node = max(max_local_node, node_skew)
-        if include_edges:
-            edge_skews[(a, b)] = cluster_skew
-    return SkewSnapshot(
-        time=time, global_skew=global_skew, max_intra_cluster=max_intra,
-        max_local_cluster=max_local_cluster, max_local_node=max_local_node,
-        edge_skews=edge_skews)
+    groups = [(c, list(vals.values()))
+              for c, vals in values_by_cluster.items()]
+    return compute_snapshot_grouped(time, groups, cluster_edges,
+                                    include_edges=include_edges)
 
 
 def pulse_diameters(pulse_log: dict[tuple[int, int], list[tuple[int, float]]]

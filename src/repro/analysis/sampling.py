@@ -1,28 +1,45 @@
 """Periodic skew sampling during a simulation run.
 
-A :class:`SkewSampler` is a self-rescheduling kernel event that
-snapshots all correct logical clocks every ``interval`` time units,
-maintains running maxima of every skew metric, and (optionally) a full
-time series plus per-edge maxima for gradient-profile plots.
+A :class:`SkewSampler` is a periodic kernel event that snapshots all
+correct logical clocks every ``interval`` time units, maintains running
+maxima of every skew metric, and (optionally) a full time series plus
+per-edge maxima for gradient-profile plots.
 
 Sampling is an *observation* device: it reads clocks without touching
 algorithm state, so its cadence affects only measurement resolution,
 never the execution.  Skews between samples can exceed the recorded
 maxima by at most ``(theta_max - 1) * interval``, which is negligible
 for the default cadence of a quarter round.
+
+Sampling is also the measurement hot path — for every event the
+algorithm fires, the sampler reads every correct clock several times
+per round.  The sampler therefore (a) re-arms one repeating kernel
+event (:meth:`~repro.sim.kernel.Simulator.call_repeating`) instead of
+allocating a fresh event per tick, and (b) accepts *grouped* collectors
+that fill preallocated flat per-cluster buffers
+(:func:`~repro.analysis.metrics.compute_snapshot_grouped`) instead of
+rebuilding nested dicts each sample.  Collectors returning the legacy
+``{cluster: {node: value}}`` form keep working.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Union
 
-from repro.analysis.metrics import SkewSnapshot, compute_snapshot
+from repro.analysis.metrics import (
+    SkewSnapshot,
+    compute_snapshot_grouped,
+)
 from repro.errors import ConfigError
 from repro.sim.kernel import Simulator
 
-#: ``collector() -> {cluster: {node: value}}`` for correct nodes only.
-Collector = Callable[[], dict[int, dict[int, float]]]
+#: ``collector()`` returning correct clock values either grouped as
+#: ``[(cluster, values), ...]`` (fast path, buffers may be reused) or
+#: as the legacy nested ``{cluster: {node: value}}`` dict.
+Collector = Callable[[], Union[
+    "list[tuple[int, list[float]]]",
+    "dict[int, dict[int, float]]"]]
 
 
 @dataclass
@@ -48,7 +65,7 @@ class SkewMaxima:
 
 
 class SkewSampler:
-    """Self-rescheduling skew probe.
+    """Periodic skew probe driven by one repeating kernel event.
 
     Parameters
     ----------
@@ -57,7 +74,8 @@ class SkewSampler:
     interval:
         Sampling period (Newtonian time).
     collector:
-        Returns the current correct clock values, grouped by cluster.
+        Returns the current correct clock values (see
+        :data:`Collector`).
     cluster_edges:
         Edge list of the cluster graph ``G``.
     record_series:
@@ -81,30 +99,31 @@ class SkewSampler:
         self._track_edges = track_edges
         self.maxima = SkewMaxima()
         self.series: list[SkewSnapshot] = []
-        self._running = False
+        self._event = None
 
     def start(self) -> None:
         """Take a first sample now and re-arm every ``interval``."""
-        if self._running:
+        if self._event is not None:
             raise ConfigError("sampler already started")
-        self._running = True
-        self._tick()
+        self.sample_now()
+        self._event = self._sim.call_repeating(self._interval,
+                                               self.sample_now)
 
     def stop(self) -> None:
-        self._running = False
+        if self._event is not None:
+            self._sim.cancel(self._event)
+            self._event = None
 
     def sample_now(self) -> SkewSnapshot:
         """Take one sample immediately (also updates maxima)."""
-        snap = compute_snapshot(
-            self._sim.now, self._collector(), self._cluster_edges,
+        values = self._collector()
+        if isinstance(values, dict):
+            values = [(c, list(vals.values()))
+                      for c, vals in values.items()]
+        snap = compute_snapshot_grouped(
+            self._sim.now, values, self._cluster_edges,
             include_edges=self._track_edges)
         self.maxima.update(snap)
         if self._record_series:
             self.series.append(snap)
         return snap
-
-    def _tick(self) -> None:
-        if not self._running:
-            return
-        self.sample_now()
-        self._sim.call_in(self._interval, self._tick)

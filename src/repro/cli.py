@@ -2,23 +2,31 @@
 
 Usage::
 
-    python -m repro t07              # one experiment, quick size
-    python -m repro t01 t04 --full   # selected experiments, full size
-    python -m repro --all            # everything, quick size
-    python -m repro --list           # what's available
+    python -m repro t07                  # one experiment, quick size
+    python -m repro t01 t04 --full       # selected experiments, full size
+    python -m repro --all                # everything, quick size
+    python -m repro t09 --processes 4    # sweep-backed experiments in a pool
+    python -m repro bench-quick          # kernel microbenchmarks (<60 s)
+    python -m repro --list               # what's available
 
 Experiment names are the T-identifiers of DESIGN.md section 3
-(``t01`` … ``t12``).
+(``t01`` … ``t12``).  ``bench-quick`` is the pre-merge smoke check: it
+runs the substrate microbenchmarks of
+:mod:`repro.harness.microbench` and prints a throughput table.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import Sequence
 
 from repro.harness.experiments import ALL_EXPERIMENTS
+
+#: Non-experiment subcommands accepted in the positional slot.
+BENCH_QUICK = "bench-quick"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,13 +36,17 @@ def build_parser() -> argparse.ArgumentParser:
                     "Gradient Clock Synchronization' (PODC 2019).")
     parser.add_argument(
         "experiments", nargs="*", metavar="tNN",
-        help="experiment ids (t01..t12); see --list")
+        help=f"experiment ids (t01..t12) or '{BENCH_QUICK}'; see --list")
     parser.add_argument(
         "--all", action="store_true",
         help="run every experiment in order")
     parser.add_argument(
         "--full", action="store_true",
         help="full-size sweeps (default: quick sizes)")
+    parser.add_argument(
+        "--processes", type=int, default=None, metavar="N",
+        help="worker processes for sweep-backed experiments "
+             "(default: REPRO_SWEEP_PROCESSES or serial)")
     parser.add_argument(
         "--list", action="store_true",
         help="list available experiments and exit")
@@ -47,7 +59,23 @@ def list_experiments() -> str:
         doc = (ALL_EXPERIMENTS[name].__doc__ or "").strip()
         summary = doc.splitlines()[0] if doc else ""
         lines.append(f"  {name}  {summary}")
+    lines.append(f"  {BENCH_QUICK}  kernel/substrate microbenchmarks "
+                 "(pre-merge smoke check)")
     return "\n".join(lines)
+
+
+def run_bench_quick(quick: bool = True,
+                    processes: int | None = None) -> int:
+    """Run the substrate microbenchmarks and print the table."""
+    from repro.harness.microbench import microbench_table, run_all_micro
+
+    started = time.perf_counter()
+    results = run_all_micro(quick=quick, processes=processes)
+    table = microbench_table(results)
+    print(table.format())
+    print(f"[{BENCH_QUICK} finished in "
+          f"{time.perf_counter() - started:.1f}s]")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -58,10 +86,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(list_experiments())
         return 0
 
-    if args.all:
-        names = sorted(ALL_EXPERIMENTS)
-    else:
-        names = [name.lower() for name in args.experiments]
+    positionals = [name.lower() for name in args.experiments]
+    if BENCH_QUICK in positionals:
+        if len(positionals) > 1 or args.all:
+            print(f"error: {BENCH_QUICK} cannot be combined with "
+                  "experiment ids or --all", file=sys.stderr)
+            return 2
+        return run_bench_quick(quick=not args.full,
+                               processes=args.processes)
+
+    names = sorted(ALL_EXPERIMENTS) if args.all else positionals
     if not names:
         parser.print_usage()
         print("error: give experiment ids, --all, or --list",
@@ -76,8 +110,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
 
     for name in names:
+        fn = ALL_EXPERIMENTS[name]
+        kwargs = {"quick": not args.full}
+        # Sweep-backed experiments fan across a worker pool.
+        if "processes" in inspect.signature(fn).parameters:
+            kwargs["processes"] = args.processes
         started = time.perf_counter()
-        table = ALL_EXPERIMENTS[name](quick=not args.full)
+        table = fn(**kwargs)
         elapsed = time.perf_counter() - started
         print(table.format())
         print(f"[{name} finished in {elapsed:.1f}s]")

@@ -214,12 +214,13 @@ class FtgcsSystem:
         self.drivers: dict[int, object] = {}
         self.pulse_log: dict[tuple[int, int], list[tuple[int, float]]] = {}
         self._build_nodes()
+        self._build_sample_layout()
 
         interval = config.sample_interval
         if interval is None:
             interval = self.schedule.round_length(1) / 4.0
         self.sampler = SkewSampler(
-            self.sim, interval, self._collect_values,
+            self.sim, interval, self._collect_grouped,
             cluster_graph.edges, record_series=config.record_series,
             track_edges=config.track_edges)
         self._started = False
@@ -369,6 +370,29 @@ class FtgcsSystem:
                 ctx.honest_node = node
                 self.drivers[node_id] = strategy.build(ctx)
 
+    def _build_sample_layout(self) -> None:
+        """Precompute the sampling hot path's data layout.
+
+        The correct-node set is fixed at construction time, so the
+        honest-node list, the per-cluster grouping, the bound
+        ``logical.value`` getters, and the flat per-cluster value
+        buffers are all built exactly once; every sample then only
+        refills the preallocated buffers in stable (cluster, node id)
+        order.
+        """
+        self._honest = [node for node_id, node in sorted(self.nodes.items())
+                        if node_id not in self.faulty_ids]
+        by_cluster: dict[int, list[FtgcsNode]] = {}
+        for node in self._honest:
+            by_cluster.setdefault(node.cluster_id, []).append(node)
+        self._sample_getters = [
+            (cluster, [node.logical.value for node in members],
+             [0.0] * len(members))
+            for cluster, members in sorted(by_cluster.items())]
+        self._sample_groups = [(cluster, buffer)
+                               for cluster, _, buffer in
+                               self._sample_getters]
+
     def _log_pulse(self, cluster: int, round_index: int, node: int,
                    time: float) -> None:
         self.pulse_log.setdefault((cluster, round_index), []).append(
@@ -383,13 +407,24 @@ class FtgcsSystem:
         return self._diameter
 
     def honest_nodes(self) -> list[FtgcsNode]:
-        """Correct nodes (excludes every node with a strategy)."""
-        return [node for node_id, node in self.nodes.items()
-                if node_id not in self.faulty_ids]
+        """Correct nodes (excludes every node with a strategy).
+
+        The set is fixed at construction time, so this returns a cached
+        list (do not mutate it).
+        """
+        return self._honest
+
+    def _collect_grouped(self) -> list[tuple[int, list[float]]]:
+        """Refill the preallocated per-cluster value buffers (hot path)."""
+        for _cluster, getters, buffer in self._sample_getters:
+            for i, getter in enumerate(getters):
+                buffer[i] = getter()
+        return self._sample_groups
 
     def _collect_values(self) -> dict[int, dict[int, float]]:
+        """Nested-dict snapshot of correct clocks (non-hot-path uses)."""
         values: dict[int, dict[int, float]] = {}
-        for node in self.honest_nodes():
+        for node in self._honest:
             bucket = values.setdefault(node.cluster_id, {})
             bucket[node.node_id] = node.logical.value()
         return values

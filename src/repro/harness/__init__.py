@@ -6,7 +6,14 @@ from repro.harness.runner import (
     default_params,
     gradient_offsets,
     run_scenario,
+    steady_state_skews,
     step_offsets,
+)
+from repro.harness.sweep import (
+    ScenarioSpec,
+    SweepCellResult,
+    SweepRunner,
+    run_cell,
 )
 from repro.harness.tables import Table
 
@@ -17,6 +24,11 @@ __all__ = [
     "default_params",
     "gradient_offsets",
     "run_scenario",
+    "steady_state_skews",
     "step_offsets",
+    "ScenarioSpec",
+    "SweepCellResult",
+    "SweepRunner",
+    "run_cell",
     "Table",
 ]

@@ -7,6 +7,13 @@ EXPERIMENTS.md records representative rows.
 
 All experiments accept ``quick=True`` (the default) for CI-sized runs
 and ``quick=False`` for the full sweeps reported in EXPERIMENTS.md.
+
+The heaviest sweeps (T1, T3, T9, T12) build grids of picklable
+:class:`~repro.harness.sweep.ScenarioSpec` cells and execute them
+through :class:`~repro.harness.sweep.SweepRunner`, so they accept a
+``processes`` argument (default: the ``REPRO_SWEEP_PROCESSES``
+environment variable, else serial).  Per-cell results are
+bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -25,21 +32,15 @@ from repro.baselines.srikanth_toueg import SrikanthTouegSystem, StParams
 from repro.core.params import Parameters
 from repro.core.system import SystemConfig
 from repro.core.triggers import evaluate
-from repro.faults.strategies import (
-    ColludingEquivocatorStrategy,
-    CrashStrategy,
-    EquivocatorStrategy,
-    FastClockStrategy,
-    PullApartStrategy,
-    RandomPulseStrategy,
-    SilentStrategy,
-)
+from repro.faults.strategies import EquivocatorStrategy, SilentStrategy
+from repro.core.rounds import RoundSchedule
 from repro.harness.runner import (
     default_params,
     gradient_offsets,
     run_scenario,
     step_offsets,
 )
+from repro.harness.sweep import ScenarioSpec, SweepRunner
 from repro.harness.tables import Table
 from repro.topology.cluster_graph import ClusterGraph
 
@@ -62,7 +63,8 @@ def fast_dynamics_params(rho: float = 1e-4, d: float = 1.0,
 # T1 — Theorem 1.1: local skew vs diameter under Byzantine faults
 # ----------------------------------------------------------------------
 
-def t01_local_skew_vs_diameter(quick: bool = True, seed: int = 1) -> Table:
+def t01_local_skew_vs_diameter(quick: bool = True, seed: int = 1,
+                               processes: int | None = None) -> Table:
     """Line networks with one equivocator per cluster and an initial
     inter-cluster gradient of ``2.2 kappa`` per edge (forcing trigger
     activity).  Measured steady local skews vs the Theorem 1.1 bounds.
@@ -74,17 +76,18 @@ def t01_local_skew_vs_diameter(quick: bool = True, seed: int = 1) -> Table:
         title="T1  Local skew vs diameter (Theorem 1.1)",
         columns=["D", "global S", "local cluster", "cluster bound",
                  "local node", "node bound", "holds"])
-    for diameter in diameters:
-        graph = ClusterGraph.line(diameter + 1)
-        config = SystemConfig(
-            cluster_offsets=gradient_offsets(diameter + 1,
-                                             2.2 * params.kappa))
-        scenario = run_scenario(
-            graph, params, rounds=rounds, seed=seed,
-            strategy_factory=lambda n: EquivocatorStrategy(),
-            config=config)
-        result = scenario.result
-        steady = scenario.steady_state_skews(tail_fraction=0.3)
+    specs = [
+        ScenarioSpec(
+            graph="line", graph_args=(diameter + 1,), params=params,
+            rounds=rounds, seed=seed, strategy="equivocate",
+            config={"cluster_offsets": gradient_offsets(
+                diameter + 1, 2.2 * params.kappa)},
+            key=("D", diameter))
+        for diameter in diameters]
+    for diameter, cell in zip(diameters,
+                              SweepRunner(processes).run(specs)):
+        result = cell.result
+        steady = cell.steady_state_skews(tail_fraction=0.3)
         bounds = result.bounds
         holds = (steady["local_cluster"] <= bounds.local_skew_bound
                  and steady["local_node"] <= bounds.node_local_skew_bound)
@@ -141,32 +144,38 @@ def t02_intra_cluster_skew(quick: bool = True, seed: int = 2) -> Table:
 # T3 — attack gallery + the fault-intolerant GCS failure
 # ----------------------------------------------------------------------
 
-def t03_attack_gallery(quick: bool = True, seed: int = 3) -> Table:
+def t03_attack_gallery(quick: bool = True, seed: int = 3,
+                       processes: int | None = None) -> Table:
     """Every strategy against a ring; all FTGCS bounds must hold.
     The last rows run the *fault-intolerant* GCS baseline under a
     single liar: its correct-edge local skew grows without bound."""
     params = default_params(f=1)
     rounds = 15 if quick else 40
-    graph = ClusterGraph.ring(4 if quick else 6)
+    ring_size = 4 if quick else 6
     table = Table(
         title="T3  Attack gallery (FTGCS) vs fault-intolerant GCS",
         columns=["system", "attack", "intra", "local cluster",
                  "bounds hold", "trend"])
     strategies = [
-        ("silent", lambda n: SilentStrategy()),
-        ("crash@3T", lambda n: CrashStrategy(3 * params.round_length)),
-        ("random-pulse", lambda n: RandomPulseStrategy(4.0)),
-        ("fast-clock", lambda n: FastClockStrategy(1.5)),
-        ("slow-clock", lambda n: FastClockStrategy(0.7)),
-        ("equivocate", lambda n: EquivocatorStrategy()),
-        ("pull-apart", lambda n: PullApartStrategy()),
-        ("collusion", lambda n: ColludingEquivocatorStrategy()),
+        ("silent", "silent", ()),
+        ("crash@3T", "crash", (3 * params.round_length,)),
+        ("random-pulse", "random_pulse", (4.0,)),
+        ("fast-clock", "fast_clock", (1.5,)),
+        ("slow-clock", "fast_clock", (0.7,)),
+        ("equivocate", "equivocate", ()),
+        ("pull-apart", "pull_apart", ()),
+        ("collusion", "collusion", ()),
     ]
-    for name, factory in strategies:
-        scenario = run_scenario(graph, params, rounds=rounds, seed=seed,
-                                strategy_factory=factory)
-        result = scenario.result
-        steady = scenario.steady_state_skews()
+    specs = [
+        ScenarioSpec(
+            graph="ring", graph_args=(ring_size,), params=params,
+            rounds=rounds, seed=seed, strategy=strategy,
+            strategy_args=args, key=("attack", name))
+        for name, strategy, args in strategies]
+    for (name, _, _), cell in zip(strategies,
+                                  SweepRunner(processes).run(specs)):
+        result = cell.result
+        steady = cell.steady_state_skews()
         table.add_row("FTGCS", name, steady["intra"],
                       steady["local_cluster"],
                       result.all_bounds_hold, "bounded")
@@ -425,7 +434,8 @@ def t08_overheads(quick: bool = True) -> Table:
 # T9 — Theorem C.3: global skew O(delta * D) and the max-rule rescue
 # ----------------------------------------------------------------------
 
-def t09_global_skew(quick: bool = True, seed: int = 9) -> Table:
+def t09_global_skew(quick: bool = True, seed: int = 9,
+                    processes: int | None = None) -> Table:
     """(a) Global skew stays below ``c_global * delta * (D+1)`` across
     diameters; (b) a lagging tail converges faster with the Theorem C.3
     max-rule than with slow-default (parallel vs sequential wakeup)."""
@@ -437,35 +447,43 @@ def t09_global_skew(quick: bool = True, seed: int = 9) -> Table:
         columns=["scenario", "D", "policy", "global skew",
                  "bound c*delta*(D+1)", "holds"])
     rng = random.Random(seed)
+    specs = []
     for diameter in diameters:
         n = diameter + 1
         offsets = [rng.uniform(-params.kappa, params.kappa)
                    for _ in range(n)]
-        config = SystemConfig(cluster_offsets=offsets, policy="max_rule",
-                              enable_max_estimate=True)
-        scenario = run_scenario(ClusterGraph.line(n), params,
-                                rounds=rounds, seed=seed, config=config)
-        result = scenario.result
-        table.add_row("random init", diameter, "max_rule",
-                      result.max_global_skew,
-                      result.bounds.global_skew_bound,
-                      result.within_global_bound)
+        specs.append(ScenarioSpec(
+            graph="line", graph_args=(n,), params=params, rounds=rounds,
+            seed=seed,
+            config={"cluster_offsets": offsets, "policy": "max_rule",
+                    "enable_max_estimate": True},
+            key=("random init", diameter)))
 
     # (b) lagging-tail convergence: last two clusters far behind.
     n = 5
     lag = (params.c_global * params.delta_trigger + 2.0 * params.kappa)
     offsets = [0.0, 0.0, 0.0, -lag, -lag]
     tail_rounds = 140 if quick else 200
-    for policy in ("slow_default", "max_rule"):
-        config = SystemConfig(
-            cluster_offsets=list(offsets), policy=policy,
-            enable_max_estimate=(policy == "max_rule"),
-            max_estimate_unit=params.kappa,
-            record_series=True)
-        scenario = run_scenario(ClusterGraph.line(n), params,
-                                rounds=tail_rounds, seed=seed,
-                                config=config)
-        series = scenario.result.series
+    policies = ("slow_default", "max_rule")
+    for policy in policies:
+        specs.append(ScenarioSpec(
+            graph="line", graph_args=(n,), params=params,
+            rounds=tail_rounds, seed=seed,
+            config={"cluster_offsets": list(offsets), "policy": policy,
+                    "enable_max_estimate": policy == "max_rule",
+                    "max_estimate_unit": params.kappa,
+                    "record_series": True},
+            key=("lagging tail", policy)))
+
+    cells = SweepRunner(processes).run(specs)
+    for cell in cells[:len(diameters)]:
+        result = cell.result
+        table.add_row("random init", cell.key[1], "max_rule",
+                      result.max_global_skew,
+                      result.bounds.global_skew_bound,
+                      result.within_global_bound)
+    for policy, cell in zip(policies, cells[len(diameters):]):
+        series = cell.result.series
         recovered = next(
             (s.time for s in series if s.global_skew < 0.9 * lag),
             float("inf"))
@@ -575,19 +593,21 @@ def t11_lw_vs_st(quick: bool = True, seed: int = 11) -> Table:
 # T12 — Proposition B.14 / Corollary B.13: convergence from loose init
 # ----------------------------------------------------------------------
 
-def t12_convergence(quick: bool = True, seed: int = 12) -> Table:
+def t12_convergence(quick: bool = True, seed: int = 12,
+                    processes: int | None = None) -> Table:
     """Single cluster started with pulse spread ~ e(1) >> E under the
     adaptive round schedule: measured ``||p(r)||`` must stay below the
     predicted ``e(r)`` as it contracts geometrically to E."""
     params = default_params(f=1)
     e1 = 20.0 * params.cap_e
     rounds = 30 if quick else 80
-    config = SystemConfig(e1=e1, init_jitter=e1 / 2.0)
-    scenario = run_scenario(ClusterGraph.line(1), params, rounds=rounds,
-                            seed=seed, config=config)
-    system = scenario.system
-    schedule = system.schedule
-    diameters = system.pulse_diameter_table()
+    spec = ScenarioSpec(
+        graph="line", graph_args=(1,), params=params, rounds=rounds,
+        seed=seed, config={"e1": e1, "init_jitter": e1 / 2.0},
+        collect_pulse_diameters=True, key=("e1", e1))
+    (cell,) = SweepRunner(processes).run([spec])
+    schedule = RoundSchedule(params, e1=e1)
+    diameters = cell.pulse_diameters
     table = Table(
         title="T12  Convergence from loose initialization (Prop. B.14)",
         columns=["round", "predicted e(r)", "measured ||p(r)||",

@@ -1,0 +1,200 @@
+"""Dependency-free microbenchmarks of the simulation substrate.
+
+Shared by ``python -m repro bench-quick`` (pre-merge smoke check,
+finishes well under a minute) and ``benchmarks/record_baseline.py``
+(dumps the numbers to ``BENCH_kernel.json`` so the perf trajectory is
+tracked PR over PR).  The workloads mirror ``benchmarks/bench_kernel.py``
+— event dispatch, alarm inversion under rate changes, a full system
+round — plus a small sweep-grid measurement comparing the serial path
+against a worker pool.
+
+Timing uses best-of-``repeats`` wall clock: simulations are
+deterministic, so the minimum is the least-noise estimate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable
+
+from repro.clocks import ConstantRate, HardwareClock, LogicalClock
+from repro.core.params import Parameters
+from repro.core.system import FtgcsSystem
+from repro.harness.runner import gradient_offsets
+from repro.harness.sweep import (
+    ScenarioSpec,
+    SweepRunner,
+    default_processes,
+)
+from repro.harness.tables import Table
+from repro.sim import Simulator
+from repro.topology import ClusterGraph
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def bench_event_throughput(events: int = 100_000,
+                           repeats: int = 3) -> dict:
+    """Schedule-and-run ``events`` self-chaining events."""
+
+    def run() -> None:
+        sim = Simulator()
+        count = [0]
+
+        def tick() -> None:
+            count[0] += 1
+            if count[0] < events:
+                sim.call_in(1.0, tick)
+
+        sim.call_at(0.0, tick)
+        sim.run_until_idle()
+
+    best = _best_of(run, repeats)
+    return {"name": "event_throughput", "events": events,
+            "seconds": best, "events_per_second": events / best}
+
+
+def bench_repeating_throughput(ticks: int = 100_000,
+                               repeats: int = 3) -> dict:
+    """Drive one repeating event (the sampler fast path) for ``ticks``."""
+
+    def run() -> None:
+        sim = Simulator()
+        count = [0]
+
+        def tick() -> None:
+            count[0] += 1
+
+        sim.call_repeating(1.0, tick)
+        sim.run(until=float(ticks))
+
+    best = _best_of(run, repeats)
+    return {"name": "repeating_throughput", "events": ticks,
+            "seconds": best, "events_per_second": ticks / best}
+
+
+def bench_alarm_inversion(alarms: int = 100, rate_changes: int = 2_000,
+                          repeats: int = 3) -> dict:
+    """Alarms surviving rate changes reschedule in O(log n)."""
+
+    def run() -> None:
+        sim = Simulator()
+        hw = HardwareClock(sim, ConstantRate(1.0), rho=0.01)
+        clock = LogicalClock(sim, hw, phi=0.01, mu=0.001)
+        fired: list[int] = []
+        for i in range(alarms):
+            clock.at_value(2.0 * rate_changes + i, fired.append, i)
+        for i in range(rate_changes):
+            sim.call_at(float(i), clock.set_delta, 1.0 + (i % 2) * 0.5)
+        sim.run(until=3.0 * rate_changes)
+
+    best = _best_of(run, repeats)
+    return {"name": "alarm_inversion", "rate_changes": rate_changes,
+            "seconds": best,
+            "reschedules_per_second": rate_changes / best}
+
+
+def bench_system_rounds(rounds: int = 4, repeats: int = 3) -> dict:
+    """Full rounds of a 12-node, 3-cluster system (events/second)."""
+    params = Parameters.practical(rho=1e-4, d=1.0, u=0.1, f=1)
+    events = [0]
+
+    def run() -> None:
+        system = FtgcsSystem.build(ClusterGraph.line(3), params, seed=1)
+        result = system.run_rounds(rounds)
+        events[0] = result.events_processed
+
+    best = _best_of(run, repeats)
+    return {"name": "system_rounds", "rounds": rounds,
+            "seconds": best, "events": events[0],
+            "events_per_second": events[0] / best}
+
+
+def bench_sweep(cells: int = 8, rounds: int = 20,
+                processes: int | None = None) -> dict:
+    """A small scenario grid: serial wall clock vs a worker pool.
+
+    Speedup > 1 needs real cores; on a single-CPU machine the pool can
+    only lose (the numbers are still recorded so the trajectory is
+    honest about the hardware it ran on).
+    """
+    processes = default_processes(
+        processes, fallback=min(4, os.cpu_count() or 1))
+    params = Parameters.practical(rho=1e-4, d=1.0, u=0.05, f=1,
+                                  eps=0.2, k_stab=1)
+    specs = [
+        ScenarioSpec(
+            graph="line", graph_args=(4,), params=params, rounds=rounds,
+            strategy="equivocate",
+            config={"cluster_offsets": gradient_offsets(
+                4, 2.2 * params.kappa)},
+            key=("cell", i))
+        for i in range(cells)]
+
+    started = time.perf_counter()
+    serial = SweepRunner(processes=1).run(specs, base_seed=17)
+    serial_s = time.perf_counter() - started
+
+    if processes > 1:
+        started = time.perf_counter()
+        parallel = SweepRunner(processes=processes).run(specs,
+                                                        base_seed=17)
+        parallel_s = time.perf_counter() - started
+        identical = all(
+            a.result.series == b.result.series
+            and a.result.max_global_skew == b.result.max_global_skew
+            for a, b in zip(serial, parallel))
+    else:
+        # None, not NaN: the results feed BENCH_kernel.json and bare
+        # NaN is not valid JSON for strict parsers.
+        parallel_s = None
+        identical = True
+    return {"name": "sweep_grid", "cells": cells, "rounds": rounds,
+            "processes": processes, "serial_seconds": serial_s,
+            "parallel_seconds": parallel_s,
+            "speedup": serial_s / parallel_s if parallel_s else 1.0,
+            "bit_identical": identical}
+
+
+def run_all_micro(quick: bool = True,
+                  processes: int | None = None) -> list[dict]:
+    """Every microbenchmark; ``quick`` keeps the total under a minute."""
+    scale = 1 if quick else 5
+    return [
+        bench_event_throughput(events=100_000 * scale),
+        bench_repeating_throughput(ticks=100_000 * scale),
+        bench_alarm_inversion(rate_changes=2_000 * scale),
+        bench_system_rounds(rounds=4 * scale),
+        bench_sweep(cells=4 * scale, rounds=15, processes=processes),
+    ]
+
+
+def microbench_table(results: list[dict]) -> Table:
+    """Render microbenchmark dicts as a harness table."""
+    table = Table(
+        title="Kernel / substrate microbenchmarks",
+        columns=["benchmark", "seconds", "throughput", "unit"])
+    for r in results:
+        if r["name"] == "sweep_grid":
+            table.add_row(
+                f"sweep {r['cells']}x{r['rounds']}r "
+                f"(p={r['processes']})", r["serial_seconds"],
+                r["speedup"], "pool speedup (bit-identical: "
+                + ("yes" if r["bit_identical"] else "NO") + ")")
+        elif "events_per_second" in r:
+            table.add_row(r["name"], r["seconds"],
+                          r["events_per_second"], "events/s")
+        else:
+            table.add_row(r["name"], r["seconds"],
+                          r["reschedules_per_second"], "reschedules/s")
+    return table

@@ -23,6 +23,25 @@ def default_params(rho: float = 1e-4, d: float = 1.0, u: float = 0.1,
     return Parameters.practical(rho=rho, d=d, u=u, f=f, **kwargs)
 
 
+def steady_state_skews(series, tail_fraction: float = 0.5
+                       ) -> dict[str, float]:
+    """Max skews over the last ``tail_fraction`` of a sample series.
+
+    Excludes the initialization transient, which is governed by the
+    (arbitrary) initial jitter rather than by the algorithm.
+    """
+    if not series:
+        raise ValueError("scenario must run with record_series=True")
+    start = int(len(series) * (1.0 - tail_fraction))
+    tail = series[start:]
+    return {
+        "global": max(s.global_skew for s in tail),
+        "intra": max(s.max_intra_cluster for s in tail),
+        "local_cluster": max(s.max_local_cluster for s in tail),
+        "local_node": max(s.max_local_node for s in tail),
+    }
+
+
 @dataclass
 class ScenarioResult:
     """A run plus the system (for post-hoc analysis accessors)."""
@@ -32,22 +51,8 @@ class ScenarioResult:
 
     def steady_state_skews(self, tail_fraction: float = 0.5
                            ) -> dict[str, float]:
-        """Max skews over the last ``tail_fraction`` of samples.
-
-        Excludes the initialization transient, which is governed by the
-        (arbitrary) initial jitter rather than by the algorithm.
-        """
-        series = self.result.series
-        if not series:
-            raise ValueError("scenario must run with record_series=True")
-        start = int(len(series) * (1.0 - tail_fraction))
-        tail = series[start:]
-        return {
-            "global": max(s.global_skew for s in tail),
-            "intra": max(s.max_intra_cluster for s in tail),
-            "local_cluster": max(s.max_local_cluster for s in tail),
-            "local_node": max(s.max_local_node for s in tail),
-        }
+        """Max skews over the last ``tail_fraction`` of samples."""
+        return steady_state_skews(self.result.series, tail_fraction)
 
 
 def run_scenario(graph: ClusterGraph, params: Parameters, *,

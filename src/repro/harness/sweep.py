@@ -1,0 +1,259 @@
+"""Parallel scenario sweeps over grids of simulation cells.
+
+Every table in the reproduction is a sweep: a grid of (topology,
+parameters, fault placement, seed) cells, each an independent
+deterministic simulation.  This module makes those sweeps
+embarrassingly parallel without giving up determinism.
+
+Design: picklable specs, not live objects
+-----------------------------------------
+A :class:`ScenarioSpec` describes one cell entirely by *value* — the
+cluster-graph constructor name and its arguments, the
+:class:`~repro.core.params.Parameters`, plain
+:class:`~repro.core.system.SystemConfig` keyword arguments, a fault
+strategy *registry name* plus constructor arguments, and a seed.  No
+simulator, node, lambda, or strategy instance crosses the process
+boundary; the worker (:func:`run_cell`) rebuilds the whole system from
+the spec, runs it, and returns only picklable measurements
+(:class:`SweepCellResult` holding the
+:class:`~repro.core.system.RunResult` and, on request, the pulse
+diameter table).  This is what lets one code path serve both the
+in-process serial fallback and a ``multiprocessing`` pool.
+
+Seeding scheme
+--------------
+Cells with an explicit ``seed`` use it verbatim.  Cells with
+``seed=None`` get a per-cell seed derived as
+``derive_seed(base_seed, f"cell/{index}")`` — a BLAKE2b hash that is
+stable across Python versions, processes, and the serial/parallel
+split, and independent of how many other cells run.  Identical grids
+therefore produce *bit-identical* per-cell results whether executed
+serially, in a pool of any size, or cell-by-cell in isolation.
+
+Result collection is ordered: ``results[i]`` always corresponds to
+``specs[i]`` regardless of which worker finished first.  A raising
+cell propagates its exception to the caller in both modes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.core.params import Parameters
+from repro.core.system import RunResult, SystemConfig
+from repro.errors import ConfigError
+from repro.faults.strategies import (
+    ColludingEquivocatorStrategy,
+    CrashStrategy,
+    EquivocatorStrategy,
+    FastClockStrategy,
+    PullApartStrategy,
+    RandomPulseStrategy,
+    SilentStrategy,
+)
+from repro.harness.runner import run_scenario, steady_state_skews
+from repro.sim.rng import derive_seed
+from repro.topology.cluster_graph import ClusterGraph
+
+#: Fault strategies addressable by name from a picklable spec.
+STRATEGIES = {
+    "silent": SilentStrategy,
+    "crash": CrashStrategy,
+    "random_pulse": RandomPulseStrategy,
+    "fast_clock": FastClockStrategy,
+    "equivocate": EquivocatorStrategy,
+    "pull_apart": PullApartStrategy,
+    "collusion": ColludingEquivocatorStrategy,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One sweep cell, described entirely by picklable values.
+
+    Attributes
+    ----------
+    graph:
+        Name of a :class:`~repro.topology.cluster_graph.ClusterGraph`
+        classmethod constructor (``"line"``, ``"ring"``, ``"grid"``,
+        ``"torus"``, ``"balanced_tree"``, ``"hypercube"``).
+    graph_args:
+        Positional arguments for that constructor.
+    params:
+        The full parameter set (dataclass; pickles by value).
+    rounds:
+        Rounds to run (see ``FtgcsSystem.run_rounds``).
+    seed:
+        Explicit master seed, or ``None`` to derive one per cell from
+        the sweep's ``base_seed`` (see module docstring).
+    strategy / strategy_args:
+        Optional fault strategy registry name (see :data:`STRATEGIES`)
+        and its constructor arguments; faults are placed everywhere via
+        the standard ``run_scenario`` placement.
+    faults_per_cluster:
+        Override for the per-cluster fault count (default ``params.f``).
+    config:
+        Keyword arguments for
+        :class:`~repro.core.system.SystemConfig`; values must be
+        picklable (no strategy instances — use ``strategy``).
+    key:
+        Free-form cell coordinates (e.g. ``("D", 8)``), carried through
+        to the result for labeling.
+    collect_pulse_diameters:
+        Also return the per-(cluster, round) pulse diameter table,
+        computed in-worker (the system itself never crosses the
+        process boundary).
+    """
+
+    graph: str
+    graph_args: tuple = ()
+    params: Parameters | None = None
+    rounds: int = 1
+    seed: int | None = None
+    strategy: str | None = None
+    strategy_args: tuple = ()
+    faults_per_cluster: int | None = None
+    config: dict = field(default_factory=dict)
+    key: tuple = ()
+    collect_pulse_diameters: bool = False
+
+
+@dataclass
+class SweepCellResult:
+    """Measurements of one executed cell (picklable)."""
+
+    key: tuple
+    seed: int
+    result: RunResult
+    pulse_diameters: dict[tuple[int, int], float] | None = None
+
+    def steady_state_skews(self, tail_fraction: float = 0.5
+                           ) -> dict[str, float]:
+        """Max skews over the last ``tail_fraction`` of samples."""
+        return steady_state_skews(self.result.series, tail_fraction)
+
+
+def run_cell(spec: ScenarioSpec) -> SweepCellResult:
+    """Build, run, and measure one cell (the pool worker).
+
+    Module-level (hence picklable by reference) and usable directly for
+    one-off cells.  ``spec.seed`` must be resolved (not ``None``) —
+    :meth:`SweepRunner.run` does this before dispatch so serial and
+    parallel executions see identical seeds.
+    """
+    if spec.seed is None:
+        raise ConfigError("run_cell needs a resolved seed "
+                          "(use SweepRunner.run for derived seeds)")
+    graph_factory = getattr(ClusterGraph, spec.graph, None)
+    if graph_factory is None:
+        raise ConfigError(f"unknown graph constructor: {spec.graph!r}")
+    graph = graph_factory(*spec.graph_args)
+    params = spec.params
+    if params is None:
+        raise ConfigError("ScenarioSpec.params is required to run")
+
+    strategy_factory = None
+    if spec.strategy is not None:
+        cls = STRATEGIES.get(spec.strategy)
+        if cls is None:
+            raise ConfigError(
+                f"unknown strategy {spec.strategy!r}; known: "
+                f"{sorted(STRATEGIES)}")
+        args = spec.strategy_args
+        strategy_factory = lambda _node, _cls=cls, _args=args: _cls(*_args)
+
+    config = SystemConfig(**spec.config) if spec.config else None
+    scenario = run_scenario(
+        graph, params, rounds=spec.rounds, seed=spec.seed,
+        strategy_factory=strategy_factory,
+        faults_per_cluster=spec.faults_per_cluster, config=config)
+    pulses = (scenario.system.pulse_diameter_table()
+              if spec.collect_pulse_diameters else None)
+    return SweepCellResult(key=spec.key, seed=spec.seed,
+                           result=scenario.result, pulse_diameters=pulses)
+
+
+def _coerce_processes(value, source: str) -> int:
+    try:
+        count = int(value)
+    except (TypeError, ValueError):
+        raise ConfigError(f"{source} must be an integer: {value!r}")
+    return max(1, count)
+
+
+def default_processes(processes: int | None = None,
+                      fallback: int = 1) -> int:
+    """Resolve a worker count: explicit > ``REPRO_SWEEP_PROCESSES`` >
+    ``fallback``.
+
+    The single resolution path for every worker-count knob in the
+    library (CLI, benchmarks, microbenchmarks).  The stock fallback is
+    serial so unit tests and small sweeps never pay pool startup;
+    callers that should scale with the machine pass e.g.
+    ``fallback=min(4, os.cpu_count() or 1)``.
+    """
+    if processes is not None:
+        return _coerce_processes(processes, "processes")
+    env = os.environ.get("REPRO_SWEEP_PROCESSES")
+    if env:
+        return _coerce_processes(env, "REPRO_SWEEP_PROCESSES")
+    return _coerce_processes(fallback, "fallback")
+
+
+class SweepRunner:
+    """Fan a grid of :class:`ScenarioSpec` cells across worker processes.
+
+    Parameters
+    ----------
+    processes:
+        Pool size; ``1`` (the default) runs every cell in-process with
+        no ``multiprocessing`` involvement at all — the fallback for
+        platforms without ``fork`` and the determinism reference for
+        tests.
+    chunksize:
+        Cells handed to a worker per dispatch; raise for large grids of
+        tiny cells.
+    """
+
+    def __init__(self, processes: int | None = None,
+                 chunksize: int = 1) -> None:
+        self.processes = default_processes(processes)
+        if chunksize < 1:
+            raise ConfigError(f"chunksize must be >= 1: {chunksize!r}")
+        self.chunksize = chunksize
+
+    def run(self, specs: Sequence[ScenarioSpec],
+            base_seed: int = 0) -> list[SweepCellResult]:
+        """Execute every cell; ``results[i]`` matches ``specs[i]``.
+
+        Cells with ``seed=None`` get deterministic per-cell seeds
+        derived from ``base_seed`` and their grid index *before*
+        dispatch, so the serial and parallel paths are bit-identical.
+        Worker exceptions propagate to the caller.
+        """
+        resolved = [
+            spec if spec.seed is not None else replace(
+                spec, seed=derive_seed(base_seed, f"cell/{index}"))
+            for index, spec in enumerate(specs)]
+        if self.processes <= 1 or len(resolved) <= 1:
+            return [run_cell(spec) for spec in resolved]
+        methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in methods else None
+        ctx = multiprocessing.get_context(method)
+        workers = min(self.processes, len(resolved))
+        with ctx.Pool(processes=workers) as pool:
+            return pool.map(run_cell, resolved, chunksize=self.chunksize)
+
+
+__all__ = [
+    "STRATEGIES",
+    "ScenarioSpec",
+    "SweepCellResult",
+    "SweepRunner",
+    "default_processes",
+    "run_cell",
+    "steady_state_skews",
+]

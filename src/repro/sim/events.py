@@ -1,19 +1,28 @@
 """Event primitives for the discrete-event kernel.
 
-An :class:`Event` is a scheduled callback with a firing time.  Events
-are ordered by ``(time, seq)`` where ``seq`` is a monotonically
-increasing sequence number assigned at scheduling time; this makes
-executions fully deterministic (FIFO among simultaneous events).
+An :class:`Event` is a scheduled callback with a firing time.  The heap
+holds lightweight ``(time, seq, event)`` tuples where ``seq`` is a
+monotonically increasing sequence number assigned at scheduling time;
+this makes executions fully deterministic (FIFO among simultaneous
+events) while keeping heap comparisons in C (tuple comparison) instead
+of calling a Python ``__lt__`` per sift step.
 
 Cancellation is *lazy*: cancelling marks the event and the kernel skips
-it when popped.  This keeps the priority queue a plain binary heap with
-O(log n) scheduling.
+it when popped.  To keep long runs bounded, the queue *compacts* itself
+whenever cancelled entries outnumber live ones (heavy alarm
+rescheduling — e.g. ``LogicalClock.set_delta`` storms — would otherwise
+grow the heap without bound).  Compaction rewrites the heap list *in
+place* so kernel loops holding a local alias stay valid.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, Iterable
+
+#: Heaps smaller than this are never compacted — the bookkeeping would
+#: cost more than the garbage it reclaims.
+COMPACT_MIN_SIZE = 64
 
 
 class Event:
@@ -26,34 +35,37 @@ class Event:
     seq:
         Tie-breaking sequence number; earlier-scheduled events fire
         first among events with equal ``time``.
+    interval:
+        ``None`` for one-shot events.  Repeating events (see
+        :meth:`~repro.sim.kernel.Simulator.call_repeating`) carry their
+        period here and are re-armed by the kernel after each firing,
+        reusing this object instead of allocating a new one per tick.
     """
 
-    __slots__ = ("time", "seq", "_callback", "_args", "_cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired",
+                 "interval")
 
     def __init__(self, time: float, seq: int,
                  callback: Callable[..., None], args: tuple[Any, ...]):
         self.time = time
         self.seq = seq
-        self._callback = callback
-        self._args = args
-        self._cancelled = False
-
-    @property
-    def cancelled(self) -> bool:
-        """Whether :meth:`cancel` has been called."""
-        return self._cancelled
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+        self.interval: float | None = None
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped."""
-        self._cancelled = True
+        self.cancelled = True
         # Drop references eagerly so cancelled events do not pin large
-        # object graphs while they sit in the heap awaiting lazy removal.
-        self._callback = _noop
-        self._args = ()
+        # object graphs while they sit in the heap awaiting removal.
+        self.callback = _noop
+        self.args = ()
 
     def fire(self) -> None:
         """Invoke the callback (kernel use only)."""
-        self._callback(*self._args)
+        self.callback(*self.args)
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -61,7 +73,8 @@ class Event:
         return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self._cancelled else "pending"
+        state = "cancelled" if self.cancelled else (
+            "fired" if self.fired else "pending")
         return f"Event(t={self.time:.6g}, seq={self.seq}, {state})"
 
 
@@ -70,12 +83,16 @@ def _noop(*_args: Any) -> None:
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`Event` objects."""
+    """A deterministic priority queue of :class:`Event` objects.
+
+    Heap entries are ``(time, seq, event)`` tuples; ``_live`` counts
+    entries whose event is neither cancelled nor popped.
+    """
 
     __slots__ = ("_heap", "_seq", "_live")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._live = 0
 
@@ -83,27 +100,64 @@ class EventQueue:
         """Number of *live* (non-cancelled) events."""
         return self._live
 
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length including lazily-cancelled entries."""
+        return len(self._heap)
+
     def push(self, time: float, callback: Callable[..., None],
              args: tuple[Any, ...] = ()) -> Event:
         """Schedule ``callback(*args)`` at absolute ``time``."""
-        event = Event(time, self._seq, callback, args)
-        self._seq += 1
+        seq = self._seq
+        event = Event(time, seq, callback, args)
+        self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
+    def requeue(self, event: Event, time: float) -> None:
+        """Re-arm a popped (fired) event at ``time``, reusing the object.
+
+        Kernel use only, for repeating events: the event must not be in
+        the heap.  A fresh ``seq`` keeps FIFO determinism among
+        simultaneous events.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        event.time = time
+        event.seq = seq
+        event.fired = False
+        self._live += 1
+        heapq.heappush(self._heap, (time, seq, event))
+
     def cancel(self, event: Event) -> None:
-        """Cancel a previously pushed event (lazy removal)."""
-        if not event.cancelled:
-            event.cancel()
-            self._live -= 1
+        """Cancel a previously pushed event (lazy removal).
+
+        Safe to call twice and safe to call with a *stale* reference to
+        an event that already fired: fired events are no longer in the
+        heap, so only the cancelled flag is set (which also stops a
+        repeating event from re-arming) and the live count is untouched.
+        """
+        if event.cancelled:
+            return
+        if event.fired:
+            event.cancelled = True
+            return
+        event.cancel()
+        self._live -= 1
+        heap = self._heap
+        if len(heap) >= COMPACT_MIN_SIZE and len(heap) > 2 * self._live:
+            # In-place rewrite: aliases of the heap list stay valid.
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
 
     def pop(self) -> Event | None:
         """Pop and return the next live event, or ``None`` if empty."""
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
+                event.fired = True
                 self._live -= 1
                 return event
         return None
@@ -111,11 +165,11 @@ class EventQueue:
     def peek_time(self) -> float | None:
         """Return the firing time of the next live event, or ``None``."""
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
         if not heap:
             return None
-        return heap[0].time
+        return heap[0][0]
 
     def drain(self) -> Iterable[Event]:
         """Pop live events until the queue is empty (testing helper)."""

@@ -29,6 +29,23 @@ class TestParser:
         assert args.full is True
         assert args.experiments == ["t01"]
 
+    def test_parser_accepts_processes_flag(self):
+        args = build_parser().parse_args(["t09", "--processes", "4"])
+        assert args.processes == 4
+
+    def test_bench_quick_cannot_mix_with_experiments(self, capsys):
+        assert main(["bench-quick", "t01"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot be combined" in err
+
+    def test_bench_quick_cannot_mix_with_all_flag(self, capsys):
+        assert main(["bench-quick", "--all"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot be combined" in err
+
+    def test_bench_quick_listed(self):
+        assert "bench-quick" in list_experiments()
+
 
 class TestExecution:
     def test_runs_single_experiment(self, capsys):

@@ -62,7 +62,43 @@ class TestCancellation:
         payload = object()
         event = queue.push(1.0, lambda x: None, (payload,))
         queue.cancel(event)
-        assert event._args == ()
+        assert event.args == ()
+
+    def test_cancel_after_fire_does_not_corrupt_live_count(self):
+        # Regression: cancelling a stale reference to an event that
+        # already fired used to decrement the live count a second time.
+        queue = EventQueue()
+        fired = []
+        stale = queue.push(1.0, fired.append, ("x",))
+        queue.push(2.0, fired.append, ("y",))
+        popped = queue.pop()
+        popped.fire()
+        assert popped is stale and fired == ["x"]
+        queue.cancel(stale)  # stale handle; the event already fired
+        assert len(queue) == 1
+        assert queue.pop() is not None
+        assert len(queue) == 0
+
+    def test_cancel_after_fire_is_flagged_but_harmless(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.pop()
+        queue.cancel(event)
+        assert event.cancelled
+        assert len(queue) == 0
+
+    def test_compaction_keeps_heap_within_twice_live(self):
+        from repro.sim.events import COMPACT_MIN_SIZE
+
+        queue = EventQueue()
+        live = [queue.push(float(i), lambda: None) for i in range(200)]
+        for i in range(5_000):
+            slot = i % 200
+            queue.cancel(live[slot])
+            live[slot] = queue.push(1000.0 + i, lambda: None)
+            assert queue.heap_size <= max(COMPACT_MIN_SIZE,
+                                          2 * len(queue))
+        assert len(queue) == 200
 
     def test_peek_time_skips_cancelled(self):
         queue = EventQueue()

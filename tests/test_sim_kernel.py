@@ -111,6 +111,40 @@ class TestExecution:
         with pytest.raises(SimulationError):
             sim.run_until_idle(max_events=10)
 
+    def test_run_until_idle_bound_fires_exactly_max_events(self):
+        # Regression: the bound used to fire max_events + 1 events
+        # before raising.
+        sim = Simulator()
+
+        def forever():
+            sim.call_in(1.0, forever)
+
+        sim.call_at(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=10)
+        assert sim.events_processed == 10
+
+    def test_run_until_idle_zero_budget_raises_without_firing(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(1.0, fired.append, "x")
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=0)
+        assert fired == []
+        assert sim.events_processed == 0
+        # The un-fired event is still intact in the queue.
+        assert sim.run_until_idle() == 1
+        assert fired == ["x"]
+
+    def test_run_until_idle_zero_budget_empty_queue_ok(self):
+        assert Simulator().run_until_idle(max_events=0) == 0
+
+    def test_run_until_idle_exact_budget_completes(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.call_at(float(i), lambda: None)
+        assert sim.run_until_idle(max_events=5) == 5
+
     def test_run_until_idle_counts(self):
         sim = Simulator()
         for i in range(3):
@@ -124,3 +158,123 @@ class TestExecution:
             sim.call_at(1.0, fired.append, tag)
         sim.run(until=1.0)
         assert fired == ["a", "b", "c"]
+
+
+class TestRepeatingEvents:
+    def test_fires_every_interval(self):
+        sim = Simulator()
+        times = []
+        sim.call_repeating(2.0, lambda: times.append(sim.now))
+        sim.run(until=7.0)
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_first_in_overrides_initial_delay(self):
+        sim = Simulator()
+        times = []
+        sim.call_repeating(2.0, lambda: times.append(sim.now),
+                           first_in=0.0)
+        sim.run(until=5.0)
+        assert times == [0.0, 2.0, 4.0]
+
+    def test_reuses_one_event_object(self):
+        sim = Simulator()
+        count = [0]
+        event = sim.call_repeating(1.0, lambda: count.__setitem__(
+            0, count[0] + 1))
+        sim.run(until=100.0)
+        assert count[0] == 100
+        # The same Event object is re-armed; no per-tick allocations.
+        assert sim.pending_events == 1
+        assert event.time == 101.0
+
+    def test_cancel_stops_future_firings(self):
+        sim = Simulator()
+        count = [0]
+        event = sim.call_repeating(1.0, lambda: count.__setitem__(
+            0, count[0] + 1))
+        sim.run(until=3.0)
+        sim.cancel(event)
+        sim.run(until=10.0)
+        assert count[0] == 3
+        assert sim.pending_events == 0
+
+    def test_cancel_from_inside_callback(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] == 4:
+                sim.cancel(event)
+
+        event = sim.call_repeating(1.0, tick)
+        sim.run(until=20.0)
+        assert count[0] == 4
+        assert sim.pending_events == 0
+
+    def test_repeating_via_step(self):
+        sim = Simulator()
+        count = [0]
+        sim.call_repeating(1.0, lambda: count.__setitem__(
+            0, count[0] + 1))
+        for _ in range(5):
+            assert sim.step() is True
+        assert count[0] == 5
+
+    def test_invalid_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_repeating(0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.call_repeating(-1.0, lambda: None)
+
+
+class TestHeapCompaction:
+    def test_long_run_with_heavy_rescheduling_keeps_heap_bounded(self):
+        # The acceptance shape of the alarm-reschedule storm: a long
+        # run where almost every scheduled event is cancelled and
+        # replaced (LogicalClock.set_delta re-inverts its one pending
+        # kernel event on every rate change).  Without compaction the
+        # heap grows with every reschedule; with it, the physical heap
+        # length stays within 2x the live count (above the compaction
+        # floor).
+        from repro.sim.events import COMPACT_MIN_SIZE
+
+        sim = Simulator()
+        queue = sim._queue
+        live = [sim.call_at(1e12, lambda: None) for _ in range(100)]
+        total = 1_000_000
+        worst_ratio = 0.0
+        for i in range(total):
+            slot = i % 100
+            sim.cancel(live[slot])
+            live[slot] = sim.call_at(1e12 + i, lambda: None)
+            if i % 10_000 == 0:
+                worst_ratio = max(worst_ratio,
+                                  queue.heap_size / len(queue))
+        assert len(queue) == 100
+        assert queue.heap_size <= max(COMPACT_MIN_SIZE, 2 * len(queue))
+        assert worst_ratio <= 2.0
+        # And the queue still works: all survivors are poppable.
+        assert sum(1 for _ in queue.drain()) == 100
+
+    def test_compaction_during_run_with_set_delta_storm(self):
+        # End-to-end shape: alarms rescheduled by logical-clock rate
+        # changes during Simulator.run must not accumulate cancelled
+        # heap entries.
+        from repro.clocks import ConstantRate, HardwareClock, LogicalClock
+        from repro.sim.events import COMPACT_MIN_SIZE
+
+        sim = Simulator()
+        hw = HardwareClock(sim, ConstantRate(1.0), rho=0.01)
+        clock = LogicalClock(sim, hw, phi=0.01, mu=0.001)
+        fired = []
+        for i in range(50):
+            clock.at_value(200_000.0 + i, fired.append, i)
+        for i in range(20_000):
+            sim.call_at(float(i), clock.set_delta, 1.0 + (i % 2) * 0.5)
+        sim.run(until=250_000.0)
+        assert len(fired) == 50
+        queue = sim._queue
+        assert queue.heap_size <= max(COMPACT_MIN_SIZE,
+                                      2 * max(len(queue), 1))

@@ -1,0 +1,170 @@
+"""Tests for the parallel scenario sweep engine."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.runner import default_params, steady_state_skews
+from repro.harness.sweep import (
+    STRATEGIES,
+    ScenarioSpec,
+    SweepRunner,
+    default_processes,
+    run_cell,
+)
+
+
+def small_grid(params=None, cells=3, rounds=3, **overrides):
+    params = params or default_params()
+    return [
+        ScenarioSpec(graph="line", graph_args=(2,), params=params,
+                     rounds=rounds, key=("cell", i), **overrides)
+        for i in range(cells)]
+
+
+class TestRunCell:
+    def test_runs_one_scenario(self):
+        params = default_params()
+        spec = ScenarioSpec(graph="line", graph_args=(2,), params=params,
+                            rounds=3, seed=5, key=("only",))
+        cell = run_cell(spec)
+        assert cell.key == ("only",)
+        assert cell.seed == 5
+        assert cell.result.rounds_completed >= 3
+        assert cell.result.series  # run_scenario records the series
+        steady = cell.steady_state_skews()
+        assert set(steady) == {"global", "intra", "local_cluster",
+                               "local_node"}
+
+    def test_strategy_by_name(self):
+        params = default_params()
+        spec = ScenarioSpec(graph="line", graph_args=(2,), params=params,
+                            rounds=3, seed=5, strategy="silent")
+        cell = run_cell(spec)
+        assert cell.result.missing_pulses > 0
+
+    def test_pulse_diameters_on_request(self):
+        params = default_params()
+        spec = ScenarioSpec(graph="line", graph_args=(1,), params=params,
+                            rounds=3, seed=5,
+                            collect_pulse_diameters=True)
+        cell = run_cell(spec)
+        assert cell.pulse_diameters
+        assert all(isinstance(k, tuple) for k in cell.pulse_diameters)
+
+    def test_unresolved_seed_rejected(self):
+        spec = ScenarioSpec(graph="line", graph_args=(2,),
+                            params=default_params(), rounds=1)
+        with pytest.raises(ConfigError):
+            run_cell(spec)
+
+    def test_unknown_graph_rejected(self):
+        spec = ScenarioSpec(graph="moebius", params=default_params(),
+                            rounds=1, seed=0)
+        with pytest.raises(ConfigError):
+            run_cell(spec)
+
+    def test_unknown_strategy_rejected(self):
+        spec = ScenarioSpec(graph="line", graph_args=(2,),
+                            params=default_params(), rounds=1, seed=0,
+                            strategy="quantum")
+        with pytest.raises(ConfigError):
+            run_cell(spec)
+
+    def test_registry_covers_attack_gallery(self):
+        for name in ("silent", "crash", "random_pulse", "fast_clock",
+                     "equivocate", "pull_apart", "collusion"):
+            assert name in STRATEGIES
+
+
+class TestSweepRunner:
+    def test_serial_ordered_collection(self):
+        cells = SweepRunner(processes=1).run(small_grid(cells=4))
+        assert [c.key for c in cells] == [("cell", i) for i in range(4)]
+
+    def test_derived_seeds_are_deterministic(self):
+        runner = SweepRunner(processes=1)
+        first = runner.run(small_grid(), base_seed=7)
+        second = runner.run(small_grid(), base_seed=7)
+        assert [c.seed for c in first] == [c.seed for c in second]
+        # Distinct cells get distinct seeds.
+        assert len({c.seed for c in first}) == len(first)
+        # A different base seed moves every cell.
+        other = runner.run(small_grid(), base_seed=8)
+        assert all(a.seed != b.seed for a, b in zip(first, other))
+
+    def test_explicit_seeds_respected(self):
+        specs = small_grid(seed=123)
+        cells = SweepRunner(processes=1).run(specs, base_seed=7)
+        assert all(c.seed == 123 for c in cells)
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        specs = small_grid(cells=4, strategy="equivocate")
+        serial = SweepRunner(processes=1).run(specs, base_seed=3)
+        parallel = SweepRunner(processes=2).run(specs, base_seed=3)
+        assert [c.key for c in parallel] == [c.key for c in serial]
+        assert [c.seed for c in parallel] == [c.seed for c in serial]
+        for a, b in zip(serial, parallel):
+            assert a.result.max_global_skew == b.result.max_global_skew
+            assert a.result.max_intra_cluster_skew == \
+                b.result.max_intra_cluster_skew
+            assert a.result.messages_sent == b.result.messages_sent
+            assert a.result.events_processed == b.result.events_processed
+            assert a.result.series == b.result.series
+            assert a.result.edge_maxima == b.result.edge_maxima
+
+    def test_worker_error_propagates_serial(self):
+        specs = small_grid(cells=2) + [
+            ScenarioSpec(graph="moebius", params=default_params(),
+                         rounds=1)]
+        with pytest.raises(ConfigError):
+            SweepRunner(processes=1).run(specs)
+
+    def test_worker_error_propagates_from_pool(self):
+        specs = small_grid(cells=2) + [
+            ScenarioSpec(graph="moebius", params=default_params(),
+                         rounds=1)]
+        with pytest.raises(ConfigError):
+            SweepRunner(processes=2).run(specs)
+
+    def test_invalid_chunksize_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepRunner(processes=1, chunksize=0)
+
+
+class TestDefaultProcesses:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_PROCESSES", "8")
+        assert default_processes(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_PROCESSES", "6")
+        assert default_processes() == 6
+
+    def test_serial_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_PROCESSES", raising=False)
+        assert default_processes() == 1
+
+    def test_floor_of_one(self):
+        assert default_processes(0) == 1
+
+    def test_fallback_used_when_nothing_set(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_PROCESSES", raising=False)
+        assert default_processes(fallback=4) == 4
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_PROCESSES", "many")
+        with pytest.raises(ConfigError):
+            default_processes()
+
+    def test_garbage_explicit_rejected(self):
+        with pytest.raises(ConfigError):
+            default_processes("many")
+
+    def test_string_values_coerced(self):
+        assert default_processes("3") == 3
+
+
+class TestSteadyStateSkews:
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            steady_state_skews([])
