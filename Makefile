@@ -1,10 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-quick bench bench-record
+.PHONY: test list run bench-quick bench bench-record
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# List every registered experiment (the T1-T12 registry).
+list:
+	$(PYTHON) -m repro list
+
+# Run one experiment: make run T=t05 [ARGS="--full --processes 4"]
+run:
+	@test -n "$(T)" || { echo "usage: make run T=<id> [ARGS=...]"; exit 2; }
+	$(PYTHON) -m repro run $(T) $(ARGS)
 
 # Pre-merge smoke check: kernel/substrate microbenchmarks, < 60 s.
 bench-quick:

@@ -1,13 +1,10 @@
 """Benchmark T1: local skew vs diameter (Theorem 1.1)."""
 
-from conftest import run_once, sweep_processes
-
-from repro.harness.experiments import t01_local_skew_vs_diameter
+from conftest import run_registry
 
 
 def test_t01_local_skew_vs_diameter(benchmark, show):
-    table = run_once(benchmark, t01_local_skew_vs_diameter, quick=True,
-                     processes=sweep_processes())
+    table = run_registry(benchmark, "t01")
     show(table)
     assert all(table.column("holds"))
     # The bound grows with D (logarithmically via the level count).

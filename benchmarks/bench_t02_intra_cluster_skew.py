@@ -1,12 +1,10 @@
 """Benchmark T2: intra-cluster skew vs cluster size (Corollary 3.2)."""
 
-from conftest import run_once
-
-from repro.harness.experiments import t02_intra_cluster_skew
+from conftest import run_registry
 
 
 def test_t02_intra_cluster_skew(benchmark, show):
-    table = run_once(benchmark, t02_intra_cluster_skew, quick=True)
+    table = run_registry(benchmark, "t02")
     show(table)
     assert all(table.column("holds"))
     # Pulse diameters stay below the steady-state error E.

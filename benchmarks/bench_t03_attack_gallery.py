@@ -1,13 +1,10 @@
 """Benchmark T3: attack gallery; fault-intolerant GCS fails."""
 
-from conftest import run_once, sweep_processes
-
-from repro.harness.experiments import t03_attack_gallery
+from conftest import run_registry
 
 
 def test_t03_attack_gallery(benchmark, show):
-    table = run_once(benchmark, t03_attack_gallery, quick=True,
-                     processes=sweep_processes())
+    table = run_registry(benchmark, "t03")
     show(table)
     for row in table.rows:
         system, _attack, _intra, _local, holds, trend = row

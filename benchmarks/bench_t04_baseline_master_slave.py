@@ -1,12 +1,10 @@
 """Benchmark T4: master-slave skew-wave compression vs FTGCS."""
 
-from conftest import run_once
-
-from repro.harness.experiments import t04_master_slave_compression
+from conftest import run_registry
 
 
 def test_t04_master_slave_compression(benchmark, show):
-    table = run_once(benchmark, t04_master_slave_compression, quick=True)
+    table = run_registry(benchmark, "t04")
     show(table)
     for row in table.rows:
         _d, injected, ms_interior, ft_interior, cap, ratio = row

@@ -1,11 +1,9 @@
 """Benchmark T5: cluster failure probability (Inequality (1))."""
 
-from conftest import run_once
-
-from repro.harness.experiments import t05_failure_probability
+from conftest import run_registry
 
 
 def test_t05_failure_probability(benchmark, show):
-    table = run_once(benchmark, t05_failure_probability, quick=True)
+    table = run_registry(benchmark, "t05")
     show(table)
     assert all(table.column("ordered"))

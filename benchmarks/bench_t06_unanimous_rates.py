@@ -1,12 +1,10 @@
 """Benchmark T6: unanimous cluster rates and errors (Lemma 3.6)."""
 
-from conftest import run_once
-
-from repro.harness.experiments import t06_unanimous_rates
+from conftest import run_registry
 
 
 def test_t06_unanimous_rates(benchmark, show):
-    table = run_once(benchmark, t06_unanimous_rates, quick=True)
+    table = run_registry(benchmark, "t06")
     show(table)
     assert all(table.column("holds"))
     assert {"fast", "slow"} == set(table.column("mode"))

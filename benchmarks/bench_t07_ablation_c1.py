@@ -1,12 +1,10 @@
 """Benchmark T7: the amortization-stretch ablation (Section 1)."""
 
-from conftest import run_once
-
-from repro.harness.experiments import t07_ablation_c1
+from conftest import run_registry
 
 
 def test_t07_ablation_c1(benchmark, show):
-    table = run_once(benchmark, t07_ablation_c1, quick=True)
+    table = run_registry(benchmark, "t07")
     show(table)
     outcomes = table.column("fast outruns slow")
     # Naive (small) c1 destroys the fast/slow gap; the paper's

@@ -1,12 +1,10 @@
 """Benchmark T8: augmentation overhead accounting (Theorem 1.1)."""
 
-from conftest import run_once
-
-from repro.harness.experiments import t08_overheads
+from conftest import run_registry
 
 
 def test_t08_overheads(benchmark, show):
-    table = run_once(benchmark, t08_overheads, quick=True)
+    table = run_registry(benchmark, "t08")
     show(table)
     for row in table.rows:
         _graph, f, k, _nodes, node_factor, _edges, edge_factor = row

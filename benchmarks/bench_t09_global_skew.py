@@ -2,14 +2,11 @@
 
 import math
 
-from conftest import run_once, sweep_processes
-
-from repro.harness.experiments import t09_global_skew
+from conftest import run_registry
 
 
 def test_t09_global_skew(benchmark, show):
-    table = run_once(benchmark, t09_global_skew, quick=True,
-                     processes=sweep_processes())
+    table = run_registry(benchmark, "t09")
     show(table)
     recovery = {}
     for row in table.rows:

@@ -1,11 +1,9 @@
 """Benchmark T10: trigger exclusion and faithfulness (Lemmas 4.5/4.8)."""
 
-from conftest import run_once
-
-from repro.harness.experiments import t10_trigger_exclusion
+from conftest import run_registry
 
 
 def test_t10_trigger_exclusion(benchmark, show):
-    table = run_once(benchmark, t10_trigger_exclusion, quick=True)
+    table = run_registry(benchmark, "t10")
     show(table)
     assert all(v == 0 for v in table.column("violations"))

@@ -1,12 +1,10 @@
 """Benchmark T11: Lynch-Welch vs Srikanth-Toueg cliques (Appendix A)."""
 
-from conftest import run_once
-
-from repro.harness.experiments import t11_lw_vs_st
+from conftest import run_registry
 
 
 def test_t11_lw_vs_st(benchmark, show):
-    table = run_once(benchmark, t11_lw_vs_st, quick=True)
+    table = run_registry(benchmark, "t11")
     show(table)
     lw = table.column("LW steady skew")
     st = table.column("ST steady skew")

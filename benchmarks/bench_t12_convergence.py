@@ -1,13 +1,10 @@
 """Benchmark T12: convergence from loose initialization (Prop. B.14)."""
 
-from conftest import run_once, sweep_processes
-
-from repro.harness.experiments import t12_convergence
+from conftest import run_registry
 
 
 def test_t12_convergence(benchmark, show):
-    table = run_once(benchmark, t12_convergence, quick=True,
-                     processes=sweep_processes())
+    table = run_registry(benchmark, "t12")
     show(table)
     assert all(table.column("within"))
     predicted = table.column("predicted e(r)")

@@ -1,14 +1,16 @@
 """Shared helpers for the benchmark suite.
 
 Each benchmark regenerates one experiment table (T1-T12, see DESIGN.md)
-and prints it, so ``pytest benchmarks/ --benchmark-only`` reproduces
-every "table and figure" of the paper in one go.  Timings use
-``benchmark.pedantic`` with a single iteration: the experiments are
-deterministic simulations, so repetition would only measure the
-interpreter's warmth.
+through the experiment registry and prints it, so
+``pytest benchmarks/ --benchmark-only`` reproduces every "table and
+figure" of the paper in one go.  Timings use ``benchmark.pedantic``
+with a single iteration: the experiments are deterministic
+simulations, so repetition would only measure the interpreter's
+warmth.
 
-The sweep-backed experiments (T1, T3, T9, T12) fan their scenario
-grids across a worker pool sized by :func:`sweep_processes`; per-cell
+Every experiment runs through
+:func:`~repro.harness.registry.run_experiment`, fanning its scenario
+grid across a worker pool sized by :func:`sweep_processes`; per-cell
 results are bit-identical for any worker count, so the printed tables
 do not depend on the pool size.
 """
@@ -21,7 +23,7 @@ import pytest
 
 
 def sweep_processes() -> int:
-    """Worker pool size for sweep-backed benchmarks.
+    """Worker pool size for the benchmarks.
 
     ``REPRO_BENCH_PROCESSES`` overrides, then the library-wide
     ``REPRO_SWEEP_PROCESSES``; the stock default caps at 4 workers and
@@ -47,6 +49,11 @@ def show(capsys):
     return _show
 
 
-def run_once(benchmark, fn, **kwargs):
-    """Benchmark one experiment function with a single timed run."""
-    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+def run_registry(benchmark, experiment_id: str, **kwargs):
+    """Benchmark one registered experiment with a single timed run."""
+    from repro.harness.registry import run_experiment
+
+    kwargs.setdefault("quick", True)
+    kwargs.setdefault("processes", sweep_processes())
+    return benchmark.pedantic(run_experiment, args=(experiment_id,),
+                              kwargs=kwargs, rounds=1, iterations=1)

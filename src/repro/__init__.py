@@ -70,3 +70,24 @@ try:  # Core layers are appended as they are built on top of the substrate.
     ]
 except ImportError:  # pragma: no cover - during bootstrap only
     pass
+
+try:  # The declarative experiment API (see API.md).
+    from repro.harness import (  # noqa: F401
+        REGISTRY,
+        ExperimentRegistry,
+        Scenario,
+        ScenarioSpec,
+        SweepCellResult,
+        SweepRunner,
+        Table,
+        run_experiment,
+        run_scenario,
+    )
+
+    __all__ += [
+        "REGISTRY", "ExperimentRegistry", "Scenario", "ScenarioSpec",
+        "SweepCellResult", "SweepRunner", "Table", "run_experiment",
+        "run_scenario",
+    ]
+except ImportError:  # pragma: no cover - during bootstrap only
+    pass

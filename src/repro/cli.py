@@ -1,32 +1,49 @@
-"""Command-line entry point: run the paper's experiments.
+"""Command-line entry point: the experiment registry, on the shell.
 
 Usage::
 
-    python -m repro t07                  # one experiment, quick size
-    python -m repro t01 t04 --full       # selected experiments, full size
-    python -m repro --all                # everything, quick size
-    python -m repro t09 --processes 4    # sweep-backed experiments in a pool
-    python -m repro bench-quick          # kernel microbenchmarks (<60 s)
-    python -m repro --list               # what's available
+    python -m repro run t07                    # one experiment, quick
+    python -m repro run t01 t04 --full         # selected, full size
+    python -m repro run --all --processes 4    # everything, in a pool
+    python -m repro run t05 --seed 99          # override the seed
+    python -m repro run t08 --format json      # machine-readable output
+    python -m repro list                       # what's available
+    python -m repro show t09                   # metadata + grid sizes
+    python -m repro bench-quick                # pre-merge smoke (<60 s)
 
-Experiment names are the T-identifiers of DESIGN.md section 3
-(``t01`` … ``t12``).  ``bench-quick`` is the pre-merge smoke check: it
-runs the substrate microbenchmarks of
-:mod:`repro.harness.microbench` and prints a throughput table.
+Experiment ids are the T-identifiers of DESIGN.md section 3
+(``t01`` … ``t12``); every one of them executes through
+:func:`~repro.harness.registry.run_experiment` and the parallel sweep
+engine, so ``--processes`` applies everywhere.  The bare legacy forms
+(``python -m repro t07``, ``python -m repro --list``) still work and
+map onto ``run``/``list``.
+
+``bench-quick`` is the pre-merge smoke check: the substrate
+microbenchmarks of :mod:`repro.harness.microbench` plus one registry
+experiment end-to-end (so the registry wiring is covered before
+merging).
+
+Output formats: ``table`` (aligned text, the default), ``json`` (one
+JSON array of table objects), ``csv`` (header + raw rows per table).
+Machine formats keep stdout pure — progress lines go to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
 import sys
 import time
 from typing import Sequence
 
-from repro.harness.experiments import ALL_EXPERIMENTS
+from repro.harness.registry import REGISTRY, run_experiment
 
-#: Non-experiment subcommands accepted in the positional slot.
+#: Subcommand names (the legacy shim treats anything else as `run` ids).
+COMMANDS = ("run", "list", "show", "bench-quick")
 BENCH_QUICK = "bench-quick"
+
+#: Registry experiment smoke-run by ``bench-quick`` (sweep-backed and
+#: fast, so the registry -> sweep -> table path is covered pre-merge).
+BENCH_SMOKE_EXPERIMENT = "t12"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,94 +51,210 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce the experiments of 'Fault Tolerant "
                     "Gradient Clock Synchronization' (PODC 2019).")
-    parser.add_argument(
-        "experiments", nargs="*", metavar="tNN",
-        help=f"experiment ids (t01..t12) or '{BENCH_QUICK}'; see --list")
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command")
+
+    run_p = sub.add_parser(
+        "run", help="run experiments through the registry")
+    run_p.add_argument(
+        "ids", nargs="*", metavar="tNN",
+        help="experiment ids (t01..t12); see 'list'")
+    run_p.add_argument(
         "--all", action="store_true",
         help="run every experiment in order")
-    parser.add_argument(
-        "--full", action="store_true",
-        help="full-size sweeps (default: quick sizes)")
-    parser.add_argument(
+    size = run_p.add_mutually_exclusive_group()
+    size.add_argument(
+        "--quick", dest="full", action="store_false",
+        help="CI-sized sweeps (the default)")
+    size.add_argument(
+        "--full", dest="full", action="store_true",
+        help="full-size sweeps (EXPERIMENTS.md sizes)")
+    run_p.set_defaults(full=False)
+    run_p.add_argument(
         "--processes", type=int, default=None, metavar="N",
-        help="worker processes for sweep-backed experiments "
+        help="worker processes for the sweep engine "
              "(default: REPRO_SWEEP_PROCESSES or serial)")
-    parser.add_argument(
-        "--list", action="store_true",
-        help="list available experiments and exit")
+    run_p.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="override the experiment's registered seed")
+    run_p.add_argument(
+        "--format", choices=("table", "json", "csv"), default="table",
+        help="output format (default: table)")
+
+    list_p = sub.add_parser(
+        "list", help="list registered experiments")
+    list_p.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: table)")
+
+    show_p = sub.add_parser(
+        "show", help="metadata and grid sizes of one experiment")
+    show_p.add_argument("id", metavar="tNN", help="experiment id")
+
+    bench_p = sub.add_parser(
+        BENCH_QUICK,
+        help="kernel/substrate microbenchmarks + one registry "
+             "experiment (pre-merge smoke check)")
+    bench_p.add_argument(
+        "--full", action="store_true",
+        help="full-size microbenchmarks")
+    bench_p.add_argument(
+        "--processes", type=int, default=None, metavar="N",
+        help="worker processes for sweep-backed microbenchmarks")
+
     return parser
 
 
+def _rewrite_legacy_argv(argv: Sequence[str]) -> list[str]:
+    """Map the pre-registry surface onto subcommands.
+
+    ``repro --list`` -> ``repro list``; ``repro t07 [flags]`` ->
+    ``repro run t07 [flags]``.  Already-subcommand argv is untouched.
+    """
+    argv = list(argv)
+    if not argv:
+        return argv
+    if argv[0] in COMMANDS:
+        return argv
+    if "--list" in argv:
+        return ["list"]
+    if argv[0].startswith("-"):
+        # Top-level flags (-h/--help) go to the root parser; a legacy
+        # id followed by --help falls through and shows `run --help`.
+        return argv
+    return ["run"] + argv
+
+
 def list_experiments() -> str:
+    """The ``list`` subcommand's text form."""
     lines = ["available experiments:"]
-    for name in sorted(ALL_EXPERIMENTS):
-        doc = (ALL_EXPERIMENTS[name].__doc__ or "").strip()
-        summary = doc.splitlines()[0] if doc else ""
-        lines.append(f"  {name}  {summary}")
+    for experiment in REGISTRY:
+        lines.append(f"  {experiment.id}  {experiment.title}")
     lines.append(f"  {BENCH_QUICK}  kernel/substrate microbenchmarks "
                  "(pre-merge smoke check)")
     return "\n".join(lines)
 
 
-def run_bench_quick(quick: bool = True,
-                    processes: int | None = None) -> int:
-    """Run the substrate microbenchmarks and print the table."""
-    from repro.harness.microbench import microbench_table, run_all_micro
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.format == "json":
+        import json
 
-    started = time.perf_counter()
-    results = run_all_micro(quick=quick, processes=processes)
-    table = microbench_table(results)
-    print(table.format())
-    print(f"[{BENCH_QUICK} finished in "
-          f"{time.perf_counter() - started:.1f}s]")
+        entries = [{"id": e.id, "title": e.title, "claim": e.claim,
+                    "columns": list(e.columns),
+                    "default_seed": e.default_seed}
+                   for e in REGISTRY]
+        print(json.dumps(entries, indent=2))
+        return 0
+    print(list_experiments())
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _cmd_show(args: argparse.Namespace) -> int:
+    id = args.id.lower()
+    if id not in REGISTRY:
+        print(f"error: unknown experiment {args.id!r}", file=sys.stderr)
+        print(list_experiments(), file=sys.stderr)
+        return 2
+    experiment = REGISTRY.get(id)
+    quick_cells = len(experiment.plan(quick=True,
+                                      seed=experiment.default_seed).specs)
+    full_cells = len(experiment.plan(quick=False,
+                                     seed=experiment.default_seed).specs)
+    print(f"{experiment.id}  {experiment.title}")
+    print(f"  claim: {experiment.claim}")
+    print(f"  columns: {', '.join(experiment.columns)}")
+    print(f"  grid: {quick_cells} cells quick, {full_cells} cells full")
+    print(f"  default seed: {experiment.default_seed}")
+    if experiment.tags:
+        print(f"  tags: {', '.join(experiment.tags)}")
+    return 0
 
-    if args.list:
-        print(list_experiments())
-        return 0
 
-    positionals = [name.lower() for name in args.experiments]
-    if BENCH_QUICK in positionals:
-        if len(positionals) > 1 or args.all:
-            print(f"error: {BENCH_QUICK} cannot be combined with "
-                  "experiment ids or --all", file=sys.stderr)
-            return 2
-        return run_bench_quick(quick=not args.full,
-                               processes=args.processes)
-
-    names = sorted(ALL_EXPERIMENTS) if args.all else positionals
-    if not names:
-        parser.print_usage()
-        print("error: give experiment ids, --all, or --list",
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = [id.lower() for id in args.ids]
+    if args.all:
+        ids = REGISTRY.ids()
+    if not ids:
+        print("error: give experiment ids, --all, or use 'list'",
               file=sys.stderr)
         return 2
-
-    unknown = [name for name in names if name not in ALL_EXPERIMENTS]
+    unknown = [id for id in ids if id not in REGISTRY]
     if unknown:
         print(f"error: unknown experiment(s): {', '.join(unknown)}",
               file=sys.stderr)
         print(list_experiments(), file=sys.stderr)
         return 2
 
-    for name in names:
-        fn = ALL_EXPERIMENTS[name]
-        kwargs = {"quick": not args.full}
-        # Sweep-backed experiments fan across a worker pool.
-        if "processes" in inspect.signature(fn).parameters:
-            kwargs["processes"] = args.processes
+    machine = args.format in ("json", "csv")
+    status = sys.stderr if machine else sys.stdout
+    tables = []
+    for id in ids:
         started = time.perf_counter()
-        table = fn(**kwargs)
+        table = run_experiment(id, quick=not args.full,
+                               processes=args.processes, seed=args.seed)
         elapsed = time.perf_counter() - started
-        print(table.format())
-        print(f"[{name} finished in {elapsed:.1f}s]")
-        print()
+        tables.append(table)
+        if not machine:
+            print(table.format())
+        print(f"[{id} finished in {elapsed:.1f}s]", file=status)
+        if not machine:
+            print()
+    if args.format == "json":
+        import json
+
+        print(json.dumps([table.to_dict(json_safe=True)
+                          for table in tables], allow_nan=False))
+    elif args.format == "csv":
+        # to_csv() is newline-terminated; plain concatenation keeps
+        # the stream free of blank records for csv readers.
+        print("".join(table.to_csv() for table in tables), end="")
     return 0
+
+
+def run_bench_quick(quick: bool = True,
+                    processes: int | None = None) -> int:
+    """Substrate microbenchmarks plus one registry experiment."""
+    from repro.harness.microbench import microbench_table, run_all_micro
+
+    started = time.perf_counter()
+    results = run_all_micro(quick=quick, processes=processes)
+    table = microbench_table(results)
+    print(table.format())
+    # One registry experiment end-to-end: covers the registry -> plan
+    # -> sweep -> table wiring before merging.
+    smoke = run_experiment(BENCH_SMOKE_EXPERIMENT, quick=True,
+                           processes=processes)
+    print()
+    print(smoke.format())
+    print(f"[registry smoke: {BENCH_SMOKE_EXPERIMENT} ok, "
+          f"{len(smoke.rows)} rows]")
+    print(f"[{BENCH_QUICK} finished in "
+          f"{time.perf_counter() - started:.1f}s]")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    if argv is None:  # pragma: no cover - shell entry
+        argv = sys.argv[1:]
+    parser = build_parser()
+    try:
+        args = parser.parse_args(_rewrite_legacy_argv(argv))
+    except SystemExit as exit_:  # argparse error or --help
+        code = exit_.code
+        return code if isinstance(code, int) else 2
+
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "show":
+        return _cmd_show(args)
+    if args.command == BENCH_QUICK:
+        return run_bench_quick(quick=not args.full,
+                               processes=args.processes)
+    if args.command == "run":
+        return _cmd_run(args)
+    parser.print_usage()
+    print("error: give a subcommand (run, list, show, bench-quick)",
+          file=sys.stderr)
+    return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

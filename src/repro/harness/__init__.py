@@ -1,6 +1,28 @@
-"""Experiment harness: scenario runners, tables, the T1-T12 suite."""
+"""Experiment harness: scenario builders, the sweep engine, tables,
+and the registered T1-T12 suite.
 
-from repro.harness.experiments import ALL_EXPERIMENTS, run_all
+The stable programmatic surface (see API.md):
+
+- :class:`Scenario` — fluent builder compiling to picklable
+  :class:`ScenarioSpec` cells.
+- :class:`SweepRunner` — fans spec grids across worker processes with
+  deterministic per-cell seeding.
+- :data:`REGISTRY` / :func:`run_experiment` — every table of the
+  reproduction, one uniform entry point.
+"""
+
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    fast_dynamics_params,
+    run_all,
+)
+from repro.harness.registry import (
+    REGISTRY,
+    Experiment,
+    ExperimentPlan,
+    ExperimentRegistry,
+    run_experiment,
+)
 from repro.harness.runner import (
     ScenarioResult,
     default_params,
@@ -9,26 +31,49 @@ from repro.harness.runner import (
     steady_state_skews,
     step_offsets,
 )
+from repro.harness.scenario import Scenario
 from repro.harness.sweep import (
+    CELL_KINDS,
+    COLLECTORS,
+    STRATEGIES,
     ScenarioSpec,
     SweepCellResult,
     SweepRunner,
+    default_processes,
+    register_cell_kind,
     run_cell,
 )
 from repro.harness.tables import Table
 
 __all__ = [
+    # experiments + registry
     "ALL_EXPERIMENTS",
     "run_all",
-    "ScenarioResult",
+    "REGISTRY",
+    "Experiment",
+    "ExperimentPlan",
+    "ExperimentRegistry",
+    "run_experiment",
+    # scenario construction
+    "Scenario",
+    "ScenarioSpec",
+    "fast_dynamics_params",
     "default_params",
     "gradient_offsets",
+    "step_offsets",
+    # direct runners
+    "ScenarioResult",
     "run_scenario",
     "steady_state_skews",
-    "step_offsets",
-    "ScenarioSpec",
+    # sweep engine
+    "CELL_KINDS",
+    "COLLECTORS",
+    "STRATEGIES",
     "SweepCellResult",
     "SweepRunner",
+    "default_processes",
+    "register_cell_kind",
     "run_cell",
+    # output
     "Table",
 ]

@@ -1,19 +1,36 @@
-"""The paper's experiment suite (T1–T12).
+"""The paper's experiment suite (T1–T12), declaratively.
 
-Each function regenerates one "table" of the reproduction (see
-DESIGN.md section 3 for the claim-to-experiment mapping) and returns a
-:class:`~repro.harness.tables.Table`.  Benchmarks print these tables;
-EXPERIMENTS.md records representative rows.
+Every experiment is registered with
+:data:`~repro.harness.registry.REGISTRY` as metadata (id, title,
+claim, table schema, default seed) plus a *plan* function compiling
+``(quick, seed)`` into an
+:class:`~repro.harness.registry.ExperimentPlan`: a grid of picklable
+:class:`~repro.harness.sweep.ScenarioSpec` cells — built with the
+fluent :class:`~repro.harness.scenario.Scenario` builder — and a pure
+``finish`` step folding the executed cells into the experiment's
+:class:`~repro.harness.tables.Table`.
 
-All experiments accept ``quick=True`` (the default) for CI-sized runs
-and ``quick=False`` for the full sweeps reported in EXPERIMENTS.md.
+Execution is uniform across all twelve tables:
+:func:`~repro.harness.registry.run_experiment` fans each grid across
+:class:`~repro.harness.sweep.SweepRunner`, so every experiment accepts
+``processes`` (explicit > ``REPRO_SWEEP_PROCESSES`` > serial) and
+produces bit-identical tables for any worker count.  Non-simulation
+work rides the same engine through dedicated cell kinds: baselines
+(``master_slave``, ``gcs_single``, ``srikanth_toueg``), the T5 Monte
+Carlo (``failure_mc``, whose cells fast-forward one shared serial RNG
+stream so the grid reproduces the historical single-stream
+implementation bit-for-bit), the T10 randomized trigger check
+(``trigger_fuzz``), and the T8 graph accounting (``augment_counts``).
 
-The heaviest sweeps (T1, T3, T9, T12) build grids of picklable
-:class:`~repro.harness.sweep.ScenarioSpec` cells and execute them
-through :class:`~repro.harness.sweep.SweepRunner`, so they accept a
-``processes`` argument (default: the ``REPRO_SWEEP_PROCESSES``
-environment variable, else serial).  Per-cell results are
-bit-identical for any worker count.
+``quick=True`` (the default) is the CI size; ``quick=False`` the full
+sweeps reported in EXPERIMENTS.md.
+
+The module-level ``t01_…()`` … ``t12_…()`` functions remain as thin
+wrappers over :func:`run_experiment` for backward compatibility; new
+code should call the registry directly::
+
+    from repro.harness import run_experiment
+    table = run_experiment("t09", quick=True, processes=4)
 """
 
 from __future__ import annotations
@@ -26,21 +43,21 @@ from repro.analysis.bounds import (
     cluster_failure_bound_binomial,
     cluster_failure_probability,
 )
-from repro.baselines.gcs_single import GcsParams, GcsSingleSystem
-from repro.baselines.master_slave import MasterSlaveSystem
-from repro.baselines.srikanth_toueg import SrikanthTouegSystem, StParams
+from repro.baselines.gcs_single import GcsParams
+from repro.baselines.srikanth_toueg import StParams
 from repro.core.params import Parameters
-from repro.core.system import SystemConfig
-from repro.core.triggers import evaluate
-from repro.faults.strategies import EquivocatorStrategy, SilentStrategy
 from repro.core.rounds import RoundSchedule
+from repro.harness.registry import (
+    REGISTRY,
+    ExperimentPlan,
+    run_experiment,
+)
 from repro.harness.runner import (
     default_params,
     gradient_offsets,
-    run_scenario,
     step_offsets,
 )
-from repro.harness.sweep import ScenarioSpec, SweepRunner
+from repro.harness.scenario import Scenario
 from repro.harness.tables import Table
 from repro.topology.cluster_graph import ClusterGraph
 
@@ -63,99 +80,111 @@ def fast_dynamics_params(rho: float = 1e-4, d: float = 1.0,
 # T1 — Theorem 1.1: local skew vs diameter under Byzantine faults
 # ----------------------------------------------------------------------
 
-def t01_local_skew_vs_diameter(quick: bool = True, seed: int = 1,
-                               processes: int | None = None) -> Table:
-    """Line networks with one equivocator per cluster and an initial
-    inter-cluster gradient of ``2.2 kappa`` per edge (forcing trigger
-    activity).  Measured steady local skews vs the Theorem 1.1 bounds.
-    """
+@REGISTRY.experiment(
+    "t01",
+    title="T1  Local skew vs diameter (Theorem 1.1)",
+    claim="Line networks under one equivocator per cluster keep the "
+          "steady local skew below the O(kappa log S) bounds of "
+          "Theorem 1.1 at every diameter.",
+    columns=["D", "global S", "local cluster", "cluster bound",
+             "local node", "node bound", "holds"],
+    default_seed=1)
+def t01_plan(quick: bool, seed: int) -> ExperimentPlan:
     params = fast_dynamics_params(f=1)
     diameters = (2, 4, 8) if quick else (2, 4, 8, 16)
     rounds = 40 if quick else 80
-    table = Table(
-        title="T1  Local skew vs diameter (Theorem 1.1)",
-        columns=["D", "global S", "local cluster", "cluster bound",
-                 "local node", "node bound", "holds"])
     specs = [
-        ScenarioSpec(
-            graph="line", graph_args=(diameter + 1,), params=params,
-            rounds=rounds, seed=seed, strategy="equivocate",
-            config={"cluster_offsets": gradient_offsets(
-                diameter + 1, 2.2 * params.kappa)},
-            key=("D", diameter))
+        Scenario.line(diameter + 1).params(params).rounds(rounds)
+        .seed(seed).attack("equivocate")
+        .offsets(gradient_offsets(diameter + 1, 2.2 * params.kappa))
+        .tag("D", diameter).build()
         for diameter in diameters]
-    for diameter, cell in zip(diameters,
-                              SweepRunner(processes).run(specs)):
-        result = cell.result
-        steady = cell.steady_state_skews(tail_fraction=0.3)
-        bounds = result.bounds
-        holds = (steady["local_cluster"] <= bounds.local_skew_bound
-                 and steady["local_node"] <= bounds.node_local_skew_bound)
-        table.add_row(diameter, result.max_global_skew,
-                      steady["local_cluster"], bounds.local_skew_bound,
-                      steady["local_node"], bounds.node_local_skew_bound,
-                      holds)
-    table.add_note(
-        f"kappa={params.kappa:.4g}, one equivocator per cluster, "
-        f"gradient init 2.2*kappa/edge, steady tail of {rounds} rounds")
-    table.add_note("bound columns are the explicit O(kappa log S) forms "
-                   "of Thm 4.10 / Thm 1.1; measured << bound is expected")
-    return table
+
+    def finish(cells, table: Table) -> Table:
+        for diameter, cell in zip(diameters, cells):
+            result = cell.result
+            steady = cell.steady_state_skews(tail_fraction=0.3)
+            bounds = result.bounds
+            holds = (steady["local_cluster"] <= bounds.local_skew_bound
+                     and steady["local_node"]
+                     <= bounds.node_local_skew_bound)
+            table.add_row(diameter, result.max_global_skew,
+                          steady["local_cluster"], bounds.local_skew_bound,
+                          steady["local_node"],
+                          bounds.node_local_skew_bound, holds)
+        table.add_note(
+            f"kappa={params.kappa:.4g}, one equivocator per cluster, "
+            f"gradient init 2.2*kappa/edge, steady tail of {rounds} rounds")
+        table.add_note("bound columns are the explicit O(kappa log S) "
+                       "forms of Thm 4.10 / Thm 1.1; measured << bound "
+                       "is expected")
+        return table
+
+    return ExperimentPlan(specs=specs, finish=finish)
 
 
 # ----------------------------------------------------------------------
 # T2 — Corollary 3.2: intra-cluster skew vs cluster size
 # ----------------------------------------------------------------------
 
-def t02_intra_cluster_skew(quick: bool = True, seed: int = 2) -> Table:
-    """Single clusters of size 3f+1 under the strongest pulse attacks;
-    steady intra-cluster skew against both forms of the bound."""
+@REGISTRY.experiment(
+    "t02",
+    title="T2  Intra-cluster skew vs cluster size (Corollary 3.2)",
+    claim="Single clusters of size 3f+1 under the strongest pulse "
+          "attacks keep the steady intra-cluster skew below both "
+          "forms of the Corollary 3.2 bound.",
+    columns=["f", "k", "attack", "steady skew", "bound 2*theta_g*E",
+             "bound B.8", "max ||p(r)||", "E", "holds"],
+    default_seed=2)
+def t02_plan(quick: bool, seed: int) -> ExperimentPlan:
     fault_counts = (1, 2) if quick else (1, 2, 3)
     rounds = 30 if quick else 60
-    table = Table(
-        title="T2  Intra-cluster skew vs cluster size (Corollary 3.2)",
-        columns=["f", "k", "attack", "steady skew", "bound 2*theta_g*E",
-                 "bound B.8", "max ||p(r)||", "E", "holds"])
-    attacks = [("equivocate", lambda n: EquivocatorStrategy()),
-               ("silent", lambda n: SilentStrategy())]
-    for f in fault_counts:
-        params = default_params(f=f)
-        for attack_name, factory in attacks:
-            scenario = run_scenario(
-                ClusterGraph.line(1), params, rounds=rounds, seed=seed,
-                strategy_factory=factory)
-            steady = scenario.steady_state_skews()
-            diameters = scenario.system.pulse_diameter_table()
+    attacks = ("equivocate", "silent")
+    grid = [(f, attack) for f in fault_counts for attack in attacks]
+    specs = [
+        Scenario.line(1).params(default_params(f=f)).rounds(rounds)
+        .seed(seed).attack(attack).measure("pulse_diameters")
+        .tag("f", f, "attack", attack).build()
+        for f, attack in grid]
+
+    def finish(cells, table: Table) -> Table:
+        for (f, attack), cell in zip(grid, cells):
+            params = cell.result.params
+            steady = cell.steady_state_skews()
+            diameters = cell.pulse_diameters
             worst_pulse = max(
                 (v for (_, r), v in diameters.items() if r > 3),
                 default=0.0)
             holds = steady["intra"] <= params.intra_skew_bound_paper()
-            table.add_row(f, params.cluster_size, attack_name,
+            table.add_row(f, params.cluster_size, attack,
                           steady["intra"],
                           params.intra_skew_bound_paper(),
                           params.intra_skew_bound(), worst_pulse,
                           params.cap_e, holds)
-    table.add_note("steady skew = max over final half of samples; "
-                   "||p(r)|| should stay below E")
-    return table
+        table.add_note("steady skew = max over final half of samples; "
+                       "||p(r)|| should stay below E")
+        return table
+
+    return ExperimentPlan(specs=specs, finish=finish)
 
 
 # ----------------------------------------------------------------------
 # T3 — attack gallery + the fault-intolerant GCS failure
 # ----------------------------------------------------------------------
 
-def t03_attack_gallery(quick: bool = True, seed: int = 3,
-                       processes: int | None = None) -> Table:
-    """Every strategy against a ring; all FTGCS bounds must hold.
-    The last rows run the *fault-intolerant* GCS baseline under a
-    single liar: its correct-edge local skew grows without bound."""
+@REGISTRY.experiment(
+    "t03",
+    title="T3  Attack gallery (FTGCS) vs fault-intolerant GCS",
+    claim="Every fault strategy leaves the FTGCS bounds intact, while "
+          "the fault-intolerant GCS baseline's correct-edge local "
+          "skew grows without bound under a single liar.",
+    columns=["system", "attack", "intra", "local cluster",
+             "bounds hold", "trend"],
+    default_seed=3)
+def t03_plan(quick: bool, seed: int) -> ExperimentPlan:
     params = default_params(f=1)
     rounds = 15 if quick else 40
     ring_size = 4 if quick else 6
-    table = Table(
-        title="T3  Attack gallery (FTGCS) vs fault-intolerant GCS",
-        columns=["system", "attack", "intra", "local cluster",
-                 "bounds hold", "trend"])
     strategies = [
         ("silent", "silent", ()),
         ("crash@3T", "crash", (3 * params.round_length,)),
@@ -167,297 +196,344 @@ def t03_attack_gallery(quick: bool = True, seed: int = 3,
         ("collusion", "collusion", ()),
     ]
     specs = [
-        ScenarioSpec(
-            graph="ring", graph_args=(ring_size,), params=params,
-            rounds=rounds, seed=seed, strategy=strategy,
-            strategy_args=args, key=("attack", name))
+        Scenario.ring(ring_size).params(params).rounds(rounds).seed(seed)
+        .attack(strategy, *args).tag("attack", name).build()
         for name, strategy, args in strategies]
-    for (name, _, _), cell in zip(strategies,
-                                  SweepRunner(processes).run(specs)):
-        result = cell.result
-        steady = cell.steady_state_skews()
-        table.add_row("FTGCS", name, steady["intra"],
-                      steady["local_cluster"],
-                      result.all_bounds_hold, "bounded")
 
     # Fault-intolerant GCS: one liar, correct-edge skew ramps forever.
     gcs_params = GcsParams.default(rho=params.rho, d=params.d, u=params.u)
     horizon = 4000.0 if quick else 12000.0
-    ring = ClusterGraph.ring(6)
-    liar = {0: {1: +1, 5: -1}}
-    system = GcsSingleSystem(ring, gcs_params, seed=seed, liars=liar)
-    samples = system.run(until=horizon)
-    half = len(samples) // 2
-    first_half = max(s[1] for s in samples[:half])
-    second_half = max(s[1] for s in samples[half:])
-    growing = second_half > 1.5 * first_half
-    table.add_row("GCS (no FT)", "1 liar", float("nan"),
-                  second_half, not growing,
-                  "GROWS" if growing else "bounded")
-    table.add_note("GCS (no FT) local skew is over correct edges only; "
-                   "its growth under a single Byzantine node is the "
-                   "paper's motivating failure")
-    return table
+    specs.append(
+        Scenario.ring(6).kind("gcs_single").seed(seed)
+        .payload(params=gcs_params, until=horizon,
+                 liars={0: {1: +1, 5: -1}})
+        .tag("gcs", "1 liar").build())
+
+    def finish(cells, table: Table) -> Table:
+        for (name, _, _), cell in zip(strategies, cells):
+            result = cell.result
+            steady = cell.steady_state_skews()
+            table.add_row("FTGCS", name, steady["intra"],
+                          steady["local_cluster"],
+                          result.all_bounds_hold, "bounded")
+        samples = cells[-1].result
+        half = len(samples) // 2
+        first_half = max(s[1] for s in samples[:half])
+        second_half = max(s[1] for s in samples[half:])
+        growing = second_half > 1.5 * first_half
+        table.add_row("GCS (no FT)", "1 liar", float("nan"),
+                      second_half, not growing,
+                      "GROWS" if growing else "bounded")
+        table.add_note("GCS (no FT) local skew is over correct edges "
+                       "only; its growth under a single Byzantine node "
+                       "is the paper's motivating failure")
+        return table
+
+    return ExperimentPlan(specs=specs, finish=finish)
 
 
 # ----------------------------------------------------------------------
 # T4 — master-slave tree: skew-wave compression (introduction / [15])
 # ----------------------------------------------------------------------
 
-def t04_master_slave_compression(quick: bool = True, seed: int = 4
-                                 ) -> Table:
-    """Inject a global skew ``S`` at the root of a line; the classic
-    (jump-based) master–slave tree propagates the *full* S across every
-    interior edge, while FTGCS caps interior edges near ``2 kappa``."""
+@REGISTRY.experiment(
+    "t04",
+    title="T4  Master-slave compression vs FTGCS (intro / [15])",
+    claim="A global skew S injected at the root of a line crosses "
+          "every interior edge of a jump-based master-slave tree "
+          "nearly in full, while FTGCS caps interior edges near "
+          "2 kappa.",
+    columns=["D", "S injected", "MS interior max", "FTGCS interior max",
+             "FTGCS cap 2*kappa+slack", "MS/S ratio"],
+    default_seed=4)
+def t04_plan(quick: bool, seed: int) -> ExperimentPlan:
     params = fast_dynamics_params(f=0)
     diameters = (3, 5) if quick else (3, 5, 9)
     injected = 6.0 * params.kappa
     rounds = 25 if quick else 40
-    table = Table(
-        title="T4  Master-slave compression vs FTGCS (intro / [15])",
-        columns=["D", "S injected", "MS interior max", "FTGCS interior max",
-                 "FTGCS cap 2*kappa+slack", "MS/S ratio"])
+    specs = []
     for diameter in diameters:
         n = diameter + 1
         offsets = step_offsets(n, step_at=0, height=0.0)
         offsets[0] = injected  # root ahead by S
+        specs.append(
+            Scenario.line(n).params(params).seed(seed)
+            .kind("master_slave")
+            .payload(rounds=rounds, root=0, cluster_offsets=offsets,
+                     jump=True, track_edges=True)
+            .tag("ms", diameter).build())
+        specs.append(
+            Scenario.line(n).params(params).rounds(rounds).seed(seed)
+            .offsets(list(offsets)).tag("ftgcs", diameter).build())
 
-        ms = MasterSlaveSystem(
-            ClusterGraph.line(n), params, seed=seed, root=0,
-            cluster_offsets=offsets, jump=True, track_edges=True)
-        ms_maxima = ms.run_rounds(rounds)
-        ms_interior = max(
-            (skew for edge, skew in ms_maxima.edge_maxima.items()
-             if 0 not in edge), default=0.0)
+    def finish(cells, table: Table) -> Table:
+        for diameter, ms_cell, ft_cell in zip(diameters, cells[0::2],
+                                              cells[1::2]):
+            ms_interior = max(
+                (skew for edge, skew in ms_cell.result.edge_maxima.items()
+                 if 0 not in edge), default=0.0)
+            ft_interior = max(
+                (skew for edge, skew in ft_cell.result.edge_maxima.items()
+                 if 0 not in edge), default=0.0)
+            cap = 2 * params.kappa + params.delta_trigger
+            table.add_row(diameter, injected, ms_interior, ft_interior,
+                          cap, ms_interior / injected)
+        table.add_note("interior max = worst cluster-edge skew excluding "
+                       "the root edge, where S is injected; MS/S near 1 "
+                       "means full compression onto interior edges")
+        return table
 
-        config = SystemConfig(cluster_offsets=list(offsets))
-        scenario = run_scenario(ClusterGraph.line(n), params,
-                                rounds=rounds, seed=seed, config=config)
-        ft_interior = max(
-            (skew for edge, skew in scenario.result.edge_maxima.items()
-             if 0 not in edge), default=0.0)
-        cap = 2 * params.kappa + params.delta_trigger
-        table.add_row(diameter, injected, ms_interior, ft_interior,
-                      cap, ms_interior / injected)
-    table.add_note("interior max = worst cluster-edge skew excluding the "
-                   "root edge, where S is injected; MS/S near 1 means "
-                   "full compression onto interior edges")
-    return table
+    return ExperimentPlan(specs=specs, finish=finish)
 
 
 # ----------------------------------------------------------------------
 # T5 — Inequality (1): cluster failure probability
 # ----------------------------------------------------------------------
 
-def t05_failure_probability(quick: bool = True, seed: int = 5) -> Table:
-    """Monte Carlo estimate vs the exact tail and both printed bounds."""
+@REGISTRY.experiment(
+    "t05",
+    title="T5  Cluster failure probability (Inequality (1))",
+    claim="Monte Carlo failure rates stay below the binomial tail "
+          "bound, which stays below the printed (3ep)^(f+1) form — "
+          "Inequality (1) in both directions.",
+    columns=["f", "p", "monte carlo", "exact tail",
+             "C(3f+1,f+1)p^(f+1)", "(3ep)^(f+1)", "ordered"],
+    default_seed=5)
+def t05_plan(quick: bool, seed: int) -> ExperimentPlan:
     trials = 40_000 if quick else 400_000
-    rng = random.Random(seed)
-    table = Table(
-        title="T5  Cluster failure probability (Inequality (1))",
-        columns=["f", "p", "monte carlo", "exact tail",
-                 "C(3f+1,f+1)p^(f+1)", "(3ep)^(f+1)", "ordered"])
-    for f in (1, 2, 3):
-        k = 3 * f + 1
-        for p in (0.01, 0.05, 0.1):
-            failures = 0
-            for _ in range(trials):
-                faulty = sum(1 for _ in range(k) if rng.random() < p)
-                if faulty > f:
-                    failures += 1
-            mc = failures / trials
+    grid = [(f, p) for f in (1, 2, 3) for p in (0.01, 0.05, 0.1)]
+    specs = []
+    skip = 0
+    for f, p in grid:
+        specs.append(
+            Scenario.of_kind("failure_mc").seed(seed)
+            .payload(f=f, p=p, trials=trials, skip=skip)
+            .tag("f", f, "p", p).build())
+        # Every trial consumes exactly k = 3f+1 draws from the shared
+        # serial stream, so the next cell's fast-forward is static.
+        skip += trials * (3 * f + 1)
+
+    def finish(cells, table: Table) -> Table:
+        for (f, p), cell in zip(grid, cells):
+            mc = cell.result
             exact = cluster_failure_probability(f, p)
             mid = cluster_failure_bound_binomial(f, p)
             top = cluster_failure_bound_3ep(f, p)
             ordered = mc <= mid * 1.2 + 3e-4 and mid <= top * 1.000001
             table.add_row(f, p, mc, exact, mid, top, ordered)
-    table.add_note(f"{trials} Monte Carlo trials per row; 'ordered' "
-                   "checks mc <~ binomial bound <= (3ep)^(f+1)")
-    return table
+        table.add_note(f"{trials} Monte Carlo trials per row; 'ordered' "
+                       "checks mc <~ binomial bound <= (3ep)^(f+1)")
+        return table
+
+    return ExperimentPlan(specs=specs, finish=finish)
 
 
 # ----------------------------------------------------------------------
 # T6 — Lemma 3.6: unanimous clusters converge tighter and keep rates
 # ----------------------------------------------------------------------
 
-def t06_unanimous_rates(quick: bool = True, seed: int = 6) -> Table:
-    """Two clusters offset by 3*kappa: the laggard runs unanimously
-    fast, the leader unanimously slow.  Measures amortized per-round
-    rates and pulse diameters against Lemma 3.6's guarantees."""
+@REGISTRY.experiment(
+    "t06",
+    title="T6  Unanimous cluster rates and errors (Lemma 3.6)",
+    claim="A lagging cluster in unanimous fast mode outpaces the "
+          "Lemma 3.6 rate floor while a leading cluster in unanimous "
+          "slow mode stays inside the slow band, with pulse diameters "
+          "contracting below the unanimous steady state.",
+    columns=["cluster", "mode", "rounds", "min rate", "max rate",
+             "fast floor", "slow band lo", "slow band hi", "holds"],
+    default_seed=6)
+def t06_plan(quick: bool, seed: int) -> ExperimentPlan:
     params = default_params(f=1)
     rounds = 25 if quick else 50
-    config = SystemConfig(cluster_offsets=[0.0, 3.0 * params.kappa])
-    scenario = run_scenario(ClusterGraph.line(2), params, rounds=rounds,
-                            seed=seed, config=config)
-    system = scenario.system
-    k_stab = params.k_stab
+    specs = [
+        Scenario.line(2).params(params).rounds(rounds).seed(seed)
+        .offsets([0.0, 3.0 * params.kappa])
+        .measure("unanimity", "amortized_rates", "pulse_diameters")
+        .tag("two clusters").build()]
 
-    table = Table(
-        title="T6  Unanimous cluster rates and errors (Lemma 3.6)",
-        columns=["cluster", "mode", "rounds", "min rate", "max rate",
-                 "fast floor", "slow band lo", "slow band hi", "holds"])
-    fast_floor = (1 + params.phi) * (1 + 7 * params.mu / 8)
-    slow_lo = (1 + params.phi) * (1 - params.mu / 8)
-    slow_hi = (1 + params.phi) * (1 + params.mu / 8)
+    def finish(cells, table: Table) -> Table:
+        (cell,) = cells
+        k_stab = params.k_stab
+        fast_floor = (1 + params.phi) * (1 + 7 * params.mu / 8)
+        slow_lo = (1 + params.phi) * (1 - params.mu / 8)
+        slow_hi = (1 + params.phi) * (1 + params.mu / 8)
+        all_rates = cell.extras["amortized_rates"]
 
-    for cluster, expected_gamma in ((0, 1), (1, 0)):
-        unanimity = system.cluster_unanimity(cluster)
-        # Longest unanimous prefix in the expected mode.
-        stretch = []
-        for r in sorted(unanimity):
-            unanimous, gamma = unanimity[r]
-            if unanimous and gamma == expected_gamma:
-                stretch.append(r)
-            else:
-                break
-        usable = [r for r in stretch if r > k_stab and r < len(stretch)]
-        rates = []
-        for node in system.honest_nodes():
-            if node.cluster_id != cluster:
+        for cluster, expected_gamma in ((0, 1), (1, 0)):
+            unanimity = cell.extras["unanimity"][cluster]
+            # Longest unanimous prefix in the expected mode.
+            stretch = []
+            for r in sorted(unanimity):
+                unanimous, gamma = unanimity[r]
+                if unanimous and gamma == expected_gamma:
+                    stretch.append(r)
+                else:
+                    break
+            usable = {r for r in stretch
+                      if r > k_stab and r < len(stretch)}
+            rates = [rate for c, r, rate in all_rates
+                     if c == cluster and r in usable]
+            if not rates:
+                table.add_row(cluster,
+                              "fast" if expected_gamma else "slow",
+                              0, float("nan"), float("nan"), fast_floor,
+                              slow_lo, slow_hi, False)
                 continue
-            for record in node.core.records:
-                if (record.round_index in usable
-                        and not math.isnan(record.t_end)):
-                    rates.append(record.amortized_rate)
-        if not rates:
-            table.add_row(cluster, "fast" if expected_gamma else "slow",
-                          0, float("nan"), float("nan"), fast_floor,
-                          slow_lo, slow_hi, False)
-            continue
-        lo, hi = min(rates), max(rates)
-        if expected_gamma == 1:
-            holds = lo >= fast_floor * (1 - 1e-9)
-            mode = "fast"
-        else:
-            holds = lo >= slow_lo * (1 - 1e-9) and hi <= slow_hi * (1 + 1e-9)
-            mode = "slow"
-        table.add_row(cluster, mode, len(usable), lo, hi, fast_floor,
-                      slow_lo, slow_hi, holds)
+            lo, hi = min(rates), max(rates)
+            if expected_gamma == 1:
+                holds = lo >= fast_floor * (1 - 1e-9)
+                mode = "fast"
+            else:
+                holds = (lo >= slow_lo * (1 - 1e-9)
+                         and hi <= slow_hi * (1 + 1e-9))
+                mode = "slow"
+            table.add_row(cluster, mode, len(usable), lo, hi, fast_floor,
+                          slow_lo, slow_hi, holds)
 
-    # Pulse-diameter comparison: unanimous steady state vs general E.
-    diam = system.pulse_diameter_table()
-    for cluster, mode in ((0, "fast"), (1, "slow")):
-        entries = [v for (c, r), v in diam.items()
-                   if c == cluster and r > k_stab + 2]
-        worst = max(entries, default=float("nan"))
-        predicted = params.unanimous_steady_state(mode)
-        table.add_note(
-            f"cluster {cluster} ({mode}): max ||p(r)|| after warmup = "
-            f"{worst:.4g} vs e_inf_{mode} = {predicted:.4g} "
-            f"vs general E = {params.cap_e:.4g}")
-    return table
+        # Pulse-diameter comparison: unanimous steady state vs general E.
+        diam = cell.pulse_diameters
+        for cluster, mode in ((0, "fast"), (1, "slow")):
+            entries = [v for (c, r), v in diam.items()
+                       if c == cluster and r > k_stab + 2]
+            worst = max(entries, default=float("nan"))
+            predicted = params.unanimous_steady_state(mode)
+            table.add_note(
+                f"cluster {cluster} ({mode}): max ||p(r)|| after warmup "
+                f"= {worst:.4g} vs e_inf_{mode} = {predicted:.4g} "
+                f"vs general E = {params.cap_e:.4g}")
+        return table
+
+    return ExperimentPlan(specs=specs, finish=finish)
 
 
 # ----------------------------------------------------------------------
 # T7 — ablation: the amortization stretch c1 (the paper's key insight)
 # ----------------------------------------------------------------------
 
-def t07_ablation_c1(quick: bool = True, seed: int = 7) -> Table:
-    """Sweep ``c1``: with a short phase 3 (small c1), Lynch–Welch
-    corrections eat the entire ``mu`` speed budget and fast clusters
-    cannot outrun slow ones; the paper's ``c1 = Theta(1/rho)`` restores
-    the gap.  This is the 'main obstacle' of Section 1, measured."""
+@REGISTRY.experiment(
+    "t07",
+    title="T7  Ablation: amortization stretch c1 (Section 1)",
+    claim="With a short phase 3 (small c1) Lynch-Welch corrections "
+          "eat the entire mu speed budget and fast clusters cannot "
+          "outrun slow ones; the paper's c1 = Theta(1/rho) restores "
+          "the per-round gap.",
+    columns=["c1", "E", "T", "min fast rate", "max slow rate",
+             "worst gap", "worst gap / mu", "fast outruns slow"],
+    default_seed=7)
+def t07_plan(quick: bool, seed: int) -> ExperimentPlan:
     rho, d, u = 1e-4, 1.0, 0.1
     structural = (0.5 - 0.05) / ((1 + 32.0) * rho)
     c1_values = (3.0, 30.0, structural) if quick else (
         3.0, 10.0, 30.0, 100.0, structural)
     rounds = 30 if quick else 50
-    table = Table(
-        title="T7  Ablation: amortization stretch c1 (Section 1)",
-        columns=["c1", "E", "T", "min fast rate", "max slow rate",
-                 "worst gap", "worst gap / mu", "fast outruns slow"])
-    for c1 in c1_values:
-        params = Parameters.custom(rho=rho, d=d, u=u, f=1, c1=c1,
-                                   c2=32.0, k_stab=4)
-        config = SystemConfig(
-            cluster_offsets=[0.0, 3.0 * params.kappa])
-        scenario = run_scenario(
-            ClusterGraph.line(2), params, rounds=rounds, seed=seed,
-            strategy_factory=lambda n: EquivocatorStrategy(),
-            config=config)
-        system = scenario.system
-        rates = {0: [], 1: []}
-        for node in system.honest_nodes():
-            for record in node.core.records:
-                if (params.k_stab < record.round_index < rounds - 1
-                        and not math.isnan(record.t_end)):
-                    rates[node.cluster_id].append(record.amortized_rate)
-        if rates[0] and rates[1]:
-            # Lemma 3.6 is a *per-round* guarantee: every fast round
-            # must outpace every slow round, so the worst-case gap is
-            # min(fast) - max(slow).
-            min_fast = min(rates[0])
-            max_slow = max(rates[1])
-            gap = min_fast - max_slow
-        else:
-            min_fast = max_slow = gap = float("nan")
-        table.add_row(c1, params.cap_e, params.round_length, min_fast,
-                      max_slow, gap, gap / params.mu, gap > 0)
-    table.add_note("lagging cluster 0 is fast-triggered, leading "
-                   "cluster 1 slow-triggered; one equivocator per "
-                   "cluster supplies the adversarial correction noise; "
-                   "small c1 (short phase 3) lets per-round corrections "
-                   "eat the entire mu budget")
-    return table
+    param_sets = [Parameters.custom(rho=rho, d=d, u=u, f=1, c1=c1,
+                                    c2=32.0, k_stab=4)
+                  for c1 in c1_values]
+    specs = [
+        Scenario.line(2).params(params).rounds(rounds).seed(seed)
+        .attack("equivocate")
+        .offsets([0.0, 3.0 * params.kappa])
+        .measure("amortized_rates")
+        .tag("c1", c1).build()
+        for c1, params in zip(c1_values, param_sets)]
+
+    def finish(cells, table: Table) -> Table:
+        for c1, params, cell in zip(c1_values, param_sets, cells):
+            rates = {0: [], 1: []}
+            for cluster, index, rate in cell.extras["amortized_rates"]:
+                if params.k_stab < index < rounds - 1:
+                    rates[cluster].append(rate)
+            if rates[0] and rates[1]:
+                # Lemma 3.6 is a *per-round* guarantee: every fast round
+                # must outpace every slow round, so the worst-case gap is
+                # min(fast) - max(slow).
+                min_fast = min(rates[0])
+                max_slow = max(rates[1])
+                gap = min_fast - max_slow
+            else:
+                min_fast = max_slow = gap = float("nan")
+            table.add_row(c1, params.cap_e, params.round_length, min_fast,
+                          max_slow, gap, gap / params.mu, gap > 0)
+        table.add_note("lagging cluster 0 is fast-triggered, leading "
+                       "cluster 1 slow-triggered; one equivocator per "
+                       "cluster supplies the adversarial correction "
+                       "noise; small c1 (short phase 3) lets per-round "
+                       "corrections eat the entire mu budget")
+        return table
+
+    return ExperimentPlan(specs=specs, finish=finish)
 
 
 # ----------------------------------------------------------------------
 # T8 — overhead accounting: O(f) nodes, O(f^2) edges (Theorem 1.1)
 # ----------------------------------------------------------------------
 
-def t08_overheads(quick: bool = True) -> Table:
-    """Exact node/edge counts of the augmentation across topologies."""
-    graphs = [ClusterGraph.line(8), ClusterGraph.ring(8),
-              ClusterGraph.grid(4, 4)]
+@REGISTRY.experiment(
+    "t08",
+    title="T8  Augmentation overheads (Theorem 1.1)",
+    claim="The augmentation multiplies node counts by exactly "
+          "k = 3f+1 = O(f) and edge counts by O(f^2) on every "
+          "topology.",
+    columns=["graph", "f", "k", "nodes", "node factor", "edges",
+             "edge factor"],
+    default_seed=8)
+def t08_plan(quick: bool, seed: int) -> ExperimentPlan:
+    graphs = [("line", (8,)), ("ring", (8,)), ("grid", (4, 4))]
     if not quick:
-        graphs += [ClusterGraph.torus(4, 4), ClusterGraph.hypercube(4),
-                   ClusterGraph.balanced_tree(2, 4)]
-    table = Table(
-        title="T8  Augmentation overheads (Theorem 1.1)",
-        columns=["graph", "f", "k", "nodes", "node factor", "edges",
-                 "edge factor"])
-    for graph in graphs:
-        base_nodes = graph.num_clusters
-        base_edges = graph.num_edges
-        for f in (0, 1, 2, 3):
-            k = 3 * f + 1
-            aug = graph.augment(k)
-            table.add_row(graph.name, f, k, aug.num_nodes,
-                          aug.num_nodes / base_nodes, aug.num_edges,
-                          aug.num_edges / max(base_edges, 1))
-    table.add_note("node factor = k = 3f+1 = O(f); edge factor -> "
-                   "k^2 + k(k-1)/2 per original edge/cluster = O(f^2)")
-    return table
+        graphs += [("torus", (4, 4)), ("hypercube", (4,)),
+                   ("balanced_tree", (2, 4))]
+    specs = [
+        Scenario.on(graph, *args).kind("augment_counts")
+        .payload(fault_counts=(0, 1, 2, 3))
+        .seed(seed).tag("graph", graph).build()
+        for graph, args in graphs]
+
+    def finish(cells, table: Table) -> Table:
+        for cell in cells:
+            counts = cell.result
+            base_nodes = counts["clusters"]
+            base_edges = counts["edges"]
+            for f, k, nodes, edges in counts["rows"]:
+                table.add_row(counts["name"], f, k, nodes,
+                              nodes / base_nodes, edges,
+                              edges / max(base_edges, 1))
+        table.add_note("node factor = k = 3f+1 = O(f); edge factor -> "
+                       "k^2 + k(k-1)/2 per original edge/cluster = "
+                       "O(f^2)")
+        return table
+
+    return ExperimentPlan(specs=specs, finish=finish)
 
 
 # ----------------------------------------------------------------------
 # T9 — Theorem C.3: global skew O(delta * D) and the max-rule rescue
 # ----------------------------------------------------------------------
 
-def t09_global_skew(quick: bool = True, seed: int = 9,
-                    processes: int | None = None) -> Table:
-    """(a) Global skew stays below ``c_global * delta * (D+1)`` across
-    diameters; (b) a lagging tail converges faster with the Theorem C.3
-    max-rule than with slow-default (parallel vs sequential wakeup)."""
+@REGISTRY.experiment(
+    "t09",
+    title="T9  Global skew (Theorem C.3)",
+    claim="Global skew stays below c_global * delta * (D+1) across "
+          "diameters, and a lagging tail only recovers under the "
+          "Theorem C.3 max-rule — slow-default freezes below the "
+          "trigger thresholds forever.",
+    columns=["scenario", "D", "policy", "global skew",
+             "bound c*delta*(D+1)", "holds"],
+    default_seed=9)
+def t09_plan(quick: bool, seed: int) -> ExperimentPlan:
     params = fast_dynamics_params(f=1, c_global=2.0)
     diameters = (2, 4) if quick else (2, 4, 8)
     rounds = 20 if quick else 40
-    table = Table(
-        title="T9  Global skew (Theorem C.3)",
-        columns=["scenario", "D", "policy", "global skew",
-                 "bound c*delta*(D+1)", "holds"])
     rng = random.Random(seed)
     specs = []
     for diameter in diameters:
         n = diameter + 1
         offsets = [rng.uniform(-params.kappa, params.kappa)
                    for _ in range(n)]
-        specs.append(ScenarioSpec(
-            graph="line", graph_args=(n,), params=params, rounds=rounds,
-            seed=seed,
-            config={"cluster_offsets": offsets, "policy": "max_rule",
-                    "enable_max_estimate": True},
-            key=("random init", diameter)))
+        specs.append(
+            Scenario.line(n).params(params).rounds(rounds).seed(seed)
+            .configure(cluster_offsets=offsets, policy="max_rule",
+                       enable_max_estimate=True)
+            .tag("random init", diameter).build())
 
     # (b) lagging-tail convergence: last two clusters far behind.
     n = 5
@@ -466,162 +542,284 @@ def t09_global_skew(quick: bool = True, seed: int = 9,
     tail_rounds = 140 if quick else 200
     policies = ("slow_default", "max_rule")
     for policy in policies:
-        specs.append(ScenarioSpec(
-            graph="line", graph_args=(n,), params=params,
-            rounds=tail_rounds, seed=seed,
-            config={"cluster_offsets": list(offsets), "policy": policy,
-                    "enable_max_estimate": policy == "max_rule",
-                    "max_estimate_unit": params.kappa,
-                    "record_series": True},
-            key=("lagging tail", policy)))
+        specs.append(
+            Scenario.line(n).params(params).rounds(tail_rounds).seed(seed)
+            .configure(cluster_offsets=list(offsets), policy=policy,
+                       enable_max_estimate=policy == "max_rule",
+                       max_estimate_unit=params.kappa,
+                       record_series=True)
+            .tag("lagging tail", policy).build())
 
-    cells = SweepRunner(processes).run(specs)
-    for cell in cells[:len(diameters)]:
-        result = cell.result
-        table.add_row("random init", cell.key[1], "max_rule",
-                      result.max_global_skew,
-                      result.bounds.global_skew_bound,
-                      result.within_global_bound)
-    for policy, cell in zip(policies, cells[len(diameters):]):
-        series = cell.result.series
-        recovered = next(
-            (s.time for s in series if s.global_skew < 0.9 * lag),
-            float("inf"))
-        table.add_row("lagging tail", n - 1, policy, recovered,
-                      float("nan"), True)
-    table.add_note("for 'lagging tail' rows the 'global skew' column is "
-                   "the time until the tail recovered 10% of its lag")
-    table.add_note("with slow_default the partial gradient freezes "
-                   "below the trigger thresholds and the tail NEVER "
-                   "recovers (inf) — the M_v rule of Theorem C.3 is "
-                   "what bounds the global skew")
-    return table
+    def finish(cells, table: Table) -> Table:
+        for cell in cells[:len(diameters)]:
+            result = cell.result
+            table.add_row("random init", cell.key[1], "max_rule",
+                          result.max_global_skew,
+                          result.bounds.global_skew_bound,
+                          result.within_global_bound)
+        for policy, cell in zip(policies, cells[len(diameters):]):
+            series = cell.result.series
+            recovered = next(
+                (s.time for s in series if s.global_skew < 0.9 * lag),
+                float("inf"))
+            table.add_row("lagging tail", n - 1, policy, recovered,
+                          float("nan"), True)
+        table.add_note("for 'lagging tail' rows the 'global skew' "
+                       "column is the time until the tail recovered "
+                       "10% of its lag")
+        table.add_note("with slow_default the partial gradient freezes "
+                       "below the trigger thresholds and the tail NEVER "
+                       "recovers (inf) — the M_v rule of Theorem C.3 is "
+                       "what bounds the global skew")
+        return table
+
+    return ExperimentPlan(specs=specs, finish=finish)
 
 
 # ----------------------------------------------------------------------
 # T10 — Lemmas 4.5 / 4.8: trigger exclusion and faithfulness
 # ----------------------------------------------------------------------
 
-def t10_trigger_exclusion(quick: bool = True, seed: int = 10) -> Table:
-    """(a) In every simulated scenario, no round ever satisfies both
-    triggers; (b) randomized check of Lemma 4.8's core step: conditions
-    on true cluster clocks imply triggers on estimates perturbed by up
-    to 2E, for delta = (k_stab+5)E and kappa = 3*delta."""
+@REGISTRY.experiment(
+    "t10",
+    title="T10  Trigger exclusion & faithfulness (Lemmas 4.5/4.8)",
+    claim="No simulated round ever satisfies both triggers, and "
+          "conditions on true cluster clocks always imply the "
+          "matching trigger on estimates perturbed by up to 2E.",
+    columns=["check", "cases", "violations"],
+    default_seed=10)
+def t10_plan(quick: bool, seed: int) -> ExperimentPlan:
     params = default_params(f=1)
     rounds = 12 if quick else 30
-    table = Table(
-        title="T10  Trigger exclusion & faithfulness (Lemmas 4.5/4.8)",
-        columns=["check", "cases", "violations"])
-
-    both = 0
-    decided = 0
-    for graph in (ClusterGraph.line(3), ClusterGraph.ring(4)):
-        scenario = run_scenario(
-            graph, params, rounds=rounds, seed=seed,
-            strategy_factory=lambda n: EquivocatorStrategy(),
-            config=SystemConfig(cluster_offsets=gradient_offsets(
-                graph.num_clusters, 1.5 * params.kappa)))
-        result = scenario.result
-        both += result.both_triggers_rounds
-        decided += result.fast_rounds + result.slow_rounds
-    table.add_row("FT & ST simultaneously (simulated rounds)", decided,
-                  both)
-
-    rng = random.Random(seed)
+    graphs = (("line", (3,)), ("ring", (4,)))
+    specs = []
+    for graph, args in graphs:
+        num_clusters = getattr(ClusterGraph, graph)(*args).num_clusters
+        specs.append(
+            Scenario.on(graph, *args).params(params).rounds(rounds)
+            .seed(seed).attack("equivocate")
+            .offsets(gradient_offsets(num_clusters, 1.5 * params.kappa))
+            .tag("exclusion", graph).build())
     trials = 4000 if quick else 40_000
-    cond_violations = 0
-    kappa, slack = params.kappa, params.delta_trigger
-    err = 2.0 * params.cap_e  # |estimate - cluster clock| <= 2E
-    for _ in range(trials):
-        own_true = rng.uniform(-5 * kappa, 5 * kappa)
-        neighbors = {i: rng.uniform(-5 * kappa, 5 * kappa)
-                     for i in range(rng.randint(1, 4))}
-        cond = evaluate(own_true, neighbors, kappa, 0.0)
-        own_seen = own_true + rng.uniform(-err / 2, err / 2)
-        seen = {i: v + rng.uniform(-err, err)
-                for i, v in neighbors.items()}
-        trig = evaluate(own_seen, seen, kappa, slack)
-        if cond.fast and not trig.fast:
-            cond_violations += 1
-        if cond.slow and not trig.slow:
-            cond_violations += 1
-    table.add_row("FC/SC without matching FT/ST (randomized)", trials,
-                  cond_violations)
-    table.add_note("both checks must report 0 violations")
-    return table
+    specs.append(
+        Scenario.of_kind("trigger_fuzz").seed(seed)
+        .payload(trials=trials, kappa=params.kappa,
+                 slack=params.delta_trigger, err=2.0 * params.cap_e)
+        .tag("faithfulness").build())
+
+    def finish(cells, table: Table) -> Table:
+        simulated = cells[:len(graphs)]
+        both = sum(cell.result.both_triggers_rounds for cell in simulated)
+        decided = sum(cell.result.fast_rounds + cell.result.slow_rounds
+                      for cell in simulated)
+        table.add_row("FT & ST simultaneously (simulated rounds)",
+                      decided, both)
+        table.add_row("FC/SC without matching FT/ST (randomized)",
+                      trials, cells[-1].result)
+        table.add_note("both checks must report 0 violations")
+        return table
+
+    return ExperimentPlan(specs=specs, finish=finish)
 
 
 # ----------------------------------------------------------------------
 # T11 — Appendix A: Lynch–Welch vs Srikanth–Toueg clique skew
 # ----------------------------------------------------------------------
 
-def t11_lw_vs_st(quick: bool = True, seed: int = 11) -> Table:
-    """Clique synchronization quality as ``U`` shrinks relative to
-    ``d``: Lynch–Welch's bound is ``O(U + (theta-1)d)`` while
-    Srikanth–Toueg carries an ``O(d)`` worst case.  We report measured
-    steady skews (benign adversary) alongside both bounds."""
+@REGISTRY.experiment(
+    "t11",
+    title="T11  Lynch-Welch vs Srikanth-Toueg cliques (Appendix A)",
+    claim="As U shrinks relative to d, Lynch-Welch's measured clique "
+          "skew tracks its O(U + (theta-1)d) bound while "
+          "Srikanth-Toueg carries an O(d) worst case.",
+    columns=["U/d", "LW steady skew", "LW bound", "ST steady skew",
+             "ST bound O(d)"],
+    default_seed=11)
+def t11_plan(quick: bool, seed: int) -> ExperimentPlan:
     rho, d = 1e-4, 1.0
     u_values = (0.2, 0.05) if quick else (0.5, 0.2, 0.05, 0.01)
     rounds = 25 if quick else 60
-    table = Table(
-        title="T11  Lynch-Welch vs Srikanth-Toueg cliques (Appendix A)",
-        columns=["U/d", "LW steady skew", "LW bound", "ST steady skew",
-                 "ST bound O(d)"])
-    for u in u_values:
-        params = default_params(rho=rho, d=d, u=u, f=1)
-        scenario = run_scenario(
-            ClusterGraph.line(1), params, rounds=rounds, seed=seed,
-            strategy_factory=lambda n: EquivocatorStrategy(),
-            config=SystemConfig(init_jitter=u / 2))
-        lw_steady = scenario.steady_state_skews()["intra"]
+    param_sets = [default_params(rho=rho, d=d, u=u, f=1)
+                  for u in u_values]
+    specs = []
+    for u, params in zip(u_values, param_sets):
+        specs.append(
+            Scenario.line(1).params(params).rounds(rounds).seed(seed)
+            .attack("equivocate").configure(init_jitter=u / 2)
+            .tag("lw", u).build())
+        specs.append(
+            Scenario.of_kind("srikanth_toueg").seed(seed)
+            .payload(params=StParams(n=4, f=1, rho=rho, d=d, u=u,
+                                     period=params.round_length),
+                     silent_faults=1, rounds=rounds)
+            .tag("st", u).build())
 
-        st = SrikanthTouegSystem(
-            StParams(n=4, f=1, rho=rho, d=d, u=u,
-                     period=params.round_length),
-            seed=seed, silent_faults=1)
-        st_skew = st.run(rounds=rounds)
-        table.add_row(u / d, lw_steady, params.intra_skew_bound_paper(),
-                      st_skew, 2.0 * d)
-    table.add_note("LW bound = 2*theta_g*E = O(U + rho*d); ST's O(d) "
-                   "worst case needs adversarial delay+equivocation "
-                   "schedules; benign measurements for both are "
-                   "U-dominated (see EXPERIMENTS.md discussion)")
-    return table
+    def finish(cells, table: Table) -> Table:
+        for (u, params), lw_cell, st_cell in zip(
+                zip(u_values, param_sets), cells[0::2], cells[1::2]):
+            lw_steady = lw_cell.steady_state_skews()["intra"]
+            table.add_row(u / d, lw_steady,
+                          params.intra_skew_bound_paper(),
+                          st_cell.result, 2.0 * d)
+        table.add_note("LW bound = 2*theta_g*E = O(U + rho*d); ST's "
+                       "O(d) worst case needs adversarial "
+                       "delay+equivocation schedules; benign "
+                       "measurements for both are U-dominated (see "
+                       "EXPERIMENTS.md discussion)")
+        return table
+
+    return ExperimentPlan(specs=specs, finish=finish)
 
 
 # ----------------------------------------------------------------------
 # T12 — Proposition B.14 / Corollary B.13: convergence from loose init
 # ----------------------------------------------------------------------
 
+@REGISTRY.experiment(
+    "t12",
+    title="T12  Convergence from loose initialization (Prop. B.14)",
+    claim="Started with pulse spread ~ e(1) >> E under the adaptive "
+          "round schedule, measured ||p(r)|| stays below the "
+          "predicted e(r) as it contracts geometrically to E.",
+    columns=["round", "predicted e(r)", "measured ||p(r)||", "within"],
+    default_seed=12)
+def t12_plan(quick: bool, seed: int) -> ExperimentPlan:
+    params = default_params(f=1)
+    e1 = 20.0 * params.cap_e
+    rounds = 30 if quick else 80
+    specs = [
+        Scenario.line(1).params(params).rounds(rounds).seed(seed)
+        .configure(e1=e1, init_jitter=e1 / 2.0)
+        .measure("pulse_diameters")
+        .tag("e1", e1).build()]
+
+    def finish(cells, table: Table) -> Table:
+        (cell,) = cells
+        schedule = RoundSchedule(params, e1=e1)
+        diameters = cell.pulse_diameters
+        report_rounds = [1, 2, 3, 5, 8, 12, 20, rounds]
+        for r in report_rounds:
+            measured = diameters.get((0, r))
+            if measured is None:
+                continue
+            predicted = schedule.e(r)
+            table.add_row(r, predicted, measured, measured <= predicted)
+        table.add_note(f"e(1) = 20E = {e1:.4g}; e(r+1) = alpha*e(r) + "
+                       f"beta with alpha = {params.alpha:.4f}")
+        return table
+
+    return ExperimentPlan(specs=specs, finish=finish)
+
+
+# ----------------------------------------------------------------------
+# Backward-compatible wrappers
+# ----------------------------------------------------------------------
+
+def t01_local_skew_vs_diameter(quick: bool = True, seed: int = 1,
+                               processes: int | None = None) -> Table:
+    """Line networks with one equivocator per cluster and an initial
+    inter-cluster gradient of ``2.2 kappa`` per edge (forcing trigger
+    activity).  Measured steady local skews vs the Theorem 1.1 bounds.
+    """
+    return run_experiment("t01", quick=quick, seed=seed,
+                          processes=processes)
+
+
+def t02_intra_cluster_skew(quick: bool = True, seed: int = 2,
+                           processes: int | None = None) -> Table:
+    """Single clusters of size 3f+1 under the strongest pulse attacks;
+    steady intra-cluster skew against both forms of the bound."""
+    return run_experiment("t02", quick=quick, seed=seed,
+                          processes=processes)
+
+
+def t03_attack_gallery(quick: bool = True, seed: int = 3,
+                       processes: int | None = None) -> Table:
+    """Every strategy against a ring; all FTGCS bounds must hold.
+    The last rows run the *fault-intolerant* GCS baseline under a
+    single liar: its correct-edge local skew grows without bound."""
+    return run_experiment("t03", quick=quick, seed=seed,
+                          processes=processes)
+
+
+def t04_master_slave_compression(quick: bool = True, seed: int = 4,
+                                 processes: int | None = None) -> Table:
+    """Inject a global skew ``S`` at the root of a line; the classic
+    (jump-based) master–slave tree propagates the *full* S across every
+    interior edge, while FTGCS caps interior edges near ``2 kappa``."""
+    return run_experiment("t04", quick=quick, seed=seed,
+                          processes=processes)
+
+
+def t05_failure_probability(quick: bool = True, seed: int = 5,
+                            processes: int | None = None) -> Table:
+    """Monte Carlo estimate vs the exact tail and both printed bounds."""
+    return run_experiment("t05", quick=quick, seed=seed,
+                          processes=processes)
+
+
+def t06_unanimous_rates(quick: bool = True, seed: int = 6,
+                        processes: int | None = None) -> Table:
+    """Two clusters offset by 3*kappa: the laggard runs unanimously
+    fast, the leader unanimously slow.  Measures amortized per-round
+    rates and pulse diameters against Lemma 3.6's guarantees."""
+    return run_experiment("t06", quick=quick, seed=seed,
+                          processes=processes)
+
+
+def t07_ablation_c1(quick: bool = True, seed: int = 7,
+                    processes: int | None = None) -> Table:
+    """Sweep ``c1``: with a short phase 3 (small c1), Lynch–Welch
+    corrections eat the entire ``mu`` speed budget and fast clusters
+    cannot outrun slow ones; the paper's ``c1 = Theta(1/rho)`` restores
+    the gap.  This is the 'main obstacle' of Section 1, measured."""
+    return run_experiment("t07", quick=quick, seed=seed,
+                          processes=processes)
+
+
+def t08_overheads(quick: bool = True, seed: int = 8,
+                  processes: int | None = None) -> Table:
+    """Exact node/edge counts of the augmentation across topologies."""
+    return run_experiment("t08", quick=quick, seed=seed,
+                          processes=processes)
+
+
+def t09_global_skew(quick: bool = True, seed: int = 9,
+                    processes: int | None = None) -> Table:
+    """(a) Global skew stays below ``c_global * delta * (D+1)`` across
+    diameters; (b) a lagging tail converges faster with the Theorem C.3
+    max-rule than with slow-default (parallel vs sequential wakeup)."""
+    return run_experiment("t09", quick=quick, seed=seed,
+                          processes=processes)
+
+
+def t10_trigger_exclusion(quick: bool = True, seed: int = 10,
+                          processes: int | None = None) -> Table:
+    """(a) In every simulated scenario, no round ever satisfies both
+    triggers; (b) randomized check of Lemma 4.8's core step: conditions
+    on true cluster clocks imply triggers on estimates perturbed by up
+    to 2E, for delta = (k_stab+5)E and kappa = 3*delta."""
+    return run_experiment("t10", quick=quick, seed=seed,
+                          processes=processes)
+
+
+def t11_lw_vs_st(quick: bool = True, seed: int = 11,
+                 processes: int | None = None) -> Table:
+    """Clique synchronization quality as ``U`` shrinks relative to
+    ``d``: Lynch–Welch's bound is ``O(U + (theta-1)d)`` while
+    Srikanth–Toueg carries an ``O(d)`` worst case.  We report measured
+    steady skews (benign adversary) alongside both bounds."""
+    return run_experiment("t11", quick=quick, seed=seed,
+                          processes=processes)
+
+
 def t12_convergence(quick: bool = True, seed: int = 12,
                     processes: int | None = None) -> Table:
     """Single cluster started with pulse spread ~ e(1) >> E under the
     adaptive round schedule: measured ``||p(r)||`` must stay below the
     predicted ``e(r)`` as it contracts geometrically to E."""
-    params = default_params(f=1)
-    e1 = 20.0 * params.cap_e
-    rounds = 30 if quick else 80
-    spec = ScenarioSpec(
-        graph="line", graph_args=(1,), params=params, rounds=rounds,
-        seed=seed, config={"e1": e1, "init_jitter": e1 / 2.0},
-        collect_pulse_diameters=True, key=("e1", e1))
-    (cell,) = SweepRunner(processes).run([spec])
-    schedule = RoundSchedule(params, e1=e1)
-    diameters = cell.pulse_diameters
-    table = Table(
-        title="T12  Convergence from loose initialization (Prop. B.14)",
-        columns=["round", "predicted e(r)", "measured ||p(r)||",
-                 "within"])
-    report_rounds = [1, 2, 3, 5, 8, 12, 20, rounds]
-    for r in report_rounds:
-        measured = diameters.get((0, r))
-        if measured is None:
-            continue
-        predicted = schedule.e(r)
-        table.add_row(r, predicted, measured, measured <= predicted)
-    table.add_note(f"e(1) = 20E = {e1:.4g}; e(r+1) = alpha*e(r) + beta "
-                   f"with alpha = {params.alpha:.4f}")
-    return table
+    return run_experiment("t12", quick=quick, seed=seed,
+                          processes=processes)
 
 
 #: All experiments, for "run everything" entry points.
@@ -641,10 +839,8 @@ ALL_EXPERIMENTS = {
 }
 
 
-def run_all(quick: bool = True) -> list[Table]:
+def run_all(quick: bool = True,
+            processes: int | None = None) -> list[Table]:
     """Run every experiment; returns the tables in order."""
-    tables = []
-    for name in sorted(ALL_EXPERIMENTS):
-        fn = ALL_EXPERIMENTS[name]
-        tables.append(fn(quick=quick))
-    return tables
+    return [run_experiment(id, quick=quick, processes=processes)
+            for id in REGISTRY.ids()]

@@ -8,7 +8,7 @@ wiring code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.params import Parameters
 from repro.core.system import FtgcsSystem, RunResult, SystemConfig
@@ -60,9 +60,17 @@ def run_scenario(graph: ClusterGraph, params: Parameters, *,
                  strategy_factory=None,
                  faults_per_cluster: int | None = None,
                  config: SystemConfig | None = None) -> ScenarioResult:
-    """Build and run one system, optionally with faults everywhere."""
+    """Build and run one system, optionally with faults everywhere.
+
+    The passed ``config`` is never modified: measurement defaults
+    (``sample_interval``, ``record_series``, ``track_edges``) and fault
+    placement are applied to a private copy, so one config object can
+    be reused across scenarios.
+    """
     if config is None:
         config = SystemConfig()
+    else:
+        config = replace(config)
     if config.sample_interval is None:
         config.sample_interval = params.round_length / 4.0
     config.record_series = True

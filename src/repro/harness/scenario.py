@@ -1,0 +1,161 @@
+"""Fluent, declarative scenario construction.
+
+:class:`Scenario` is the builder half of the experiment API: it
+composes topology × parameters × faults × schedule × measurements and
+compiles to a picklable :class:`~repro.harness.sweep.ScenarioSpec`.
+Builders are immutable — every method returns a *new* builder — so a
+shared base fans out into grids without aliasing:
+
+>>> from repro.harness import Scenario, SweepRunner, default_params
+>>> base = (Scenario.line(3).params(default_params())
+...         .rounds(20).attack("equivocate"))
+>>> specs = [base.configure(init_jitter=j).tag("jitter", j).build()
+...          for j in (0.01, 0.05, 0.1)]
+>>> cells = SweepRunner().run(specs, base_seed=7)
+
+Validation that only needs the spec itself (known strategy, known cell
+kind, known collectors) happens at :meth:`Scenario.build`; topology
+and parameter validation happens in the worker, where the system is
+actually constructed.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import Parameters
+from repro.errors import ConfigError
+from repro.harness.sweep import (
+    CELL_KINDS,
+    COLLECTORS,
+    STRATEGIES,
+    ScenarioSpec,
+)
+
+class Scenario:
+    """Immutable fluent builder for one sweep cell.
+
+    Start from a topology classmethod (:meth:`line`, :meth:`ring`,
+    :meth:`on`, …) or :meth:`of_kind` for non-graph cells, chain
+    setters, and :meth:`build` the spec.
+    """
+
+    __slots__ = ("_fields",)
+
+    def __init__(self, **fields) -> None:
+        object.__setattr__(self, "_fields", fields)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Scenario is immutable; chain methods")
+
+    def _with(self, **changes) -> "Scenario":
+        merged = dict(self._fields)
+        merged.update(changes)
+        return Scenario(**merged)
+
+    # ------------------------------------------------------------------
+    # Topology / kind entry points
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def on(cls, graph: str, *graph_args) -> "Scenario":
+        """Start from any ClusterGraph constructor name."""
+        return cls(graph=graph, graph_args=tuple(graph_args))
+
+    @classmethod
+    def line(cls, n: int) -> "Scenario":
+        return cls.on("line", n)
+
+    @classmethod
+    def ring(cls, n: int) -> "Scenario":
+        return cls.on("ring", n)
+
+    @classmethod
+    def grid_graph(cls, rows: int, cols: int) -> "Scenario":
+        return cls.on("grid", rows, cols)
+
+    @classmethod
+    def of_kind(cls, kind: str) -> "Scenario":
+        """Start a non-default cell kind (may be graph-free)."""
+        return cls(kind=kind)
+
+    # ------------------------------------------------------------------
+    # Parameters / schedule / faults
+    # ------------------------------------------------------------------
+
+    def kind(self, kind: str) -> "Scenario":
+        """Select the worker routine (see ``CELL_KINDS``)."""
+        return self._with(kind=kind)
+
+    def params(self, params: Parameters) -> "Scenario":
+        """Attach the full FTGCS parameter set."""
+        return self._with(params=params)
+
+    def rounds(self, rounds: int) -> "Scenario":
+        """How many rounds the cell runs."""
+        return self._with(rounds=rounds)
+
+    def seed(self, seed: int | None) -> "Scenario":
+        """Explicit master seed (``None``: derived per cell)."""
+        return self._with(seed=seed)
+
+    def attack(self, strategy: str, *args) -> "Scenario":
+        """Place a named fault strategy in every cluster."""
+        return self._with(strategy=strategy, strategy_args=tuple(args))
+
+    def faults_per_cluster(self, count: int) -> "Scenario":
+        """Override the per-cluster fault count (default ``params.f``)."""
+        return self._with(faults_per_cluster=count)
+
+    def configure(self, **config) -> "Scenario":
+        """Merge :class:`~repro.core.system.SystemConfig` kwargs."""
+        merged = dict(self._fields.get("config", {}))
+        merged.update(config)
+        return self._with(config=merged)
+
+    def offsets(self, cluster_offsets: list[float]) -> "Scenario":
+        """Initial per-cluster logical offsets (gradient setups)."""
+        return self.configure(cluster_offsets=list(cluster_offsets))
+
+    def payload(self, **payload) -> "Scenario":
+        """Merge kind-specific knobs (non-``ftgcs`` cells)."""
+        merged = dict(self._fields.get("payload", {}))
+        merged.update(payload)
+        return self._with(payload=merged)
+
+    # ------------------------------------------------------------------
+    # Measurements / labeling
+    # ------------------------------------------------------------------
+
+    def measure(self, *collectors: str) -> "Scenario":
+        """Add in-worker collectors (see ``COLLECTORS``)."""
+        existing = self._fields.get("collect", ())
+        added = tuple(c for c in collectors if c not in existing)
+        return self._with(collect=existing + added)
+
+    def tag(self, *key) -> "Scenario":
+        """Set the cell's free-form coordinates (``result.key``)."""
+        return self._with(key=tuple(key))
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    def build(self) -> ScenarioSpec:
+        """Compile to a picklable :class:`ScenarioSpec`."""
+        fields = dict(self._fields)
+        kind = fields.get("kind", "ftgcs")
+        if kind not in CELL_KINDS:
+            raise ConfigError(f"unknown cell kind {kind!r}; known: "
+                              f"{sorted(CELL_KINDS)}")
+        strategy = fields.get("strategy")
+        if strategy is not None and strategy not in STRATEGIES:
+            raise ConfigError(f"unknown strategy {strategy!r}; known: "
+                              f"{sorted(STRATEGIES)}")
+        for collector in fields.get("collect", ()):
+            if collector not in COLLECTORS:
+                raise ConfigError(
+                    f"unknown collector {collector!r}; known: "
+                    f"{sorted(COLLECTORS)}")
+        return ScenarioSpec(**fields)
+
+
+__all__ = ["Scenario"]

@@ -7,18 +7,58 @@ embarrassingly parallel without giving up determinism.
 
 Design: picklable specs, not live objects
 -----------------------------------------
-A :class:`ScenarioSpec` describes one cell entirely by *value* — the
-cluster-graph constructor name and its arguments, the
-:class:`~repro.core.params.Parameters`, plain
+A :class:`ScenarioSpec` describes one cell entirely by *value* — a
+cell *kind* (see below), the cluster-graph constructor name and its
+arguments, the :class:`~repro.core.params.Parameters`, plain
 :class:`~repro.core.system.SystemConfig` keyword arguments, a fault
 strategy *registry name* plus constructor arguments, and a seed.  No
 simulator, node, lambda, or strategy instance crosses the process
 boundary; the worker (:func:`run_cell`) rebuilds the whole system from
 the spec, runs it, and returns only picklable measurements
-(:class:`SweepCellResult` holding the
-:class:`~repro.core.system.RunResult` and, on request, the pulse
-diameter table).  This is what lets one code path serve both the
-in-process serial fallback and a ``multiprocessing`` pool.
+(:class:`SweepCellResult`).  This is what lets one code path serve
+both the in-process serial fallback and a ``multiprocessing`` pool.
+
+Cell kinds
+----------
+``spec.kind`` names the worker routine in :data:`CELL_KINDS`:
+
+``"ftgcs"`` (default)
+    A full FTGCS deployment via
+    :func:`~repro.harness.runner.run_scenario`; ``result`` is the
+    :class:`~repro.core.system.RunResult`.
+``"master_slave"``
+    The tree-slaved baseline
+    (:class:`~repro.baselines.master_slave.MasterSlaveSystem`);
+    ``result`` is its :class:`~repro.analysis.sampling.SkewMaxima`.
+``"gcs_single"``
+    Plain fault-intolerant GCS
+    (:class:`~repro.baselines.gcs_single.GcsSingleSystem`); ``result``
+    is the ``(t, local_skew, global_skew)`` sample list.
+``"srikanth_toueg"``
+    A Srikanth–Toueg clique
+    (:class:`~repro.baselines.srikanth_toueg.SrikanthTouegSystem`);
+    ``result`` is the max observed skew.
+``"failure_mc"``
+    A Monte Carlo estimate of the cluster failure probability
+    (Inequality (1)); ``result`` is the estimated probability.
+``"trigger_fuzz"``
+    The randomized Lemma 4.8 faithfulness check on perturbed trigger
+    inputs; ``result`` is the violation count.
+``"augment_counts"``
+    Pure graph accounting: node/edge counts of the augmentation across
+    fault budgets; no simulation at all.
+
+Kind-specific knobs travel in ``spec.payload`` (a picklable dict);
+:func:`register_cell_kind` adds custom kinds.  Custom kinds registered
+outside this module are visible to pool workers only under the
+``fork`` start method (the default used here when available).
+
+In-worker collectors
+--------------------
+Post-hoc analysis accessors of a live system (pulse diameters, mode
+unanimity, amortized round rates) cannot cross the process boundary,
+so ``spec.collect`` names :data:`COLLECTORS` entries that run *inside*
+the worker and return picklable data in ``SweepCellResult.extras``.
 
 Seeding scheme
 --------------
@@ -30,6 +70,12 @@ split, and independent of how many other cells run.  Identical grids
 therefore produce *bit-identical* per-cell results whether executed
 serially, in a pool of any size, or cell-by-cell in isolation.
 
+Cells that must share one serial RNG *stream* (the T5 Monte Carlo
+reproduces a single ``random.Random(seed)`` consumed across the whole
+grid) carry a ``skip`` payload entry: the worker fast-forwards a fresh
+generator by that many draws, which is exact because every trial
+consumes a statically known number of draws.
+
 Result collection is ordered: ``results[i]`` always corresponds to
 ``specs[i]`` regardless of which worker finished first.  A raising
 cell propagates its exception to the caller in both modes.
@@ -37,13 +83,19 @@ cell propagates its exception to the caller in both modes.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
+import random
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from typing import Any, Callable, Sequence
 
+from repro.baselines.gcs_single import GcsSingleSystem
+from repro.baselines.master_slave import MasterSlaveSystem
+from repro.baselines.srikanth_toueg import SrikanthTouegSystem
 from repro.core.params import Parameters
-from repro.core.system import RunResult, SystemConfig
+from repro.core.system import FtgcsSystem, RunResult, SystemConfig
+from repro.core.triggers import evaluate
 from repro.errors import ConfigError
 from repro.faults.strategies import (
     ColludingEquivocatorStrategy,
@@ -79,7 +131,9 @@ class ScenarioSpec:
     graph:
         Name of a :class:`~repro.topology.cluster_graph.ClusterGraph`
         classmethod constructor (``"line"``, ``"ring"``, ``"grid"``,
-        ``"torus"``, ``"balanced_tree"``, ``"hypercube"``).
+        ``"torus"``, ``"balanced_tree"``, ``"hypercube"``).  Kinds
+        without a topology (``"failure_mc"``, ``"trigger_fuzz"``)
+        leave it empty.
     graph_args:
         Positional arguments for that constructor.
     params:
@@ -105,10 +159,19 @@ class ScenarioSpec:
     collect_pulse_diameters:
         Also return the per-(cluster, round) pulse diameter table,
         computed in-worker (the system itself never crosses the
-        process boundary).
+        process boundary).  Equivalent to ``"pulse_diameters"`` in
+        ``collect``.
+    kind:
+        Worker routine name in :data:`CELL_KINDS` (module docstring).
+    payload:
+        Kind-specific picklable knobs (e.g. the master-slave ``jump``
+        flag, the Monte Carlo ``trials``/``skip``).
+    collect:
+        Names of :data:`COLLECTORS` to run in-worker against the live
+        system; results land in ``SweepCellResult.extras``.
     """
 
-    graph: str
+    graph: str = ""
     graph_args: tuple = ()
     params: Parameters | None = None
     rounds: int = 1
@@ -119,41 +182,100 @@ class ScenarioSpec:
     config: dict = field(default_factory=dict)
     key: tuple = ()
     collect_pulse_diameters: bool = False
+    kind: str = "ftgcs"
+    payload: dict = field(default_factory=dict)
+    collect: tuple = ()
 
 
 @dataclass
 class SweepCellResult:
-    """Measurements of one executed cell (picklable)."""
+    """Measurements of one executed cell (picklable).
+
+    ``result`` holds the kind's primary measurement — a
+    :class:`~repro.core.system.RunResult` for ``"ftgcs"`` cells, the
+    kind-specific value otherwise (module docstring).  ``extras`` maps
+    collector names to their in-worker measurements.
+    """
 
     key: tuple
     seed: int
-    result: RunResult
+    result: Any
     pulse_diameters: dict[tuple[int, int], float] | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
 
     def steady_state_skews(self, tail_fraction: float = 0.5
                            ) -> dict[str, float]:
-        """Max skews over the last ``tail_fraction`` of samples."""
+        """Max skews over the last ``tail_fraction`` of samples.
+
+        Only meaningful for cells whose ``result`` is a
+        :class:`~repro.core.system.RunResult` recorded with a series.
+        """
+        if not isinstance(self.result, RunResult):
+            raise ConfigError(
+                f"cell {self.key!r} is not an ftgcs run; "
+                f"steady_state_skews needs a RunResult")
         return steady_state_skews(self.result.series, tail_fraction)
 
 
-def run_cell(spec: ScenarioSpec) -> SweepCellResult:
-    """Build, run, and measure one cell (the pool worker).
+# ----------------------------------------------------------------------
+# In-worker collectors (ftgcs cells)
+# ----------------------------------------------------------------------
 
-    Module-level (hence picklable by reference) and usable directly for
-    one-off cells.  ``spec.seed`` must be resolved (not ``None``) —
-    :meth:`SweepRunner.run` does this before dispatch so serial and
-    parallel executions see identical seeds.
+def _collect_pulse_diameters(system: FtgcsSystem):
+    return system.pulse_diameter_table()
+
+
+def _collect_unanimity(system: FtgcsSystem):
+    """Per-cluster, per-round (unanimous, gamma) of correct members."""
+    return {cluster: system.cluster_unanimity(cluster)
+            for cluster in range(system.cluster_graph.num_clusters)}
+
+
+def _collect_amortized_rates(system: FtgcsSystem):
+    """``(cluster, round, amortized_rate)`` for completed honest rounds.
+
+    Records with an unfinished round (``t_end`` NaN) are dropped, as
+    every rate-based experiment excludes them anyway.
     """
-    if spec.seed is None:
-        raise ConfigError("run_cell needs a resolved seed "
-                          "(use SweepRunner.run for derived seeds)")
+    rates = []
+    for node in system.honest_nodes():
+        for record in node.core.records:
+            if not math.isnan(record.t_end):
+                rates.append((node.cluster_id, record.round_index,
+                              record.amortized_rate))
+    return rates
+
+
+#: Named in-worker measurements for ``ScenarioSpec.collect``.
+COLLECTORS: dict[str, Callable[[FtgcsSystem], Any]] = {
+    "pulse_diameters": _collect_pulse_diameters,
+    "unanimity": _collect_unanimity,
+    "amortized_rates": _collect_amortized_rates,
+}
+
+
+# ----------------------------------------------------------------------
+# Cell kinds
+# ----------------------------------------------------------------------
+
+def _build_graph(spec: ScenarioSpec) -> ClusterGraph:
+    if not spec.graph:
+        raise ConfigError(f"cell kind {spec.kind!r} needs a graph")
     graph_factory = getattr(ClusterGraph, spec.graph, None)
     if graph_factory is None:
         raise ConfigError(f"unknown graph constructor: {spec.graph!r}")
-    graph = graph_factory(*spec.graph_args)
-    params = spec.params
-    if params is None:
+    return graph_factory(*spec.graph_args)
+
+
+def _require_params(spec: ScenarioSpec) -> Parameters:
+    if spec.params is None:
         raise ConfigError("ScenarioSpec.params is required to run")
+    return spec.params
+
+
+def _run_ftgcs_cell(spec: ScenarioSpec) -> SweepCellResult:
+    graph = _build_graph(spec)
+    params = _require_params(spec)
 
     strategy_factory = None
     if spec.strategy is not None:
@@ -170,10 +292,186 @@ def run_cell(spec: ScenarioSpec) -> SweepCellResult:
         graph, params, rounds=spec.rounds, seed=spec.seed,
         strategy_factory=strategy_factory,
         faults_per_cluster=spec.faults_per_cluster, config=config)
-    pulses = (scenario.system.pulse_diameter_table()
-              if spec.collect_pulse_diameters else None)
+
+    extras = {}
+    for name in spec.collect:
+        collector = COLLECTORS.get(name)
+        if collector is None:
+            raise ConfigError(
+                f"unknown collector {name!r}; known: {sorted(COLLECTORS)}")
+        extras[name] = collector(scenario.system)
+    pulses = extras.get("pulse_diameters")
+    if pulses is None and spec.collect_pulse_diameters:
+        pulses = scenario.system.pulse_diameter_table()
     return SweepCellResult(key=spec.key, seed=spec.seed,
-                           result=scenario.result, pulse_diameters=pulses)
+                           result=scenario.result, pulse_diameters=pulses,
+                           extras=extras)
+
+
+def _run_master_slave_cell(spec: ScenarioSpec) -> SweepCellResult:
+    """Tree-slaved baseline; ``result`` is the sampler's SkewMaxima."""
+    graph = _build_graph(spec)
+    params = _require_params(spec)
+    payload = dict(spec.payload)
+    rounds = payload.pop("rounds", spec.rounds)
+    system = MasterSlaveSystem(graph, params, seed=spec.seed, **payload)
+    maxima = system.run_rounds(rounds)
+    return SweepCellResult(key=spec.key, seed=spec.seed, result=maxima)
+
+
+def _run_gcs_single_cell(spec: ScenarioSpec) -> SweepCellResult:
+    """Fault-intolerant GCS; ``result`` is the sample list."""
+    graph = _build_graph(spec)
+    payload = dict(spec.payload)
+    gcs_params = payload.pop("params")
+    until = payload.pop("until")
+    system = GcsSingleSystem(graph, gcs_params, seed=spec.seed, **payload)
+    samples = system.run(until=until)
+    return SweepCellResult(key=spec.key, seed=spec.seed, result=samples)
+
+
+def _run_srikanth_toueg_cell(spec: ScenarioSpec) -> SweepCellResult:
+    """Srikanth–Toueg clique; ``result`` is the max observed skew."""
+    payload = dict(spec.payload)
+    st_params = payload.pop("params")
+    rounds = payload.pop("rounds", spec.rounds)
+    system = SrikanthTouegSystem(st_params, seed=spec.seed, **payload)
+    skew = system.run(rounds=rounds)
+    return SweepCellResult(key=spec.key, seed=spec.seed, result=skew)
+
+
+#: ``(seed, draws_consumed) -> random.Random state`` — lets consecutive
+#: ``failure_mc`` cells of one grid continue the shared stream instead
+#: of fast-forwarding from scratch (serial and chunked-pool runs then
+#: consume exactly the original draw count; a pool worker landing
+#: mid-grid pays one fast-forward).  A handful of ~2.5 kB states.
+_MC_STREAM_STATES: dict[tuple[int, int], tuple] = {}
+
+
+def _run_failure_mc_cell(spec: ScenarioSpec) -> SweepCellResult:
+    """Monte Carlo cluster-failure estimate (Inequality (1)).
+
+    ``payload``: ``f``, ``p``, ``trials``, and ``skip`` — the number
+    of draws consumed by *earlier* grid cells sharing the same serial
+    stream.  Fast-forwarding by ``skip`` reproduces the historical
+    single-``random.Random`` implementation bit-for-bit while every
+    cell still runs independently (each trial consumes exactly
+    ``3f + 1`` draws, so skip counts are static).
+    """
+    payload = spec.payload
+    f = payload["f"]
+    p = payload["p"]
+    trials = payload["trials"]
+    skip = payload.get("skip", 0)
+    rng = random.Random(spec.seed)
+    state = _MC_STREAM_STATES.get((spec.seed, skip)) if skip else None
+    if state is not None:
+        rng.setstate(state)
+    else:
+        for _ in range(skip):
+            rng.random()
+    k = 3 * f + 1
+    failures = 0
+    for _ in range(trials):
+        faulty = sum(1 for _ in range(k) if rng.random() < p)
+        if faulty > f:
+            failures += 1
+    if len(_MC_STREAM_STATES) > 64:
+        _MC_STREAM_STATES.clear()
+    _MC_STREAM_STATES[(spec.seed, skip + trials * k)] = rng.getstate()
+    return SweepCellResult(key=spec.key, seed=spec.seed,
+                           result=failures / trials)
+
+
+def _run_trigger_fuzz_cell(spec: ScenarioSpec) -> SweepCellResult:
+    """Randomized Lemma 4.8 faithfulness check; ``result`` is the
+    violation count.
+
+    ``payload``: ``trials``, ``kappa``, ``slack``, and ``err`` (the
+    ``2E`` estimate-perturbation radius).  Conditions evaluated on
+    true cluster clocks must imply the matching trigger on estimates
+    perturbed by up to ``err``.
+    """
+    payload = spec.payload
+    trials = payload["trials"]
+    kappa = payload["kappa"]
+    slack = payload["slack"]
+    err = payload["err"]
+    rng = random.Random(spec.seed)
+    violations = 0
+    for _ in range(trials):
+        own_true = rng.uniform(-5 * kappa, 5 * kappa)
+        neighbors = {i: rng.uniform(-5 * kappa, 5 * kappa)
+                     for i in range(rng.randint(1, 4))}
+        cond = evaluate(own_true, neighbors, kappa, 0.0)
+        own_seen = own_true + rng.uniform(-err / 2, err / 2)
+        seen = {i: v + rng.uniform(-err, err)
+                for i, v in neighbors.items()}
+        trig = evaluate(own_seen, seen, kappa, slack)
+        if cond.fast and not trig.fast:
+            violations += 1
+        if cond.slow and not trig.slow:
+            violations += 1
+    return SweepCellResult(key=spec.key, seed=spec.seed, result=violations)
+
+
+def _run_augment_counts_cell(spec: ScenarioSpec) -> SweepCellResult:
+    """Node/edge accounting of the augmentation (no simulation).
+
+    ``payload``: ``fault_counts`` (default ``(0, 1, 2, 3)``).
+    ``result``: the graph's name and base counts plus
+    ``(f, k, nodes, edges)`` per fault budget.
+    """
+    graph = _build_graph(spec)
+    rows = []
+    for f in spec.payload.get("fault_counts", (0, 1, 2, 3)):
+        k = 3 * f + 1
+        aug = graph.augment(k)
+        rows.append((f, k, aug.num_nodes, aug.num_edges))
+    return SweepCellResult(
+        key=spec.key, seed=spec.seed,
+        result={"name": graph.name, "clusters": graph.num_clusters,
+                "edges": graph.num_edges, "rows": rows})
+
+
+#: Worker routines addressable by ``ScenarioSpec.kind``.
+CELL_KINDS: dict[str, Callable[[ScenarioSpec], SweepCellResult]] = {
+    "ftgcs": _run_ftgcs_cell,
+    "master_slave": _run_master_slave_cell,
+    "gcs_single": _run_gcs_single_cell,
+    "srikanth_toueg": _run_srikanth_toueg_cell,
+    "failure_mc": _run_failure_mc_cell,
+    "trigger_fuzz": _run_trigger_fuzz_cell,
+    "augment_counts": _run_augment_counts_cell,
+}
+
+
+def register_cell_kind(name: str,
+                       runner: Callable[[ScenarioSpec], SweepCellResult],
+                       ) -> None:
+    """Register a custom cell kind (see the module docstring caveat
+    about non-``fork`` start methods)."""
+    if name in CELL_KINDS:
+        raise ConfigError(f"cell kind {name!r} already registered")
+    CELL_KINDS[name] = runner
+
+
+def run_cell(spec: ScenarioSpec) -> SweepCellResult:
+    """Build, run, and measure one cell (the pool worker).
+
+    Module-level (hence picklable by reference) and usable directly for
+    one-off cells.  ``spec.seed`` must be resolved (not ``None``) —
+    :meth:`SweepRunner.run` does this before dispatch so serial and
+    parallel executions see identical seeds.
+    """
+    if spec.seed is None:
+        raise ConfigError("run_cell needs a resolved seed "
+                          "(use SweepRunner.run for derived seeds)")
+    runner = CELL_KINDS.get(spec.kind)
+    if runner is None:
+        raise ConfigError(f"unknown cell kind {spec.kind!r}; known: "
+                          f"{sorted(CELL_KINDS)}")
+    return runner(spec)
 
 
 def _coerce_processes(value, source: str) -> int:
@@ -190,10 +488,10 @@ def default_processes(processes: int | None = None,
     ``fallback``.
 
     The single resolution path for every worker-count knob in the
-    library (CLI, benchmarks, microbenchmarks).  The stock fallback is
-    serial so unit tests and small sweeps never pay pool startup;
-    callers that should scale with the machine pass e.g.
-    ``fallback=min(4, os.cpu_count() or 1)``.
+    library (experiment registry, CLI, benchmarks, microbenchmarks).
+    The stock fallback is serial so unit tests and small sweeps never
+    pay pool startup; callers that should scale with the machine pass
+    e.g. ``fallback=min(4, os.cpu_count() or 1)``.
     """
     if processes is not None:
         return _coerce_processes(processes, "processes")
@@ -249,11 +547,14 @@ class SweepRunner:
 
 
 __all__ = [
+    "CELL_KINDS",
+    "COLLECTORS",
     "STRATEGIES",
     "ScenarioSpec",
     "SweepCellResult",
     "SweepRunner",
     "default_processes",
+    "register_cell_kind",
     "run_cell",
     "steady_state_skews",
 ]

@@ -7,10 +7,25 @@ pandas/rich) matches the offline environment.
 
 from __future__ import annotations
 
+import csv
+import io
+import json
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ConfigError
+
+
+def _json_value(value: Any) -> Any:
+    """Strict-JSON-safe cell: non-finite floats become the JavaScript
+    spelling (``"NaN"``, ``"Infinity"``, ``"-Infinity"``) — strict
+    parsers reject the bare tokens ``json.dumps`` would emit."""
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "Infinity" if value > 0 else "-Infinity"
+    return value
 
 
 def _fmt(value: Any) -> str:
@@ -70,6 +85,38 @@ class Table:
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)
+
+    def to_dict(self, json_safe: bool = False) -> dict:
+        """Plain-data form (title, columns, rows, notes).
+
+        ``json_safe=True`` replaces non-finite floats with their
+        string spelling so the result survives strict JSON encoders.
+        """
+        rows = [list(row) for row in self.rows]
+        if json_safe:
+            rows = [[_json_value(value) for value in row]
+                    for row in rows]
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": rows,
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Strict JSON form of :meth:`to_dict` (non-finite floats as
+        ``"NaN"``/``"Infinity"`` strings, never bare tokens)."""
+        return json.dumps(self.to_dict(json_safe=True), indent=indent,
+                          allow_nan=False)
+
+    def to_csv(self) -> str:
+        """CSV form: one header row of column names, then raw values
+        (no display rounding; notes and title are not included)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.format()

@@ -1,12 +1,19 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface (registry subcommands)."""
+
+import json
 
 import pytest
 
 from repro.cli import build_parser, list_experiments, main
 
 
-class TestParser:
-    def test_list_flag(self, capsys):
+class TestList:
+    def test_list_subcommand(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "t01" in out and "t12" in out
+
+    def test_legacy_list_flag(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
         assert "t01" in out and "t12" in out
@@ -16,44 +23,135 @@ class TestParser:
         for i in range(1, 13):
             assert f"t{i:02d}" in text
 
+    def test_bench_quick_listed(self):
+        assert "bench-quick" in list_experiments()
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--format", "json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert [e["id"] for e in entries] == [f"t{i:02d}"
+                                              for i in range(1, 13)]
+        assert all(e["claim"] for e in entries)
+
+
+class TestShow:
+    def test_show_metadata(self, capsys):
+        assert main(["show", "t05"]) == 0
+        out = capsys.readouterr().out
+        assert "t05" in out
+        assert "claim:" in out
+        assert "cells quick" in out
+        assert "default seed: 5" in out
+
+    def test_show_unknown_id(self, capsys):
+        assert main(["show", "t99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_show_case_insensitive(self, capsys):
+        assert main(["show", "T05"]) == 0
+
+
+class TestParser:
     def test_unknown_experiment_rejected(self, capsys):
-        assert main(["t99"]) == 2
+        assert main(["run", "t99"]) == 2
         err = capsys.readouterr().err
         assert "unknown experiment" in err
+
+    def test_legacy_unknown_experiment_rejected(self, capsys):
+        assert main(["t99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
 
     def test_no_arguments_is_usage_error(self, capsys):
         assert main([]) == 2
 
+    def test_run_without_ids_is_usage_error(self, capsys):
+        assert main(["run"]) == 2
+
     def test_parser_accepts_full_flag(self):
-        args = build_parser().parse_args(["t01", "--full"])
+        args = build_parser().parse_args(["run", "t01", "--full"])
         assert args.full is True
-        assert args.experiments == ["t01"]
+        assert args.ids == ["t01"]
+
+    def test_parser_accepts_quick_flag(self):
+        args = build_parser().parse_args(["run", "t01", "--quick"])
+        assert args.full is False
 
     def test_parser_accepts_processes_flag(self):
-        args = build_parser().parse_args(["t09", "--processes", "4"])
+        args = build_parser().parse_args(
+            ["run", "t09", "--processes", "4"])
         assert args.processes == 4
 
-    def test_bench_quick_cannot_mix_with_experiments(self, capsys):
+    def test_parser_accepts_seed_flag(self):
+        args = build_parser().parse_args(["run", "t05", "--seed", "99"])
+        assert args.seed == 99
+
+    def test_bench_quick_rejects_positionals(self, capsys):
         assert main(["bench-quick", "t01"]) == 2
-        err = capsys.readouterr().err
-        assert "cannot be combined" in err
-
-    def test_bench_quick_cannot_mix_with_all_flag(self, capsys):
-        assert main(["bench-quick", "--all"]) == 2
-        err = capsys.readouterr().err
-        assert "cannot be combined" in err
-
-    def test_bench_quick_listed(self):
-        assert "bench-quick" in list_experiments()
 
 
 class TestExecution:
     def test_runs_single_experiment(self, capsys):
-        assert main(["t08"]) == 0
+        assert main(["run", "t08"]) == 0
         out = capsys.readouterr().out
         assert "T8" in out
         assert "finished in" in out
 
+    def test_legacy_positional_form(self, capsys):
+        assert main(["t08"]) == 0
+        assert "T8" in capsys.readouterr().out
+
     def test_case_insensitive_names(self, capsys):
         assert main(["T08"]) == 0
         assert "T8" in capsys.readouterr().out
+
+    def test_json_format_is_pure_stdout(self, capsys):
+        assert main(["run", "t08", "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        tables = json.loads(captured.out)
+        assert len(tables) == 1
+        assert tables[0]["title"].startswith("T8")
+        assert tables[0]["rows"]
+        assert "finished in" in captured.err
+
+    def test_json_format_is_strict_with_nan_rows(self, capsys):
+        # T3's GCS row contains NaN; strict parsers must still accept
+        # the output (non-finite floats become string spellings).
+        assert main(["run", "t03", "--format", "json"]) == 0
+        tables = json.loads(capsys.readouterr().out,
+                            parse_constant=lambda token: pytest.fail(
+                                f"bare {token} token in JSON output"))
+        gcs_rows = [row for row in tables[0]["rows"]
+                    if row[0] == "GCS (no FT)"]
+        assert gcs_rows and gcs_rows[0][2] == "NaN"
+
+    def test_csv_format(self, capsys):
+        assert main(["run", "t08", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[0]
+        assert header.startswith("graph,f,k,")
+
+    def test_legacy_id_with_help_shows_run_help(self, capsys):
+        assert main(["t07", "--help"]) == 0
+        assert "--processes" in capsys.readouterr().out
+
+    def test_csv_multi_table_has_no_blank_records(self, capsys):
+        import csv as csv_module
+        import io
+
+        assert main(["run", "t08", "t08", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        rows = list(csv_module.reader(io.StringIO(out)))
+        assert all(rows)  # no empty records between tables
+        assert sum(1 for row in rows if row[0] == "graph") == 2
+
+    def test_seed_flag_changes_output(self, capsys):
+        assert main(["run", "t05", "--seed", "99",
+                     "--format", "csv"]) == 0
+        reseeded = capsys.readouterr().out
+        assert main(["run", "t05", "--format", "csv"]) == 0
+        default = capsys.readouterr().out
+        assert reseeded != default
+
+    def test_processes_flag_accepted_everywhere(self, capsys):
+        # t08 is a non-simulation experiment; --processes still works.
+        assert main(["run", "t08", "--processes", "2"]) == 0

@@ -39,6 +39,13 @@ class TestExamples:
         assert "FAIL" not in out
         assert out.count("OK") == 7
 
+    def test_experiment_api_tour(self, capsys):
+        out = run_example("experiment_api_tour.py", capsys)
+        assert "T8  Augmentation overheads" in out
+        assert "quick grid: 9 cells" in out
+        assert "custom sweep: all bounds hold" in out
+        assert "VIOLATION" not in out
+
     def test_baseline_comparison(self, capsys):
         out = run_example("baseline_comparison.py", capsys)
         assert "full compression" in out

@@ -87,6 +87,35 @@ class TestRunnerHelpers:
             strategy_factory=lambda n: SilentStrategy())
         assert scenario.result.missing_pulses > 0
 
+    def test_run_scenario_leaves_caller_config_unchanged(self):
+        # Regression: run_scenario used to set measurement defaults and
+        # fault placement on the caller's object, so a reused config
+        # silently accumulated state.
+        from repro.core.system import SystemConfig
+        from repro.faults import SilentStrategy
+
+        params = default_params()
+        config = SystemConfig(cluster_offsets=[0.0, 1.0])
+        run_scenario(ClusterGraph.line(2), params, rounds=3, seed=1,
+                     strategy_factory=lambda n: SilentStrategy(),
+                     config=config)
+        assert config.sample_interval is None
+        assert config.record_series is False
+        assert config.track_edges is False
+        assert config.byzantine == {}
+        assert config.cluster_offsets == [0.0, 1.0]
+
+    def test_run_scenario_config_reusable_across_runs(self):
+        from repro.core.system import SystemConfig
+
+        params = default_params()
+        config = SystemConfig(init_jitter=0.05)
+        first = run_scenario(ClusterGraph.line(2), params, rounds=3,
+                             seed=1, config=config)
+        second = run_scenario(ClusterGraph.line(2), params, rounds=3,
+                              seed=1, config=config)
+        assert first.result.series == second.result.series
+
 
 class TestBoundsFunctions:
     def test_exact_tail_matches_direct_sum(self):

@@ -1,0 +1,121 @@
+"""Tests for the experiment registry and its uniform run path."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.registry import (
+    REGISTRY,
+    Experiment,
+    ExperimentPlan,
+    ExperimentRegistry,
+    run_experiment,
+)
+from repro.harness.tables import Table
+
+
+class TestRegistryContents:
+    def test_all_twelve_registered(self):
+        assert REGISTRY.ids() == [f"t{i:02d}" for i in range(1, 13)]
+        assert len(REGISTRY) == 12
+
+    def test_metadata_complete(self):
+        for experiment in REGISTRY:
+            assert experiment.id
+            assert experiment.title
+            assert experiment.claim
+            assert len(experiment.columns) >= 3
+            assert isinstance(experiment.default_seed, int)
+
+    def test_titles_carry_t_identifiers(self):
+        for experiment in REGISTRY:
+            number = int(experiment.id[1:])
+            assert experiment.title.startswith(f"T{number} ")
+
+    def test_contains_and_get(self):
+        assert "t05" in REGISTRY
+        assert "t99" not in REGISTRY
+        assert REGISTRY.get("t05").id == "t05"
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigError):
+            REGISTRY.get("t99")
+        with pytest.raises(ConfigError):
+            run_experiment("nope")
+
+    def test_plans_compile_without_running(self):
+        # Both grid sizes build for every experiment; quick never
+        # exceeds full.
+        for experiment in REGISTRY:
+            quick = experiment.plan(quick=True,
+                                    seed=experiment.default_seed)
+            full = experiment.plan(quick=False,
+                                   seed=experiment.default_seed)
+            assert quick.specs
+            assert len(quick.specs) <= len(full.specs)
+            for spec in quick.specs:
+                assert spec.seed is not None
+
+
+class TestRegistryValidation:
+    def _plan(self, quick, seed):
+        return ExperimentPlan(specs=[], finish=lambda cells, table: table)
+
+    def test_duplicate_id_rejected(self):
+        registry = ExperimentRegistry()
+        registry.add(Experiment(id="x", title="X", claim="c",
+                                columns=("a",), plan=self._plan))
+        with pytest.raises(ConfigError):
+            registry.add(Experiment(id="x", title="X2", claim="c",
+                                    columns=("a",), plan=self._plan))
+
+    def test_incomplete_metadata_rejected(self):
+        registry = ExperimentRegistry()
+        with pytest.raises(ConfigError):
+            registry.add(Experiment(id="y", title="", claim="c",
+                                    columns=("a",), plan=self._plan))
+        with pytest.raises(ConfigError):
+            registry.add(Experiment(id="y", title="t", claim="c",
+                                    columns=(), plan=self._plan))
+
+    def test_decorator_registers(self):
+        registry = ExperimentRegistry()
+
+        @registry.experiment("z", title="Z", claim="c", columns=("a",))
+        def plan(quick, seed):
+            return ExperimentPlan(
+                specs=[], finish=lambda cells, table: table)
+
+        assert registry._experiments["z"].plan is plan
+
+
+class TestRunExperiment:
+    @pytest.mark.parametrize("experiment_id",
+                             [f"t{i:02d}" for i in range(1, 13)])
+    def test_every_experiment_runs_quick(self, experiment_id):
+        experiment = REGISTRY.get(experiment_id)
+        table = run_experiment(experiment_id, quick=True)
+        assert isinstance(table, Table)
+        assert table.title == experiment.title
+        assert tuple(table.columns) == experiment.columns
+        assert table.rows
+
+    def test_serial_vs_parallel_bit_identical(self):
+        # T5 shares one Monte Carlo RNG stream across its grid — the
+        # hardest case for the parallel split.
+        serial = run_experiment("t05", quick=True, processes=1)
+        parallel = run_experiment("t05", quick=True, processes=3)
+        assert serial.rows == parallel.rows
+        assert serial.format() == parallel.format()
+
+    def test_seed_override_changes_monte_carlo(self):
+        default = run_experiment("t05", quick=True)
+        reseeded = run_experiment("t05", quick=True, seed=99)
+        assert default.column("monte carlo") != \
+            reseeded.column("monte carlo")
+        # The analytic columns do not depend on the seed.
+        assert default.column("exact tail") == \
+            reseeded.column("exact tail")
+
+    def test_default_seed_used(self):
+        assert run_experiment("t05", quick=True).rows == \
+            run_experiment("t05", quick=True, seed=5).rows

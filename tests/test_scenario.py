@@ -1,0 +1,99 @@
+"""Tests for the fluent Scenario builder."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.runner import default_params
+from repro.harness.scenario import Scenario
+from repro.harness.sweep import ScenarioSpec, run_cell
+
+
+class TestBuilding:
+    def test_compiles_to_spec(self):
+        params = default_params()
+        spec = (Scenario.line(3).params(params).rounds(7).seed(42)
+                .attack("equivocate", )
+                .configure(init_jitter=0.1)
+                .measure("pulse_diameters")
+                .tag("D", 2).build())
+        assert isinstance(spec, ScenarioSpec)
+        assert spec.graph == "line"
+        assert spec.graph_args == (3,)
+        assert spec.params is params
+        assert spec.rounds == 7
+        assert spec.seed == 42
+        assert spec.strategy == "equivocate"
+        assert spec.config == {"init_jitter": 0.1}
+        assert spec.collect == ("pulse_diameters",)
+        assert spec.key == ("D", 2)
+        assert spec.kind == "ftgcs"
+
+    def test_graph_entry_points(self):
+        assert Scenario.ring(4).build().graph == "ring"
+        assert Scenario.grid_graph(2, 3).build().graph_args == (2, 3)
+        assert Scenario.on("hypercube", 4).build().graph == "hypercube"
+
+    def test_kind_and_payload(self):
+        spec = (Scenario.of_kind("failure_mc").seed(1)
+                .payload(f=1, p=0.05, trials=10).build())
+        assert spec.kind == "failure_mc"
+        assert spec.graph == ""
+        assert spec.payload == {"f": 1, "p": 0.05, "trials": 10}
+
+    def test_offsets_sugar(self):
+        spec = Scenario.line(2).offsets([0.0, 1.0]).build()
+        assert spec.config == {"cluster_offsets": [0.0, 1.0]}
+
+    def test_configure_and_payload_merge(self):
+        spec = (Scenario.line(2).configure(init_jitter=0.1)
+                .configure(policy="max_rule").build())
+        assert spec.config == {"init_jitter": 0.1, "policy": "max_rule"}
+        spec = (Scenario.of_kind("trigger_fuzz").payload(trials=5)
+                .payload(kappa=1.0).build())
+        assert spec.payload == {"trials": 5, "kappa": 1.0}
+
+    def test_measure_deduplicates(self):
+        spec = (Scenario.line(1).measure("unanimity")
+                .measure("unanimity", "amortized_rates").build())
+        assert spec.collect == ("unanimity", "amortized_rates")
+
+
+class TestImmutability:
+    def test_methods_return_new_builders(self):
+        base = Scenario.line(2).params(default_params()).rounds(3)
+        fast = base.attack("equivocate")
+        assert base.build().strategy is None
+        assert fast.build().strategy == "equivocate"
+
+    def test_shared_base_fans_out(self):
+        base = Scenario.line(2).params(default_params()).rounds(2)
+        specs = [base.tag("jitter", j).configure(init_jitter=j).build()
+                 for j in (0.01, 0.02)]
+        assert specs[0].config != specs[1].config
+        assert specs[0].key == ("jitter", 0.01)
+
+    def test_setattr_blocked(self):
+        with pytest.raises(AttributeError):
+            Scenario.line(2).rounds = 5
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected_at_build(self):
+        with pytest.raises(ConfigError):
+            Scenario.line(2).attack("quantum").build()
+
+    def test_unknown_kind_rejected_at_build(self):
+        with pytest.raises(ConfigError):
+            Scenario.line(2).kind("teleport").build()
+
+    def test_unknown_collector_rejected_at_build(self):
+        with pytest.raises(ConfigError):
+            Scenario.line(2).measure("entropy").build()
+
+
+class TestEndToEnd:
+    def test_built_spec_runs(self):
+        spec = (Scenario.line(2).params(default_params()).rounds(3)
+                .seed(5).attack("silent").build())
+        cell = run_cell(spec)
+        assert cell.result.missing_pulses > 0

@@ -1,14 +1,19 @@
 """Tests for the parallel scenario sweep engine."""
 
+import random
+
 import pytest
 
 from repro.errors import ConfigError
 from repro.harness.runner import default_params, steady_state_skews
 from repro.harness.sweep import (
+    CELL_KINDS,
+    COLLECTORS,
     STRATEGIES,
     ScenarioSpec,
     SweepRunner,
     default_processes,
+    register_cell_kind,
     run_cell,
 )
 
@@ -74,6 +79,118 @@ class TestRunCell:
         for name in ("silent", "crash", "random_pulse", "fast_clock",
                      "equivocate", "pull_apart", "collusion"):
             assert name in STRATEGIES
+
+
+class TestCellKinds:
+    def test_builtin_kinds_registered(self):
+        for kind in ("ftgcs", "master_slave", "gcs_single",
+                     "srikanth_toueg", "failure_mc", "trigger_fuzz",
+                     "augment_counts"):
+            assert kind in CELL_KINDS
+
+    def test_unknown_kind_rejected(self):
+        spec = ScenarioSpec(kind="teleport", seed=0)
+        with pytest.raises(ConfigError):
+            run_cell(spec)
+
+    def test_duplicate_kind_registration_rejected(self):
+        with pytest.raises(ConfigError):
+            register_cell_kind("ftgcs", lambda spec: None)
+
+    def test_failure_mc_matches_shared_stream(self):
+        # Two cells fast-forwarding one serial stream reproduce a
+        # single-generator reference bit-for-bit.
+        trials, f, p = 500, 1, 0.1
+        k = 3 * f + 1
+        specs = [
+            ScenarioSpec(kind="failure_mc", seed=5,
+                         payload={"f": f, "p": p, "trials": trials,
+                                  "skip": i * trials * k})
+            for i in range(2)]
+        cells = [run_cell(spec) for spec in specs]
+
+        rng = random.Random(5)
+        expected = []
+        for _ in range(2):
+            failures = 0
+            for _ in range(trials):
+                faulty = sum(1 for _ in range(k) if rng.random() < p)
+                if faulty > f:
+                    failures += 1
+            expected.append(failures / trials)
+        assert [cell.result for cell in cells] == expected
+
+        # The mid-stream cell is bit-identical whether it continues a
+        # warm stream state or fast-forwards from scratch (the path a
+        # pool worker landing mid-grid takes).
+        from repro.harness.sweep import _MC_STREAM_STATES
+
+        _MC_STREAM_STATES.clear()
+        assert run_cell(specs[1]).result == expected[1]
+
+    def test_trigger_fuzz_reports_zero_violations(self):
+        params = default_params(f=1)
+        spec = ScenarioSpec(
+            kind="trigger_fuzz", seed=3,
+            payload={"trials": 200, "kappa": params.kappa,
+                     "slack": params.delta_trigger,
+                     "err": 2.0 * params.cap_e})
+        assert run_cell(spec).result == 0
+
+    def test_augment_counts(self):
+        spec = ScenarioSpec(kind="augment_counts", graph="line",
+                            graph_args=(3,), seed=0,
+                            payload={"fault_counts": (0, 1)})
+        counts = run_cell(spec).result
+        assert counts["clusters"] == 3
+        assert [f for f, _, _, _ in counts["rows"]] == [0, 1]
+        # k = 3f+1 nodes per cluster.
+        assert counts["rows"][1][2] == 3 * 4
+
+    def test_graphless_kind_needs_no_graph(self):
+        spec = ScenarioSpec(kind="failure_mc", seed=1,
+                            payload={"f": 1, "p": 0.5, "trials": 10})
+        assert 0.0 <= run_cell(spec).result <= 1.0
+
+    def test_ftgcs_kind_requires_graph(self):
+        spec = ScenarioSpec(params=default_params(), rounds=1, seed=0)
+        with pytest.raises(ConfigError):
+            run_cell(spec)
+
+
+class TestCollectors:
+    def test_builtin_collectors_registered(self):
+        for name in ("pulse_diameters", "unanimity", "amortized_rates"):
+            assert name in COLLECTORS
+
+    def test_collect_fills_extras(self):
+        spec = ScenarioSpec(
+            graph="line", graph_args=(2,), params=default_params(),
+            rounds=4, seed=5,
+            collect=("unanimity", "amortized_rates", "pulse_diameters"))
+        cell = run_cell(spec)
+        assert set(cell.extras) == {"unanimity", "amortized_rates",
+                                    "pulse_diameters"}
+        # Collected pulse diameters also fill the dedicated field.
+        assert cell.pulse_diameters == cell.extras["pulse_diameters"]
+        assert set(cell.extras["unanimity"]) == {0, 1}
+        for cluster, round_index, rate in cell.extras["amortized_rates"]:
+            assert cluster in (0, 1)
+            assert rate == rate  # never NaN; unfinished rounds dropped
+
+    def test_unknown_collector_rejected(self):
+        spec = ScenarioSpec(graph="line", graph_args=(2,),
+                            params=default_params(), rounds=1, seed=0,
+                            collect=("entropy",))
+        with pytest.raises(ConfigError):
+            run_cell(spec)
+
+    def test_non_ftgcs_cell_rejects_steady_state(self):
+        spec = ScenarioSpec(kind="failure_mc", seed=1,
+                            payload={"f": 1, "p": 0.5, "trials": 10})
+        cell = run_cell(spec)
+        with pytest.raises(ConfigError):
+            cell.steady_state_skews()
 
 
 class TestSweepRunner:
