@@ -1,10 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test list run bench-quick bench bench-record
+.PHONY: test verify list run bench-quick bench bench-record
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# What CI runs (.github/workflows/ci.yml): tier-1 tests + the
+# pre-merge smoke check.
+verify: test bench-quick
 
 # List every registered experiment (the T1-T12 registry).
 list:

@@ -1,0 +1,14 @@
+"""Benchmark T13: dynamic networks — skew vs edge churn (Kuhn et al.)."""
+
+from conftest import run_registry
+
+
+def test_t13_dynamic_networks(benchmark, show):
+    table = run_registry(benchmark, "t13")
+    show(table)
+    churn = table.column("churn")
+    assert 0.0 in churn and max(churn) > 0.0
+    # Every skew column is finite and non-negative.
+    for column in ("ftgcs local", "ftgcs global", "gcs local",
+                   "gcs global"):
+        assert all(value >= 0.0 for value in table.column(column))

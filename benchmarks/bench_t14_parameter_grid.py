@@ -1,0 +1,17 @@
+"""Benchmark T14: Gradient-TRIX-style parameter grid (mu x diameter)."""
+
+from conftest import run_registry
+
+
+def test_t14_parameter_grid(benchmark, show):
+    table = run_registry(benchmark, "t14")
+    show(table)
+    # kappa grows with mu; the steady local skew tracks it.
+    kappas = table.column("kappa")
+    locals_ = table.column("steady local")
+    assert all(k > 0 for k in kappas)
+    assert all(s > 0 for s in locals_)
+    # kappa-normalized skew stays bounded across the grid (the
+    # Gradient-TRIX design-space property the claim states).
+    ratios = table.column("local/kappa")
+    assert max(ratios) < 4.0

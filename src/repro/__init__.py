@@ -61,12 +61,24 @@ try:  # Core layers are appended as they are built on top of the substrate.
         FtgcsNode,
         FtgcsSystem,
         Parameters,
+        ProtocolRunResult,
         RoundSchedule,
+        SyncProtocol,
+        SystemBuilder,
+        register_protocol,
+    )
+    from repro.topology import (  # noqa: F401
+        EdgeChurnSchedule,
+        RewireSchedule,
+        TopologySchedule,
     )
 
     __all__ += [
         "Parameters", "RoundSchedule", "ClusterSyncNode", "FtgcsNode",
         "FtgcsSystem",
+        "SyncProtocol", "SystemBuilder", "ProtocolRunResult",
+        "register_protocol",
+        "TopologySchedule", "EdgeChurnSchedule", "RewireSchedule",
     ]
 except ImportError:  # pragma: no cover - during bootstrap only
     pass

@@ -6,7 +6,11 @@ from repro.baselines.gcs_single import (
     GcsSingleNode,
     GcsSingleSystem,
 )
-from repro.baselines.lynch_welch import build_clique_system, run_lynch_welch
+from repro.baselines.lynch_welch import (
+    LynchWelchSystem,
+    build_clique_system,
+    run_lynch_welch,
+)
 from repro.baselines.master_slave import (
     MasterSlaveNode,
     MasterSlaveSystem,
@@ -24,6 +28,7 @@ __all__ = [
     "GcsParams",
     "GcsSingleNode",
     "GcsSingleSystem",
+    "LynchWelchSystem",
     "build_clique_system",
     "run_lynch_welch",
     "MasterSlaveNode",

@@ -206,6 +206,9 @@ class GcsSingleSystem:
         self.faulty_ids = frozenset(liars)
         self.nodes: dict[int, GcsSingleNode] = {}
         self.liars: dict[int, GcsLiarNode] = {}
+        self._started = False
+        self.samples: list[tuple[float, float, float]] = []
+        self._next_sample: float | None = None
         for node_id in range(n):
             if node_id in liars:
                 directions = liars[node_id]
@@ -230,9 +233,28 @@ class GcsSingleSystem:
             self.nodes[node_id] = node
             self.network.set_handler(node_id, node.on_message)
 
+    def start(self) -> None:
+        """Arm every node and liar (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes.values():
+            node.start()
+        for liar in self.liars.values():
+            liar.start()
+
     def correct_edges(self) -> list[tuple[int, int]]:
+        """Edges between correct nodes that currently carry messages.
+
+        On static topologies every link is active, so this is exactly
+        the historical correct-edge set; under a topology schedule,
+        down edges are excluded from the local-skew measurement (the
+        dynamic-networks convention: gradients are only promised
+        across present edges).
+        """
         return [(a, b) for a, b in self.graph.edges
-                if a not in self.faulty_ids and b not in self.faulty_ids]
+                if a not in self.faulty_ids and b not in self.faulty_ids
+                and self.network.link_active(a, b)]
 
     def max_local_skew(self) -> float:
         """Max |L_a - L_b| over edges between correct nodes, now."""
@@ -250,16 +272,19 @@ class GcsSingleSystem:
     def run(self, until: float, sample_interval: float | None = None
             ) -> list[tuple[float, float, float]]:
         """Run to ``until``; returns ``(t, local_skew, global_skew)``
-        samples."""
-        for node in self.nodes.values():
-            node.start()
-        for liar in self.liars.values():
-            liar.start()
+        samples.
+
+        Resumable: a second call with a later ``until`` continues the
+        sampling cadence from where the first stopped and returns the
+        cumulative sample list.
+        """
+        self.start()
         interval = sample_interval or self.params.period
-        samples = []
-        t = interval
+        samples = self.samples
+        t = interval if self._next_sample is None else self._next_sample
         while t <= until:
             self.sim.run(until=t)
             samples.append((t, self.max_local_skew(), self.global_skew()))
             t += interval
+        self._next_sample = t
         return samples

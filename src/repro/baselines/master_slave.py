@@ -213,6 +213,7 @@ class MasterSlaveSystem:
             self.sim, self.schedule.round_length(1) / 4.0,
             self._collect_values, graph.edges,
             record_series=record_series, track_edges=track_edges)
+        self._started = False
 
     def _make_rate_model(self, node_id: int, cluster: int,
                          rng) -> RateModel:
@@ -241,12 +242,22 @@ class MasterSlaveSystem:
                 node.logical.value()
         return values
 
-    def run_rounds(self, rounds: int):
-        """Run ``rounds`` rounds; returns the sampler maxima."""
+    def start(self) -> None:
+        """Arm every node and the sampler (idempotent)."""
+        if self._started:
+            return
+        self._started = True
         for node in self.nodes.values():
             node.start()
         self.sampler.start()
-        horizon = self.schedule.round_start(rounds + 1) + 1.0
-        self.sim.run(until=horizon)
+
+    def run_horizon(self, rounds: int) -> float:
+        """Absolute kernel time by which ``rounds`` rounds complete."""
+        return self.schedule.round_start(rounds + 1) + 1.0
+
+    def run_rounds(self, rounds: int):
+        """Run ``rounds`` rounds; returns the sampler maxima."""
+        self.start()
+        self.sim.run(until=self.run_horizon(rounds))
         self.sampler.sample_now()
         return self.sampler.maxima

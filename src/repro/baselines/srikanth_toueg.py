@@ -186,6 +186,9 @@ class SrikanthTouegSystem:
                 params.d, params.u, self.rng.stream("delays")))
         self.nodes: dict[int, SrikanthTouegNode] = {}
         self.faulty_ids = frozenset(range(silent_faults))
+        self._started = False
+        self._next_sample: float | None = None
+        self._max_skew = 0.0
         for node_id in range(params.n):
             self.network.add_node(node_id)
         for a in range(params.n):
@@ -213,21 +216,40 @@ class SrikanthTouegSystem:
         return [n for i, n in self.nodes.items()
                 if i not in self.faulty_ids]
 
+    def start(self) -> None:
+        """Arm every node's first timeout (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes.values():
+            node.start()
+
+    def run_until(self, horizon: float,
+                  sample_interval: float | None = None) -> float:
+        """Run to absolute time ``horizon``; return the max observed
+        skew, sampled at ``sample_interval`` (default ``period/8``).
+
+        Resumable: a later call continues the sampling cadence and
+        returns the running maximum over both runs.
+        """
+        self.start()
+        interval = sample_interval or self.params.period / 8.0
+        t = interval if self._next_sample is None else self._next_sample
+        max_skew = self._max_skew
+        while t <= horizon:
+            self.sim.run(until=t)
+            values = [n.logical_value() for n in self.correct_nodes()]
+            max_skew = max(max_skew, max(values) - min(values))
+            t += interval
+        self._next_sample = t
+        self._max_skew = max_skew
+        return max_skew
+
     def run(self, rounds: int, sample_interval: float | None = None
             ) -> float:
         """Run ``rounds`` resync periods; return the max observed skew.
 
         Skew is sampled at ``sample_interval`` (default: ``period/8``).
         """
-        for node in self.nodes.values():
-            node.start()
-        horizon = (rounds + 1) * self.params.period
-        interval = sample_interval or self.params.period / 8.0
-        max_skew = 0.0
-        t = interval
-        while t <= horizon:
-            self.sim.run(until=t)
-            values = [n.logical_value() for n in self.correct_nodes()]
-            max_skew = max(max_skew, max(values) - min(values))
-            t += interval
-        return max_skew
+        return self.run_until((rounds + 1) * self.params.period,
+                              sample_interval)

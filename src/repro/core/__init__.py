@@ -15,6 +15,17 @@ from repro.core.intercluster import (
 from repro.core.max_estimate import MaxEstimate
 from repro.core.node import FtgcsNode, MaxEstimateConfig, NodeStats
 from repro.core.params import Parameters, contraction_factor
+from repro.core.protocol import (
+    PROTOCOLS,
+    BuildContext,
+    ProtocolRunResult,
+    SyncProtocol,
+    System,
+    SystemBuilder,
+    get_protocol,
+    protocol_names,
+    register_protocol,
+)
 from repro.core.rounds import RoundSchedule
 from repro.core.system import FtgcsSystem, RunResult, SystemConfig
 from repro.core.triggers import TriggerDecision, evaluate
@@ -42,6 +53,15 @@ __all__ = [
     "FtgcsSystem",
     "RunResult",
     "SystemConfig",
+    "PROTOCOLS",
+    "BuildContext",
+    "ProtocolRunResult",
+    "SyncProtocol",
+    "System",
+    "SystemBuilder",
+    "get_protocol",
+    "protocol_names",
+    "register_protocol",
     "TriggerDecision",
     "evaluate",
 ]

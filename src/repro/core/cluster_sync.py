@@ -290,6 +290,11 @@ class ClusterSyncCore:
 
         phi = self._clock.phi
         delta = 1.0 - (1.0 + 1.0 / phi) * correction / (tau3 + correction)
+        if delta < 0.0:
+            # correction is clamped to phi * tau3, where delta is
+            # exactly 0 mathematically; float rounding can land a few
+            # ulps below (seen under heavy topology churn).
+            delta = 0.0
         self._clock.set_delta(delta)
 
     def _end_round(self, r: int) -> None:

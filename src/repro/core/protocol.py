@@ -1,0 +1,453 @@
+"""The unified protocol API: one surface for every algorithm.
+
+Historically each algorithm in this library shipped its own bespoke
+system class (``FtgcsSystem``, ``MasterSlaveSystem``,
+``GcsSingleSystem``, ``SrikanthTouegSystem``, plus function-only
+Lynch–Welch) with incompatible constructors, run loops, and result
+types.  This module defines the common surface they all now implement:
+
+``SyncProtocol``
+    The algorithm adapter interface: :meth:`~SyncProtocol.build_nodes`
+    wires nodes/drivers onto a simulation substrate,
+    :meth:`~SyncProtocol.start` arms them, :meth:`~SyncProtocol.advance`
+    drives the kernel, and :meth:`~SyncProtocol.collect` returns one
+    uniform :class:`ProtocolRunResult`.  Class-level capability flags
+    (``supports_faults``, ``supports_dynamic_topology``,
+    ``needs_graph``, ``needs_params``) declare what a protocol can
+    compose with — the builder validates against them eagerly.
+
+``SystemBuilder``
+    Composes protocol x topology x faults x clock/delay models into a
+    generic :class:`System`:
+
+    >>> from repro.core.protocol import SystemBuilder
+    >>> from repro import ClusterGraph, Parameters
+    >>> params = Parameters.practical(rho=1e-4, d=1.0, u=0.1, f=1)
+    >>> system = (SystemBuilder("ftgcs")
+    ...           .topology(ClusterGraph.line(3)).params(params)
+    ...           .rounds(5).faults("equivocate").seed(7).build())
+    >>> result = system.run()
+    >>> result.protocol
+    'ftgcs'
+
+``System``
+    The generic runtime: applies the
+    :class:`~repro.topology.schedule.TopologySchedule` edge events
+    through the kernel (so edges appear/disappear mid-run for
+    protocols that support it), starts the protocol, drives it to its
+    horizon, and collects the result.
+
+``PROTOCOLS`` / :func:`register_protocol`
+    Name-addressable registry, the analogue of the sweep engine's cell
+    kinds.  The five built-in protocols live in :mod:`repro.protocols`
+    and load lazily on first lookup; custom protocols registered
+    outside the library are visible to pool workers only under the
+    ``fork`` start method (same caveat as custom cell kinds).
+
+The sweep engine's generic ``"protocol"`` cell kind is a thin picklable
+frontend over this module: a
+:class:`~repro.harness.sweep.ScenarioSpec` names the protocol, the
+topology (and optional schedule), parameters, faults, and payload, and
+the worker rebuilds the system here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.topology.cluster_graph import ClusterGraph
+from repro.topology.schedule import TopologySchedule
+
+
+@dataclass(frozen=True)
+class BuildContext:
+    """Everything a protocol needs to build its nodes, by value.
+
+    The builder assembles this; protocols read from it in
+    :meth:`SyncProtocol.build_nodes`.  ``config`` carries
+    protocol-family configuration (for the FTGCS family these are
+    :class:`~repro.core.system.SystemConfig` kwargs), ``payload``
+    carries protocol-specific knobs (e.g. the master–slave ``jump``
+    flag, the GCS baseline's ``GcsParams``).
+    """
+
+    graph: ClusterGraph | None = None
+    schedule: TopologySchedule | None = None
+    params: Any = None
+    rounds: int = 1
+    seed: int = 0
+    strategy: str | None = None
+    strategy_args: tuple = ()
+    faults_per_cluster: int | None = None
+    config: dict = field(default_factory=dict)
+    payload: dict = field(default_factory=dict)
+
+
+@dataclass
+class ProtocolRunResult:
+    """The one result shape every protocol run produces.
+
+    ``max_global_skew`` / ``max_local_skew`` are the uniform headline
+    measurements (local = worst skew across an adjacent cluster-level
+    pair).  ``series`` holds the protocol's sample series — its element
+    shape is protocol-specific (``SkewSnapshot`` objects for the FTGCS
+    family, ``(t, local, global)`` tuples for the GCS baseline) but is
+    always picklable and time-ordered.  ``detail`` preserves the
+    protocol-native result object (a
+    :class:`~repro.core.system.RunResult` for FTGCS/Lynch–Welch, the
+    sampler's ``SkewMaxima`` for master–slave, the raw sample list for
+    GCS, the max-skew float for Srikanth–Toueg) for analyses that need
+    more than the uniform fields.
+    """
+
+    protocol: str
+    seed: int
+    max_global_skew: float = 0.0
+    max_local_skew: float = 0.0
+    series: list = field(default_factory=list)
+    edge_maxima: dict[tuple[int, int], float] = field(default_factory=dict)
+    messages_sent: int = 0
+    events_processed: int = 0
+    detail: Any = None
+
+
+class SyncProtocol:
+    """Base class and interface contract for synchronization protocols.
+
+    Lifecycle (driven by :class:`System`):
+
+    1. :meth:`build_nodes` — construct the substrate (simulator,
+       network, clocks, nodes) from a :class:`BuildContext`; must set
+       ``self.sim`` and ``self.network``.
+    2. :meth:`start` — arm all nodes/drivers/samplers.
+    3. :meth:`advance` — drive the kernel to an absolute horizon
+       (protocols with their own sampling loops override this).
+    4. :meth:`collect` — snapshot measurements into a
+       :class:`ProtocolRunResult`.
+
+    Capability flags are *declarations* checked by the builder before
+    any construction happens, so incompatible compositions fail fast
+    with a message naming the protocol.
+    """
+
+    #: Registry name (must be unique; set by subclasses).
+    name: str = ""
+    #: Accepts the named fault-strategy model (``.faults(...)``).
+    supports_faults: bool = False
+    #: Tolerates mid-run edge activation changes (TopologySchedule).
+    supports_dynamic_topology: bool = False
+    #: Requires a cluster graph (clique-only protocols set False).
+    needs_graph: bool = True
+    #: Requires ``BuildContext.params`` (protocols whose parameters
+    #: travel in ``payload`` set False).
+    needs_params: bool = True
+
+    def __init__(self) -> None:
+        self.sim = None
+        self.network = None
+        self.ctx: BuildContext | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def build_nodes(self, ctx: BuildContext) -> None:
+        """Construct the full substrate; must set ``sim``/``network``."""
+        raise NotImplementedError
+
+    def start(self) -> None:
+        """Arm every node, driver, and sampler."""
+        raise NotImplementedError
+
+    def horizon(self) -> float:
+        """Absolute kernel time this protocol's run should reach."""
+        raise NotImplementedError
+
+    def advance(self, until: float) -> None:
+        """Drive the kernel to ``until`` (override to interleave
+        sampling)."""
+        self.sim.run(until)
+
+    def collect(self) -> ProtocolRunResult:
+        """Snapshot measurements into the uniform result shape."""
+        raise NotImplementedError
+
+    # -- topology plumbing ----------------------------------------------
+
+    def edge_links(self, a: int, b: int) -> tuple:
+        """Network links realizing cluster edge ``(a, b)``.
+
+        The generic system maps topology-schedule events through this:
+        protocols on the augmented node graph return the full ``k x k``
+        bipartite link set; cluster-level protocols return the edge
+        itself (the default).
+        """
+        return ((a, b),)
+
+    def analysis_system(self):
+        """The live object in-worker collectors operate on, or ``None``
+        for protocols without collector support."""
+        return None
+
+
+class System:
+    """A generic, protocol-agnostic synchronization system.
+
+    Construction builds the protocol's nodes immediately (so analysis
+    code can inspect the substrate before running); :meth:`run` applies
+    the topology schedule, starts the protocol, drives it, and
+    collects.
+    """
+
+    def __init__(self, protocol: SyncProtocol, ctx: BuildContext) -> None:
+        self.protocol = protocol
+        self.ctx = ctx
+        protocol.ctx = ctx
+        protocol.build_nodes(ctx)
+        if protocol.sim is None:
+            raise ConfigError(
+                f"protocol {protocol.name!r} did not set .sim in "
+                f"build_nodes")
+        self._started = False
+        self._schedule_horizon: float | None = None
+
+    def _set_edge(self, edge: tuple[int, int], active: bool) -> None:
+        for a, b in self.protocol.edge_links(*edge):
+            self.protocol.network.set_link_active(a, b, active)
+
+    def _apply_schedule(self, horizon: float) -> None:
+        """Schedule edge events up to ``horizon`` (incremental).
+
+        Schedule event streams are deterministic prefixes — a longer
+        horizon re-derives the same leading events — so extending a
+        run past the previously applied horizon only enqueues the new
+        suffix.  Safe to call repeatedly.
+        """
+        schedule = self.ctx.schedule
+        if schedule is None or schedule.is_static:
+            return
+        applied = self._schedule_horizon
+        if applied is not None and horizon <= applied:
+            return
+        seed = self.ctx.seed
+        if applied is None:
+            for edge in schedule.initial_down(seed):
+                self._set_edge(edge, False)
+        sim = self.protocol.sim
+        for time, edge, active in schedule.events(horizon, seed):
+            if applied is not None and time <= applied:
+                continue  # already enqueued by an earlier call
+            sim.call_at(time, self._set_edge, edge, active)
+        self._schedule_horizon = horizon
+
+    def start(self, horizon: float | None = None) -> None:
+        """Apply schedule events up to ``horizon`` and arm the
+        protocol."""
+        if self._started:
+            raise ConfigError("system already started")
+        self._started = True
+        self._apply_schedule(self.protocol.horizon()
+                             if horizon is None else horizon)
+        self.protocol.start()
+
+    def run(self, until: float | None = None) -> ProtocolRunResult:
+        """Start (if needed), drive to ``until`` (default: the
+        protocol's own horizon), and collect the uniform result."""
+        horizon = self.protocol.horizon() if until is None else until
+        if not self._started:
+            self.start(horizon)
+        else:
+            # A run extending past the horizon applied at start time
+            # needs the schedule's event suffix enqueued first.
+            self._apply_schedule(horizon)
+        self.protocol.advance(horizon)
+        return self.protocol.collect()
+
+
+class SystemBuilder:
+    """Fluent composition of protocol x topology x faults x models.
+
+    Methods mutate and return the builder (it is consumed once by
+    :meth:`build`); see the module docstring for a worked example.
+    Validation is eager where possible: unknown protocol names fail in
+    the constructor, capability violations fail in :meth:`build`
+    before any node is constructed.
+    """
+
+    def __init__(self, protocol: str | SyncProtocol | type) -> None:
+        if isinstance(protocol, str):
+            protocol = get_protocol(protocol)()
+        elif isinstance(protocol, type) and issubclass(protocol,
+                                                       SyncProtocol):
+            protocol = protocol()
+        elif not isinstance(protocol, SyncProtocol):
+            raise ConfigError(
+                f"protocol must be a name, SyncProtocol subclass, or "
+                f"instance: {protocol!r}")
+        self._protocol = protocol
+        self._graph: ClusterGraph | None = None
+        self._schedule: TopologySchedule | None = None
+        self._params = None
+        self._rounds = 1
+        self._seed = 0
+        self._strategy: str | None = None
+        self._strategy_args: tuple = ()
+        self._faults_per_cluster: int | None = None
+        self._config: dict = {}
+        self._payload: dict = {}
+
+    # -- composition ----------------------------------------------------
+
+    def topology(self, graph: ClusterGraph | TopologySchedule
+                 ) -> "SystemBuilder":
+        """Attach the cluster graph, or a topology schedule (whose
+        base graph is used and whose events drive link activation)."""
+        if isinstance(graph, TopologySchedule):
+            self._schedule = graph
+            self._graph = graph.graph
+        elif isinstance(graph, ClusterGraph):
+            self._graph = graph
+        else:
+            raise ConfigError(
+                f"topology must be a ClusterGraph or TopologySchedule: "
+                f"{graph!r}")
+        return self
+
+    def params(self, params) -> "SystemBuilder":
+        self._params = params
+        return self
+
+    def rounds(self, rounds: int) -> "SystemBuilder":
+        self._rounds = rounds
+        return self
+
+    def seed(self, seed: int) -> "SystemBuilder":
+        self._seed = seed
+        return self
+
+    def faults(self, strategy: str, *args,
+               per_cluster: int | None = None) -> "SystemBuilder":
+        """Place a named fault strategy in every cluster (resolved via
+        :data:`repro.faults.strategies.STRATEGIES`)."""
+        self._strategy = strategy
+        self._strategy_args = tuple(args)
+        if per_cluster is not None:
+            self._faults_per_cluster = per_cluster
+        return self
+
+    def configure(self, **config) -> "SystemBuilder":
+        """Merge protocol-family configuration (FTGCS family:
+        :class:`~repro.core.system.SystemConfig` kwargs, including
+        ``rate_model``/``delay_model`` specs)."""
+        self._config.update(config)
+        return self
+
+    def payload(self, **payload) -> "SystemBuilder":
+        """Merge protocol-specific knobs."""
+        self._payload.update(payload)
+        return self
+
+    # -- compilation ----------------------------------------------------
+
+    def build(self) -> System:
+        """Validate capabilities and construct the generic system."""
+        protocol = self._protocol
+        if protocol.needs_graph and self._graph is None:
+            raise ConfigError(
+                f"protocol {protocol.name!r} needs a topology; call "
+                f".topology(...)")
+        if self._strategy is not None and not protocol.supports_faults:
+            raise ConfigError(
+                f"protocol {protocol.name!r} does not support the "
+                f"named fault-strategy model")
+        if (self._schedule is not None
+                and not self._schedule.is_static
+                and not protocol.supports_dynamic_topology):
+            raise ConfigError(
+                f"protocol {protocol.name!r} does not support dynamic "
+                f"topologies")
+        ctx = BuildContext(
+            graph=self._graph, schedule=self._schedule,
+            params=self._params, rounds=self._rounds, seed=self._seed,
+            strategy=self._strategy, strategy_args=self._strategy_args,
+            faults_per_cluster=self._faults_per_cluster,
+            config=dict(self._config), payload=dict(self._payload))
+        if protocol.needs_params and ctx.params is None:
+            raise ConfigError(
+                f"protocol {protocol.name!r} needs params; call "
+                f".params(...)")
+        return System(protocol, ctx)
+
+
+# ----------------------------------------------------------------------
+# Protocol registry
+# ----------------------------------------------------------------------
+
+#: ``name -> SyncProtocol subclass``; populated by the built-in
+#: :mod:`repro.protocols` module (lazily) and :func:`register_protocol`.
+PROTOCOLS: dict[str, type[SyncProtocol]] = {}
+
+_builtin_loaded = False
+
+
+def _load_builtin_protocols() -> None:
+    """Populate :data:`PROTOCOLS` with the five built-ins on first use.
+
+    Deferred so :mod:`repro.core.protocol` stays importable from the
+    algorithm modules themselves without a cycle; a partial import
+    failure re-raises on the next lookup rather than leaving a
+    silently truncated registry.
+    """
+    global _builtin_loaded
+    if _builtin_loaded:
+        return
+    import repro.protocols  # noqa: F401  (registers the built-ins)
+
+    _builtin_loaded = True
+
+
+def register_protocol(cls: type[SyncProtocol]) -> type[SyncProtocol]:
+    """Register a :class:`SyncProtocol` subclass under ``cls.name``.
+
+    Usable as a class decorator.  Custom protocols registered outside
+    the library are visible to pool workers only under the ``fork``
+    start method (the default where available).
+    """
+    if not isinstance(cls, type) or not issubclass(cls, SyncProtocol):
+        raise ConfigError(
+            f"register_protocol needs a SyncProtocol subclass: {cls!r}")
+    if not cls.name:
+        raise ConfigError(f"protocol class {cls.__name__} has no name")
+    if cls.name in PROTOCOLS:
+        raise ConfigError(f"protocol {cls.name!r} already registered")
+    PROTOCOLS[cls.name] = cls
+    return cls
+
+
+def get_protocol(name: str) -> type[SyncProtocol]:
+    """Look up a registered protocol class by name."""
+    _load_builtin_protocols()
+    cls = PROTOCOLS.get(name)
+    if cls is None:
+        raise ConfigError(f"unknown protocol {name!r}; known: "
+                          f"{sorted(PROTOCOLS)}")
+    return cls
+
+
+def protocol_names() -> list[str]:
+    """Sorted names of every registered protocol."""
+    _load_builtin_protocols()
+    return sorted(PROTOCOLS)
+
+
+__all__ = [
+    "PROTOCOLS",
+    "BuildContext",
+    "ProtocolRunResult",
+    "SyncProtocol",
+    "System",
+    "SystemBuilder",
+    "get_protocol",
+    "protocol_names",
+    "register_protocol",
+]

@@ -361,3 +361,16 @@ class _EquivocatorDriver:
     def _next_round(self, r: int) -> None:
         self._round = r
         self._arm_round(r)
+
+
+#: Fault strategies addressable by name from picklable specs (the
+#: sweep engine and the protocol builder both resolve through this).
+STRATEGIES: "dict[str, type[ByzantineStrategy]]" = {
+    "silent": SilentStrategy,
+    "crash": CrashStrategy,
+    "random_pulse": RandomPulseStrategy,
+    "fast_clock": FastClockStrategy,
+    "equivocate": EquivocatorStrategy,
+    "pull_apart": PullApartStrategy,
+    "collusion": ColludingEquivocatorStrategy,
+}

@@ -11,6 +11,13 @@ The stable programmatic surface (see API.md):
   reproduction, one uniform entry point.
 """
 
+from repro.core.protocol import (
+    PROTOCOLS,
+    ProtocolRunResult,
+    SyncProtocol,
+    SystemBuilder,
+    register_protocol,
+)
 from repro.harness.experiments import (
     ALL_EXPERIMENTS,
     fast_dynamics_params,
@@ -54,6 +61,12 @@ __all__ = [
     "ExperimentPlan",
     "ExperimentRegistry",
     "run_experiment",
+    # unified protocol surface (re-exported from repro.core.protocol)
+    "PROTOCOLS",
+    "ProtocolRunResult",
+    "SyncProtocol",
+    "SystemBuilder",
+    "register_protocol",
     # scenario construction
     "Scenario",
     "ScenarioSpec",

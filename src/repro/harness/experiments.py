@@ -1,4 +1,5 @@
-"""The paper's experiment suite (T1–T12), declaratively.
+"""The paper's experiment suite (T1–T12) plus extensions (T13+),
+declaratively.
 
 Every experiment is registered with
 :data:`~repro.harness.registry.REGISTRY` as metadata (id, title,
@@ -10,14 +11,18 @@ fluent :class:`~repro.harness.scenario.Scenario` builder — and a pure
 ``finish`` step folding the executed cells into the experiment's
 :class:`~repro.harness.tables.Table`.
 
-Execution is uniform across all twelve tables:
+Execution is uniform across every table:
 :func:`~repro.harness.registry.run_experiment` fans each grid across
 :class:`~repro.harness.sweep.SweepRunner`, so every experiment accepts
 ``processes`` (explicit > ``REPRO_SWEEP_PROCESSES`` > serial) and
-produces bit-identical tables for any worker count.  Non-simulation
-work rides the same engine through dedicated cell kinds: baselines
-(``master_slave``, ``gcs_single``, ``srikanth_toueg``), the T5 Monte
-Carlo (``failure_mc``, whose cells fast-forward one shared serial RNG
+produces bit-identical tables for any worker count.  Simulation cells
+all run through the generic ``"protocol"`` cell kind — one
+:class:`~repro.core.protocol.SystemBuilder` path parameterized by
+protocol name (``ftgcs``, ``lynch_welch``, ``master_slave``,
+``gcs_single``, ``srikanth_toueg``) and an optional topology schedule
+for dynamic networks (T13).  Non-simulation work rides the same
+engine through dedicated cell kinds: the T5 Monte Carlo
+(``failure_mc``, whose cells fast-forward one shared serial RNG
 stream so the grid reproduces the historical single-stream
 implementation bit-for-bit), the T10 randomized trigger check
 (``trigger_fuzz``), and the T8 graph accounting (``augment_counts``).
@@ -25,7 +30,7 @@ implementation bit-for-bit), the T10 randomized trigger check
 ``quick=True`` (the default) is the CI size; ``quick=False`` the full
 sweeps reported in EXPERIMENTS.md.
 
-The module-level ``t01_…()`` … ``t12_…()`` functions remain as thin
+The module-level ``t01_…()`` … ``t14_…()`` functions remain as thin
 wrappers over :func:`run_experiment` for backward compatibility; new
 code should call the registry directly::
 
@@ -91,7 +96,7 @@ def fast_dynamics_params(rho: float = 1e-4, d: float = 1.0,
     default_seed=1)
 def t01_plan(quick: bool, seed: int) -> ExperimentPlan:
     params = fast_dynamics_params(f=1)
-    diameters = (2, 4, 8) if quick else (2, 4, 8, 16)
+    diameters = (2, 4, 8) if quick else (2, 4, 8, 16, 32)
     rounds = 40 if quick else 80
     specs = [
         Scenario.line(diameter + 1).params(params).rounds(rounds)
@@ -102,7 +107,7 @@ def t01_plan(quick: bool, seed: int) -> ExperimentPlan:
 
     def finish(cells, table: Table) -> Table:
         for diameter, cell in zip(diameters, cells):
-            result = cell.result
+            result = cell.result.detail
             steady = cell.steady_state_skews(tail_fraction=0.3)
             bounds = result.bounds
             holds = (steady["local_cluster"] <= bounds.local_skew_bound
@@ -149,7 +154,7 @@ def t02_plan(quick: bool, seed: int) -> ExperimentPlan:
 
     def finish(cells, table: Table) -> Table:
         for (f, attack), cell in zip(grid, cells):
-            params = cell.result.params
+            params = cell.result.detail.params
             steady = cell.steady_state_skews()
             diameters = cell.pulse_diameters
             worst_pulse = max(
@@ -204,19 +209,19 @@ def t03_plan(quick: bool, seed: int) -> ExperimentPlan:
     gcs_params = GcsParams.default(rho=params.rho, d=params.d, u=params.u)
     horizon = 4000.0 if quick else 12000.0
     specs.append(
-        Scenario.ring(6).kind("gcs_single").seed(seed)
+        Scenario.ring(6).protocol("gcs_single").seed(seed)
         .payload(params=gcs_params, until=horizon,
                  liars={0: {1: +1, 5: -1}})
         .tag("gcs", "1 liar").build())
 
     def finish(cells, table: Table) -> Table:
         for (name, _, _), cell in zip(strategies, cells):
-            result = cell.result
+            result = cell.result.detail
             steady = cell.steady_state_skews()
             table.add_row("FTGCS", name, steady["intra"],
                           steady["local_cluster"],
                           result.all_bounds_hold, "bounded")
-        samples = cells[-1].result
+        samples = cells[-1].result.series
         half = len(samples) // 2
         first_half = max(s[1] for s in samples[:half])
         second_half = max(s[1] for s in samples[half:])
@@ -258,7 +263,7 @@ def t04_plan(quick: bool, seed: int) -> ExperimentPlan:
         offsets[0] = injected  # root ahead by S
         specs.append(
             Scenario.line(n).params(params).seed(seed)
-            .kind("master_slave")
+            .protocol("master_slave")
             .payload(rounds=rounds, root=0, cluster_offsets=offsets,
                      jump=True, track_edges=True)
             .tag("ms", diameter).build())
@@ -552,7 +557,7 @@ def t09_plan(quick: bool, seed: int) -> ExperimentPlan:
 
     def finish(cells, table: Table) -> Table:
         for cell in cells[:len(diameters)]:
-            result = cell.result
+            result = cell.result.detail
             table.add_row("random init", cell.key[1], "max_rule",
                           result.max_global_skew,
                           result.bounds.global_skew_bound,
@@ -609,8 +614,10 @@ def t10_plan(quick: bool, seed: int) -> ExperimentPlan:
 
     def finish(cells, table: Table) -> Table:
         simulated = cells[:len(graphs)]
-        both = sum(cell.result.both_triggers_rounds for cell in simulated)
-        decided = sum(cell.result.fast_rounds + cell.result.slow_rounds
+        both = sum(cell.result.detail.both_triggers_rounds
+                   for cell in simulated)
+        decided = sum(cell.result.detail.fast_rounds
+                      + cell.result.detail.slow_rounds
                       for cell in simulated)
         table.add_row("FT & ST simultaneously (simulated rounds)",
                       decided, both)
@@ -644,11 +651,12 @@ def t11_plan(quick: bool, seed: int) -> ExperimentPlan:
     specs = []
     for u, params in zip(u_values, param_sets):
         specs.append(
-            Scenario.line(1).params(params).rounds(rounds).seed(seed)
+            Scenario.of_protocol("lynch_welch")
+            .params(params).rounds(rounds).seed(seed)
             .attack("equivocate").configure(init_jitter=u / 2)
             .tag("lw", u).build())
         specs.append(
-            Scenario.of_kind("srikanth_toueg").seed(seed)
+            Scenario.of_protocol("srikanth_toueg").seed(seed)
             .payload(params=StParams(n=4, f=1, rho=rho, d=d, u=u,
                                      period=params.round_length),
                      silent_faults=1, rounds=rounds)
@@ -660,7 +668,7 @@ def t11_plan(quick: bool, seed: int) -> ExperimentPlan:
             lw_steady = lw_cell.steady_state_skews()["intra"]
             table.add_row(u / d, lw_steady,
                           params.intra_skew_bound_paper(),
-                          st_cell.result, 2.0 * d)
+                          st_cell.result.detail, 2.0 * d)
         table.add_note("LW bound = 2*theta_g*E = O(U + rho*d); ST's "
                        "O(d) worst case needs adversarial "
                        "delay+equivocation schedules; benign "
@@ -706,6 +714,120 @@ def t12_plan(quick: bool, seed: int) -> ExperimentPlan:
             table.add_row(r, predicted, measured, measured <= predicted)
         table.add_note(f"e(1) = 20E = {e1:.4g}; e(r+1) = alpha*e(r) + "
                        f"beta with alpha = {params.alpha:.4f}")
+        return table
+
+    return ExperimentPlan(specs=specs, finish=finish)
+
+
+# ----------------------------------------------------------------------
+# T13 — dynamic networks: skew vs edge churn (Kuhn et al. direction)
+# ----------------------------------------------------------------------
+
+#: GCS-baseline parameters for the dynamic/parameter-grid workloads:
+#: drift fast enough (rho = 1e-2) that trigger-driven corrections
+#: happen within a quick-mode horizon.
+def _fast_gcs_params(mu: float = 0.05, period: float = 2.0) -> GcsParams:
+    return GcsParams.default(rho=1e-2, d=1.0, u=0.05, mu=mu,
+                             period=period)
+
+
+@REGISTRY.experiment(
+    "t13",
+    title="T13  Dynamic networks: skew vs edge churn (Kuhn et al.)",
+    claim="Under i.i.d. edge churn applied through the topology "
+          "schedule, FTGCS and the fault-intolerant GCS baseline both "
+          "degrade gracefully on line/ring/grid; the sweep quantifies "
+          "skew growth against the churn rate for each.",
+    columns=["graph", "churn", "ftgcs local", "ftgcs global",
+             "gcs local", "gcs global"],
+    default_seed=13)
+def t13_plan(quick: bool, seed: int) -> ExperimentPlan:
+    params = fast_dynamics_params(f=1)
+    gcs_params = _fast_gcs_params()
+    graphs = [("line", (4,)), ("ring", (4,))]
+    if not quick:
+        graphs.append(("grid", (3, 3)))
+    churn_rates = (0.0, 0.25, 0.5)
+    rounds = 10 if quick else 25
+    interval = 2.0 * params.round_length
+    gcs_horizon = 600.0 if quick else 1500.0
+    gcs_interval = 50.0
+
+    grid = [(graph, args, churn) for graph, args in graphs
+            for churn in churn_rates]
+    specs = []
+    for graph, args, churn in grid:
+        specs.append(
+            Scenario.on(graph, *args).params(params).rounds(rounds)
+            .dynamic("churn", interval=interval, churn=churn)
+            .tag("ftgcs", graph, churn).build())
+        specs.append(
+            Scenario.on(graph, *args).protocol("gcs_single")
+            .dynamic("churn", interval=gcs_interval, churn=churn)
+            .payload(params=gcs_params, until=gcs_horizon)
+            .tag("gcs", graph, churn).build())
+
+    def finish(cells, table: Table) -> Table:
+        for (graph, args, churn), ft_cell, gcs_cell in zip(
+                grid, cells[0::2], cells[1::2]):
+            ft = ft_cell.result
+            gcs = gcs_cell.result
+            table.add_row(f"{graph}{args}", churn,
+                          ft.max_local_skew, ft.max_global_skew,
+                          gcs.max_local_skew, gcs.max_global_skew)
+        table.add_note(
+            f"edges flap i.i.d. per interval (ftgcs: every "
+            f"{interval:.3g}, gcs: every {gcs_interval:.3g}); down "
+            f"edges drop messages while estimators coast; GCS local "
+            f"skew is measured over currently active correct edges")
+        table.add_note("the two algorithms run their own parameter "
+                       "scales (FTGCS: rho=1e-4 cluster params; GCS: "
+                       "rho=1e-2 fast-drift params), so compare trends "
+                       "down a column, not across algorithms")
+        return table
+
+    return ExperimentPlan(specs=specs, finish=finish)
+
+
+# ----------------------------------------------------------------------
+# T14 — Gradient-TRIX-style parameter grid (Lenzen & Srinivas direction)
+# ----------------------------------------------------------------------
+
+@REGISTRY.experiment(
+    "t14",
+    title="T14  Gradient-TRIX parameter grid: skew vs mu across D",
+    claim="Across the mu/period design space of the gradient "
+          "algorithm, the steady local skew tracks the trigger unit "
+          "kappa (shrinking as the correction speedup mu grows) and "
+          "its kappa-normalized value stays flat in the diameter — "
+          "the trade-off Gradient-TRIX navigates in hardware.",
+    columns=["D", "mu", "kappa", "steady local", "steady global",
+             "local/kappa"],
+    default_seed=14)
+def t14_plan(quick: bool, seed: int) -> ExperimentPlan:
+    diameters = (4, 8) if quick else (4, 8, 16)
+    mu_values = (0.02, 0.05, 0.1) if quick else (0.02, 0.05, 0.1, 0.2)
+    horizon = 400.0 if quick else 1200.0
+    grid = [(diameter, mu) for diameter in diameters
+            for mu in mu_values]
+    specs = [
+        Scenario.line(diameter + 1).protocol("gcs_single").seed(seed)
+        .payload(params=_fast_gcs_params(mu=mu), until=horizon)
+        .tag("D", diameter, "mu", mu).build()
+        for diameter, mu in grid]
+
+    def finish(cells, table: Table) -> Table:
+        for (diameter, mu), cell in zip(grid, cells):
+            kappa = _fast_gcs_params(mu=mu).kappa
+            samples = cell.result.series
+            tail = samples[len(samples) // 2:]
+            steady_local = max((s[1] for s in tail), default=0.0)
+            steady_global = max((s[2] for s in tail), default=0.0)
+            table.add_row(diameter, mu, kappa, steady_local,
+                          steady_global, steady_local / kappa)
+        table.add_note("steady skews = max over the final half of "
+                       "samples; fault-free lines with alternating "
+                       "drift rates, rho=1e-2, period=2d")
         return table
 
     return ExperimentPlan(specs=specs, finish=finish)
@@ -822,6 +944,22 @@ def t12_convergence(quick: bool = True, seed: int = 12,
                           processes=processes)
 
 
+def t13_dynamic_networks(quick: bool = True, seed: int = 13,
+                         processes: int | None = None) -> Table:
+    """Dynamic-topology sweep: FTGCS vs fault-intolerant GCS under
+    i.i.d. edge churn on line/ring/grid (skew vs churn rate)."""
+    return run_experiment("t13", quick=quick, seed=seed,
+                          processes=processes)
+
+
+def t14_parameter_grid(quick: bool = True, seed: int = 14,
+                       processes: int | None = None) -> Table:
+    """Gradient-TRIX-style design-space sweep: steady gradient skew
+    across the mu grid and diameters."""
+    return run_experiment("t14", quick=quick, seed=seed,
+                          processes=processes)
+
+
 #: All experiments, for "run everything" entry points.
 ALL_EXPERIMENTS = {
     "t01": t01_local_skew_vs_diameter,
@@ -836,6 +974,8 @@ ALL_EXPERIMENTS = {
     "t10": t10_trigger_exclusion,
     "t11": t11_lw_vs_st,
     "t12": t12_convergence,
+    "t13": t13_dynamic_networks,
+    "t14": t14_parameter_grid,
 }
 
 

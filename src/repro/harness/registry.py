@@ -1,6 +1,7 @@
 """The experiment registry: one entry point for every table.
 
-Each of the paper's experiments (T1–T12) is registered as an
+Each of the paper's experiments (T1–T12) and the follow-on
+workloads (T13+) is registered as an
 :class:`Experiment`: metadata (id, title, claim, table schema, default
 seed) plus a *plan* function that compiles ``(quick, seed)`` into an
 :class:`ExperimentPlan` — a declarative grid of picklable
@@ -153,14 +154,14 @@ class ExperimentRegistry:
         return plan.finish(cells, experiment.make_table())
 
 
-#: The process-wide registry holding T1–T12 (and any extensions).
+#: The process-wide registry holding T1–T14 (and any extensions).
 REGISTRY = ExperimentRegistry()
 
 _builtin_loaded = False
 
 
 def _load_builtin_experiments() -> None:
-    """Populate :data:`REGISTRY` with T1–T12 on first use.
+    """Populate :data:`REGISTRY` with the built-in suite on first use.
 
     Importing :mod:`repro.harness.experiments` runs the registration
     decorators; deferring it keeps ``registry`` importable from the
@@ -169,7 +170,7 @@ def _load_builtin_experiments() -> None:
     global _builtin_loaded
     if _builtin_loaded:
         return
-    import repro.harness.experiments  # noqa: F401  (registers T1-T12)
+    import repro.harness.experiments  # noqa: F401  (registers T1-T14)
 
     # Only after the import succeeds: a partial failure must re-raise
     # on the next call, not leave a silently truncated registry.

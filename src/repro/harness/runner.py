@@ -8,12 +8,10 @@ wiring code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.core.params import Parameters
 from repro.core.system import FtgcsSystem, RunResult, SystemConfig
-from repro.faults.placement import place_everywhere
-from repro.faults.strategies import ByzantineStrategy
 from repro.topology.cluster_graph import ClusterGraph
 
 
@@ -65,22 +63,18 @@ def run_scenario(graph: ClusterGraph, params: Parameters, *,
     The passed ``config`` is never modified: measurement defaults
     (``sample_interval``, ``record_series``, ``track_edges``) and fault
     placement are applied to a private copy, so one config object can
-    be reused across scenarios.
+    be reused across scenarios.  The defaults come from the same
+    :func:`repro.protocols.prepare_ftgcs_config` helper the unified
+    ``ftgcs`` protocol uses, so the two paths cannot drift.
     """
-    if config is None:
-        config = SystemConfig()
-    else:
-        config = replace(config)
-    if config.sample_interval is None:
-        config.sample_interval = params.round_length / 4.0
-    config.record_series = True
-    config.track_edges = True
-    if strategy_factory is not None:
-        per_cluster = (faults_per_cluster if faults_per_cluster
-                       is not None else params.f)
-        aug = graph.augment(params.cluster_size)
-        config.byzantine = place_everywhere(aug, per_cluster,
-                                            strategy_factory)
+    # Function-level import: repro.protocols pulls in every algorithm
+    # module, which this frequently-imported helper module should not
+    # load eagerly.
+    from repro.protocols import prepare_ftgcs_config
+
+    config = prepare_ftgcs_config(
+        graph, params, config=config, strategy_factory=strategy_factory,
+        faults_per_cluster=faults_per_cluster)
     system = FtgcsSystem.build(graph, params, seed=seed, config=config)
     result = system.run_rounds(rounds)
     return ScenarioResult(system=system, result=result)

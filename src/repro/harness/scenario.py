@@ -13,15 +13,18 @@ shared base fans out into grids without aliasing:
 ...          for j in (0.01, 0.05, 0.1)]
 >>> cells = SweepRunner().run(specs, base_seed=7)
 
-Validation that only needs the spec itself (known strategy, known cell
-kind, known collectors) happens at :meth:`Scenario.build`; topology
-and parameter validation happens in the worker, where the system is
-actually constructed.
+Validation that only needs the spec itself (known cell kind, known
+protocol, known topology schedule, known strategy, known collectors)
+happens *eagerly* at :meth:`Scenario.build`, each failure naming the
+known alternatives — a typo fails where the grid is written, not
+inside a pool worker.  Topology and parameter validation happens in
+the worker, where the system is actually constructed.
 """
 
 from __future__ import annotations
 
 from repro.core.params import Parameters
+from repro.core.protocol import get_protocol, protocol_names
 from repro.errors import ConfigError
 from repro.harness.sweep import (
     CELL_KINDS,
@@ -29,6 +32,20 @@ from repro.harness.sweep import (
     STRATEGIES,
     ScenarioSpec,
 )
+from repro.topology.schedule import SCHEDULES
+
+#: Built-in kinds that never read ``spec.schedule`` — pairing them
+#: with ``.dynamic(...)`` is a misconfiguration caught at build time.
+#: (Protocol cells are checked against the named protocol's
+#: ``supports_dynamic_topology`` flag instead; custom kinds are given
+#: the benefit of the doubt.)
+_SCHEDULE_BLIND_KINDS = frozenset(
+    {"failure_mc", "trigger_fuzz", "augment_counts"})
+
+#: Legacy alias kinds that forward to the ``protocol`` runner.
+_LEGACY_PROTOCOL_KINDS = frozenset(
+    {"ftgcs", "master_slave", "gcs_single", "srikanth_toueg"})
+
 
 class Scenario:
     """Immutable fluent builder for one sweep cell.
@@ -77,6 +94,12 @@ class Scenario:
         """Start a non-default cell kind (may be graph-free)."""
         return cls(kind=kind)
 
+    @classmethod
+    def of_protocol(cls, name: str) -> "Scenario":
+        """Start a (possibly graph-free) protocol cell, e.g.
+        ``Scenario.of_protocol("srikanth_toueg")``."""
+        return cls(kind="protocol", protocol=name)
+
     # ------------------------------------------------------------------
     # Parameters / schedule / faults
     # ------------------------------------------------------------------
@@ -84,6 +107,19 @@ class Scenario:
     def kind(self, kind: str) -> "Scenario":
         """Select the worker routine (see ``CELL_KINDS``)."""
         return self._with(kind=kind)
+
+    def protocol(self, name: str) -> "Scenario":
+        """Run through the unified protocol path (``kind="protocol"``)
+        with the named :class:`~repro.core.protocol.SyncProtocol`."""
+        return self._with(kind="protocol", protocol=name)
+
+    def dynamic(self, schedule: str, **schedule_args) -> "Scenario":
+        """Make the topology time-varying: a registered
+        :data:`~repro.topology.schedule.SCHEDULES` name plus its
+        factory kwargs (e.g. ``.dynamic("churn", interval=40.0,
+        churn=0.25)``)."""
+        return self._with(schedule=schedule,
+                          schedule_args=dict(schedule_args))
 
     def params(self, params: Parameters) -> "Scenario":
         """Attach the full FTGCS parameter set."""
@@ -140,12 +176,42 @@ class Scenario:
     # ------------------------------------------------------------------
 
     def build(self) -> ScenarioSpec:
-        """Compile to a picklable :class:`ScenarioSpec`."""
+        """Compile to a picklable :class:`ScenarioSpec`.
+
+        Everything resolvable from the spec alone is validated here —
+        cell kind, protocol name, topology schedule, strategy, and
+        collectors all fail at build time with the known-names list.
+        """
         fields = dict(self._fields)
-        kind = fields.get("kind", "ftgcs")
+        kind = fields.get("kind", "protocol")
         if kind not in CELL_KINDS:
             raise ConfigError(f"unknown cell kind {kind!r}; known: "
                               f"{sorted(CELL_KINDS)}")
+        protocol = fields.get("protocol")
+        if protocol is not None:
+            known = protocol_names()
+            if protocol not in known:
+                raise ConfigError(f"unknown protocol {protocol!r}; "
+                                  f"known: {known}")
+        schedule = fields.get("schedule")
+        if schedule is not None and schedule not in SCHEDULES:
+            raise ConfigError(f"unknown topology schedule {schedule!r}; "
+                              f"known: {sorted(SCHEDULES)}")
+        if schedule not in (None, "static"):
+            if kind in _SCHEDULE_BLIND_KINDS:
+                raise ConfigError(
+                    f"cell kind {kind!r} ignores topology schedules; "
+                    f".dynamic(...) needs a protocol cell")
+            name = None
+            if kind == "protocol":
+                name = protocol or "ftgcs"
+            elif kind in _LEGACY_PROTOCOL_KINDS:
+                name = kind
+            if (name is not None
+                    and not get_protocol(name).supports_dynamic_topology):
+                raise ConfigError(
+                    f"protocol {name!r} does not support dynamic "
+                    f"topologies")
         strategy = fields.get("strategy")
         if strategy is not None and strategy not in STRATEGIES:
             raise ConfigError(f"unknown strategy {strategy!r}; known: "

@@ -22,22 +22,17 @@ Cell kinds
 ----------
 ``spec.kind`` names the worker routine in :data:`CELL_KINDS`:
 
-``"ftgcs"`` (default)
-    A full FTGCS deployment via
-    :func:`~repro.harness.runner.run_scenario`; ``result`` is the
-    :class:`~repro.core.system.RunResult`.
-``"master_slave"``
-    The tree-slaved baseline
-    (:class:`~repro.baselines.master_slave.MasterSlaveSystem`);
-    ``result`` is its :class:`~repro.analysis.sampling.SkewMaxima`.
-``"gcs_single"``
-    Plain fault-intolerant GCS
-    (:class:`~repro.baselines.gcs_single.GcsSingleSystem`); ``result``
-    is the ``(t, local_skew, global_skew)`` sample list.
-``"srikanth_toueg"``
-    A Srikanth–Toueg clique
-    (:class:`~repro.baselines.srikanth_toueg.SrikanthTouegSystem`);
-    ``result`` is the max observed skew.
+``"protocol"`` (default)
+    A full synchronization run through the unified
+    :class:`~repro.core.protocol.SystemBuilder` path: ``spec.protocol``
+    names any registered :class:`~repro.core.protocol.SyncProtocol`
+    (``ftgcs`` — the default — ``lynch_welch``, ``master_slave``,
+    ``gcs_single``, ``srikanth_toueg``, or a custom registration), and
+    ``spec.schedule``/``spec.schedule_args`` optionally select a
+    :data:`~repro.topology.schedule.SCHEDULES` topology schedule for
+    dynamic-network runs.  ``result`` is always a
+    :class:`~repro.core.protocol.ProtocolRunResult` (the protocol's
+    native result rides in ``.detail``).
 ``"failure_mc"``
     A Monte Carlo estimate of the cluster failure probability
     (Inequality (1)); ``result`` is the estimated probability.
@@ -47,6 +42,12 @@ Cell kinds
 ``"augment_counts"``
     Pure graph accounting: node/edge counts of the augmentation across
     fault budgets; no simulation at all.
+
+The historical per-algorithm kinds (``"ftgcs"``, ``"master_slave"``,
+``"gcs_single"``, ``"srikanth_toueg"``) remain registered as thin
+aliases that forward to the ``"protocol"`` runner with the matching
+protocol name; they accept the same payloads and return the unified
+result shape.
 
 Kind-specific knobs travel in ``spec.payload`` (a picklable dict);
 :func:`register_cell_kind` adds custom kinds.  Custom kinds registered
@@ -90,36 +91,20 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
-from repro.baselines.gcs_single import GcsSingleSystem
-from repro.baselines.master_slave import MasterSlaveSystem
-from repro.baselines.srikanth_toueg import SrikanthTouegSystem
 from repro.core.params import Parameters
-from repro.core.system import FtgcsSystem, RunResult, SystemConfig
+from repro.core.protocol import (
+    ProtocolRunResult,
+    SystemBuilder,
+    get_protocol,
+)
+from repro.core.system import FtgcsSystem, RunResult
 from repro.core.triggers import evaluate
 from repro.errors import ConfigError
-from repro.faults.strategies import (
-    ColludingEquivocatorStrategy,
-    CrashStrategy,
-    EquivocatorStrategy,
-    FastClockStrategy,
-    PullApartStrategy,
-    RandomPulseStrategy,
-    SilentStrategy,
-)
-from repro.harness.runner import run_scenario, steady_state_skews
+from repro.faults.strategies import STRATEGIES
+from repro.harness.runner import steady_state_skews
 from repro.sim.rng import derive_seed
 from repro.topology.cluster_graph import ClusterGraph
-
-#: Fault strategies addressable by name from a picklable spec.
-STRATEGIES = {
-    "silent": SilentStrategy,
-    "crash": CrashStrategy,
-    "random_pulse": RandomPulseStrategy,
-    "fast_clock": FastClockStrategy,
-    "equivocate": EquivocatorStrategy,
-    "pull_apart": PullApartStrategy,
-    "collusion": ColludingEquivocatorStrategy,
-}
+from repro.topology.schedule import build_schedule
 
 
 @dataclass(frozen=True)
@@ -163,9 +148,19 @@ class ScenarioSpec:
         ``collect``.
     kind:
         Worker routine name in :data:`CELL_KINDS` (module docstring).
+    protocol:
+        For ``"protocol"`` cells: the registered
+        :class:`~repro.core.protocol.SyncProtocol` name (``None``
+        means ``"ftgcs"``).
+    schedule / schedule_args:
+        For ``"protocol"`` cells: a
+        :data:`~repro.topology.schedule.SCHEDULES` name plus factory
+        kwargs, turning the (static) ``graph`` into a time-varying
+        topology.  ``"static"`` (the default) is the trivial schedule.
     payload:
-        Kind-specific picklable knobs (e.g. the master-slave ``jump``
-        flag, the Monte Carlo ``trials``/``skip``).
+        Kind- or protocol-specific picklable knobs (e.g. the
+        master-slave ``jump`` flag, the Monte Carlo
+        ``trials``/``skip``).
     collect:
         Names of :data:`COLLECTORS` to run in-worker against the live
         system; results land in ``SweepCellResult.extras``.
@@ -182,7 +177,10 @@ class ScenarioSpec:
     config: dict = field(default_factory=dict)
     key: tuple = ()
     collect_pulse_diameters: bool = False
-    kind: str = "ftgcs"
+    kind: str = "protocol"
+    protocol: str | None = None
+    schedule: str = "static"
+    schedule_args: dict = field(default_factory=dict)
     payload: dict = field(default_factory=dict)
     collect: tuple = ()
 
@@ -192,9 +190,9 @@ class SweepCellResult:
     """Measurements of one executed cell (picklable).
 
     ``result`` holds the kind's primary measurement — a
-    :class:`~repro.core.system.RunResult` for ``"ftgcs"`` cells, the
-    kind-specific value otherwise (module docstring).  ``extras`` maps
-    collector names to their in-worker measurements.
+    :class:`~repro.core.protocol.ProtocolRunResult` for ``"protocol"``
+    cells, the kind-specific value otherwise (module docstring).
+    ``extras`` maps collector names to their in-worker measurements.
     """
 
     key: tuple
@@ -207,14 +205,20 @@ class SweepCellResult:
                            ) -> dict[str, float]:
         """Max skews over the last ``tail_fraction`` of samples.
 
-        Only meaningful for cells whose ``result`` is a
-        :class:`~repro.core.system.RunResult` recorded with a series.
+        Only meaningful for FTGCS-family cells, whose series is a
+        :class:`~repro.analysis.metrics.SkewSnapshot` list (carried by
+        a :class:`~repro.core.protocol.ProtocolRunResult` whose
+        ``detail`` is a :class:`~repro.core.system.RunResult`, or by a
+        bare ``RunResult`` from direct ``run_scenario`` use).
         """
-        if not isinstance(self.result, RunResult):
+        result = self.result
+        if isinstance(result, ProtocolRunResult):
+            result = result.detail
+        if not isinstance(result, RunResult):
             raise ConfigError(
-                f"cell {self.key!r} is not an ftgcs run; "
+                f"cell {self.key!r} is not an FTGCS-family run; "
                 f"steady_state_skews needs a RunResult")
-        return steady_state_skews(self.result.series, tail_fraction)
+        return steady_state_skews(result.series, tail_fraction)
 
 
 # ----------------------------------------------------------------------
@@ -267,77 +271,71 @@ def _build_graph(spec: ScenarioSpec) -> ClusterGraph:
     return graph_factory(*spec.graph_args)
 
 
-def _require_params(spec: ScenarioSpec) -> Parameters:
-    if spec.params is None:
-        raise ConfigError("ScenarioSpec.params is required to run")
-    return spec.params
+def _run_protocol_cell(spec: ScenarioSpec) -> SweepCellResult:
+    """The generic worker: any registered protocol through the
+    :class:`~repro.core.protocol.SystemBuilder` path.
 
-
-def _run_ftgcs_cell(spec: ScenarioSpec) -> SweepCellResult:
-    graph = _build_graph(spec)
-    params = _require_params(spec)
-
-    strategy_factory = None
+    ``result`` is always a
+    :class:`~repro.core.protocol.ProtocolRunResult`; in-worker
+    collectors run against the protocol's analysis system (FTGCS
+    family only).
+    """
+    name = spec.protocol or "ftgcs"
+    builder = SystemBuilder(get_protocol(name)())
+    if spec.graph:
+        graph = _build_graph(spec)
+        if spec.schedule and spec.schedule != "static":
+            builder.topology(build_schedule(spec.schedule, graph,
+                                            **spec.schedule_args))
+        else:
+            builder.topology(graph)
+    elif spec.schedule not in ("", "static"):
+        raise ConfigError(
+            f"topology schedule {spec.schedule!r} needs a graph")
+    if spec.params is not None:
+        builder.params(spec.params)
+    builder.rounds(spec.rounds).seed(spec.seed)
     if spec.strategy is not None:
-        cls = STRATEGIES.get(spec.strategy)
-        if cls is None:
-            raise ConfigError(
-                f"unknown strategy {spec.strategy!r}; known: "
-                f"{sorted(STRATEGIES)}")
-        args = spec.strategy_args
-        strategy_factory = lambda _node, _cls=cls, _args=args: _cls(*_args)
+        builder.faults(spec.strategy, *spec.strategy_args,
+                       per_cluster=spec.faults_per_cluster)
+    if spec.config:
+        builder.configure(**spec.config)
+    if spec.payload:
+        builder.payload(**spec.payload)
 
-    config = SystemConfig(**spec.config) if spec.config else None
-    scenario = run_scenario(
-        graph, params, rounds=spec.rounds, seed=spec.seed,
-        strategy_factory=strategy_factory,
-        faults_per_cluster=spec.faults_per_cluster, config=config)
+    system = builder.build()
+    result = system.run()
 
     extras = {}
-    for name in spec.collect:
-        collector = COLLECTORS.get(name)
+    target = system.protocol.analysis_system()
+    needs_target = spec.collect or spec.collect_pulse_diameters
+    if needs_target and target is None:
+        raise ConfigError(
+            f"protocol {name!r} does not support in-worker collectors")
+    for collector_name in spec.collect:
+        collector = COLLECTORS.get(collector_name)
         if collector is None:
             raise ConfigError(
-                f"unknown collector {name!r}; known: {sorted(COLLECTORS)}")
-        extras[name] = collector(scenario.system)
+                f"unknown collector {collector_name!r}; known: "
+                f"{sorted(COLLECTORS)}")
+        extras[collector_name] = collector(target)
     pulses = extras.get("pulse_diameters")
     if pulses is None and spec.collect_pulse_diameters:
-        pulses = scenario.system.pulse_diameter_table()
-    return SweepCellResult(key=spec.key, seed=spec.seed,
-                           result=scenario.result, pulse_diameters=pulses,
-                           extras=extras)
+        pulses = target.pulse_diameter_table()
+    return SweepCellResult(key=spec.key, seed=spec.seed, result=result,
+                           pulse_diameters=pulses, extras=extras)
 
 
-def _run_master_slave_cell(spec: ScenarioSpec) -> SweepCellResult:
-    """Tree-slaved baseline; ``result`` is the sampler's SkewMaxima."""
-    graph = _build_graph(spec)
-    params = _require_params(spec)
-    payload = dict(spec.payload)
-    rounds = payload.pop("rounds", spec.rounds)
-    system = MasterSlaveSystem(graph, params, seed=spec.seed, **payload)
-    maxima = system.run_rounds(rounds)
-    return SweepCellResult(key=spec.key, seed=spec.seed, result=maxima)
+def _legacy_protocol_kind(name: str) -> Callable[[ScenarioSpec],
+                                                 SweepCellResult]:
+    """Back-compat alias: historical per-algorithm kinds forward to
+    the generic ``"protocol"`` runner with the matching protocol."""
 
+    def run(spec: ScenarioSpec) -> SweepCellResult:
+        return _run_protocol_cell(
+            replace(spec, kind="protocol", protocol=name))
 
-def _run_gcs_single_cell(spec: ScenarioSpec) -> SweepCellResult:
-    """Fault-intolerant GCS; ``result`` is the sample list."""
-    graph = _build_graph(spec)
-    payload = dict(spec.payload)
-    gcs_params = payload.pop("params")
-    until = payload.pop("until")
-    system = GcsSingleSystem(graph, gcs_params, seed=spec.seed, **payload)
-    samples = system.run(until=until)
-    return SweepCellResult(key=spec.key, seed=spec.seed, result=samples)
-
-
-def _run_srikanth_toueg_cell(spec: ScenarioSpec) -> SweepCellResult:
-    """Srikanth–Toueg clique; ``result`` is the max observed skew."""
-    payload = dict(spec.payload)
-    st_params = payload.pop("params")
-    rounds = payload.pop("rounds", spec.rounds)
-    system = SrikanthTouegSystem(st_params, seed=spec.seed, **payload)
-    skew = system.run(rounds=rounds)
-    return SweepCellResult(key=spec.key, seed=spec.seed, result=skew)
+    return run
 
 
 #: ``(seed, draws_consumed) -> random.Random state`` — lets consecutive
@@ -434,12 +432,15 @@ def _run_augment_counts_cell(spec: ScenarioSpec) -> SweepCellResult:
                 "edges": graph.num_edges, "rows": rows})
 
 
-#: Worker routines addressable by ``ScenarioSpec.kind``.
+#: Worker routines addressable by ``ScenarioSpec.kind``.  The
+#: per-algorithm names are aliases of ``"protocol"`` (module
+#: docstring).
 CELL_KINDS: dict[str, Callable[[ScenarioSpec], SweepCellResult]] = {
-    "ftgcs": _run_ftgcs_cell,
-    "master_slave": _run_master_slave_cell,
-    "gcs_single": _run_gcs_single_cell,
-    "srikanth_toueg": _run_srikanth_toueg_cell,
+    "protocol": _run_protocol_cell,
+    "ftgcs": _legacy_protocol_kind("ftgcs"),
+    "master_slave": _legacy_protocol_kind("master_slave"),
+    "gcs_single": _legacy_protocol_kind("gcs_single"),
+    "srikanth_toueg": _legacy_protocol_kind("srikanth_toueg"),
     "failure_mc": _run_failure_mc_cell,
     "trigger_fuzz": _run_trigger_fuzz_cell,
     "augment_counts": _run_augment_counts_cell,

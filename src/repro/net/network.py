@@ -15,6 +15,18 @@ Byzantine node power is expressed through the sending API:
   broadcast obligation — "they are not required to communicate by
   broadcast") and may pick the exact delay within the envelope via
   :meth:`Network.send_with_delay`.
+
+Dynamic topologies
+------------------
+Links can be *deactivated* and re-activated mid-run
+(:meth:`Network.set_link_active`), which is how
+:class:`~repro.topology.schedule.TopologySchedule` events reach the
+wire: a down link silently carries nothing (sends are dropped,
+broadcasts skip it) while the structural link set — and therefore
+:meth:`neighbors` — is unchanged.  Messages already in flight when a
+link goes down still deliver (the packet left the sender while the
+link was up).  Static runs never populate the inactive set, so the
+hot paths stay byte-identical to the static-only implementation.
 """
 
 from __future__ import annotations
@@ -60,8 +72,14 @@ class Network:
         self._handlers: dict[int, Handler] = {}
         self._adjacency: dict[int, list[int]] = {}
         self._link_models: dict[tuple[int, int], DelayModel] = {}
+        #: Directed pairs currently down (both directions are stored,
+        #: so membership tests need no normalization).  Empty for
+        #: static topologies — the common case the hot paths check
+        #: with one falsy test.
+        self._inactive: set[tuple[int, int]] = set()
         self.messages_sent = 0
         self.messages_delivered = 0
+        self.messages_dropped = 0
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -132,6 +150,30 @@ class Network:
     def has_link(self, a: int, b: int) -> bool:
         return b in self._adjacency.get(a, ())
 
+    def set_link_active(self, a: int, b: int, active: bool) -> None:
+        """Activate or deactivate the existing link ``{a, b}``.
+
+        Deactivation is a *transmission* state, not a structural one:
+        the link (and delay model) stays registered, but sends are
+        dropped and broadcasts skip it until re-activation.
+        Idempotent in both directions.
+        """
+        if b not in self._adjacency.get(a, ()):
+            raise NetworkError(f"no such link: {{{a!r}, {b!r}}}")
+        if active:
+            self._inactive.discard((a, b))
+            self._inactive.discard((b, a))
+        else:
+            self._inactive.add((a, b))
+            self._inactive.add((b, a))
+
+    def link_active(self, a: int, b: int) -> bool:
+        """Whether the existing link ``{a, b}`` currently carries
+        messages."""
+        if b not in self._adjacency.get(a, ()):
+            raise NetworkError(f"no such link: {{{a!r}, {b!r}}}")
+        return (a, b) not in self._inactive
+
     def node_ids(self) -> tuple[int, ...]:
         return tuple(self._adjacency)
 
@@ -158,10 +200,17 @@ class Network:
                 f"{self._d!r}]")
 
     def send(self, sender: int, receiver: int, message: Any) -> None:
-        """Unicast ``message`` with a model-drawn delay."""
+        """Unicast ``message`` with a model-drawn delay.
+
+        A deactivated link drops the message silently (counted in
+        ``messages_dropped``): the sender cannot observe a down link.
+        """
         if receiver not in self._adjacency.get(sender, ()):
             raise NetworkError(
                 f"{sender!r} is not adjacent to {receiver!r}")
+        if self._inactive and (sender, receiver) in self._inactive:
+            self.messages_dropped += 1
+            return
         delay = self._model_for(sender, receiver).draw(
             sender, receiver, self._sim.now)
         self._validate_delay(delay)
@@ -179,6 +228,9 @@ class Network:
         if receiver not in self._adjacency.get(sender, ()):
             raise NetworkError(
                 f"{sender!r} is not adjacent to {receiver!r}")
+        if self._inactive and (sender, receiver) in self._inactive:
+            self.messages_dropped += 1
+            return
         self._validate_delay(delay)
         self.messages_sent += 1
         self._sim.call_in(delay, self._deliver, receiver, message)
@@ -195,13 +247,19 @@ class Network:
         if neighbors is None:
             raise NetworkError(f"unknown node: {sender!r}")
         now = self._sim.now
+        inactive = self._inactive
+        copies = 0
         for receiver in neighbors:
+            if inactive and (sender, receiver) in inactive:
+                self.messages_dropped += 1
+                continue
             delay = self._model_for(sender, receiver).draw(
                 sender, receiver, now)
             self._validate_delay(delay)
             self.messages_sent += 1
             self._sim.call_in(delay, self._deliver, receiver, message)
-        return len(neighbors)
+            copies += 1
+        return copies
 
     def _deliver(self, receiver: int, message: Any) -> None:
         handler = self._handlers.get(receiver)

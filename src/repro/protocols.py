@@ -1,0 +1,343 @@
+"""The built-in :class:`~repro.core.protocol.SyncProtocol` adapters.
+
+Every algorithm in the library — the paper's FTGCS construction, the
+standalone Lynch–Welch clique, and the three baselines — implements
+the unified protocol interface here, so one
+:class:`~repro.core.protocol.SystemBuilder` composes any of them with
+topologies, topology schedules, fault strategies, and clock/delay
+models, and every run returns one
+:class:`~repro.core.protocol.ProtocolRunResult` shape.
+
+The adapters deliberately delegate to the existing engine classes
+(``FtgcsSystem``, ``LynchWelchSystem``, ``MasterSlaveSystem``,
+``GcsSingleSystem``, ``SrikanthTouegSystem``) rather than re-wiring
+nodes themselves: RNG stream consumption, event ordering, and
+measurement cadence therefore stay *bit-identical* to the historical
+per-algorithm paths — the property the experiment tables rely on.
+
+Capability summary:
+
+============== ======== ========= ======= =========
+protocol       faults   dynamic   graph   params in
+============== ======== ========= ======= =========
+ftgcs          yes      yes       yes     ``.params``
+lynch_welch    yes      no        no      ``.params``
+master_slave   no       no        yes     ``.params``
+gcs_single     liars*   yes       yes     ``payload["params"]``
+srikanth_toueg silent*  no        no      ``payload["params"]``
+============== ======== ========= ======= =========
+
+``*`` — these baselines model faults through protocol-specific payload
+knobs (``liars``, ``silent_faults``) rather than the named-strategy
+model, so their ``supports_faults`` flag is ``False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.baselines.gcs_single import GcsSingleSystem
+from repro.baselines.lynch_welch import LynchWelchSystem
+from repro.baselines.master_slave import MasterSlaveSystem
+from repro.baselines.srikanth_toueg import SrikanthTouegSystem
+from repro.core.protocol import (
+    BuildContext,
+    ProtocolRunResult,
+    SyncProtocol,
+    register_protocol,
+)
+from repro.core.system import FtgcsSystem, SystemConfig
+from repro.errors import ConfigError
+from repro.faults.placement import place_everywhere
+from repro.faults.strategies import STRATEGIES
+
+
+def _strategy_factory(name: str, args: tuple):
+    cls = STRATEGIES.get(name)
+    if cls is None:
+        raise ConfigError(f"unknown strategy {name!r}; known: "
+                          f"{sorted(STRATEGIES)}")
+    return lambda _node, _cls=cls, _args=args: _cls(*_args)
+
+
+def prepare_ftgcs_config(graph, params, config=None,
+                         strategy_factory=None,
+                         faults_per_cluster=None) -> SystemConfig:
+    """Measurement defaults + fault placement for an FTGCS-family run.
+
+    The single source of truth shared by the ``ftgcs``/``lynch_welch``
+    protocols and the direct :func:`repro.harness.runner.run_scenario`
+    path: sample interval defaults to a quarter round, the series and
+    per-edge maxima are always recorded, and a strategy factory places
+    ``faults_per_cluster`` (default ``params.f``) faults in every
+    cluster.  The passed ``config`` is never modified — defaults are
+    applied to a private copy.
+    """
+    config = replace(config) if config is not None else SystemConfig()
+    if config.sample_interval is None:
+        config.sample_interval = params.round_length / 4.0
+    config.record_series = True
+    config.track_edges = True
+    if strategy_factory is not None:
+        per_cluster = (faults_per_cluster if faults_per_cluster
+                       is not None else params.f)
+        aug = graph.augment(params.cluster_size)
+        config.byzantine = place_everywhere(aug, per_cluster,
+                                            strategy_factory)
+    return config
+
+
+@register_protocol
+class FtgcsProtocol(SyncProtocol):
+    """The paper's fault-tolerant gradient construction.
+
+    ``ctx.config`` carries :class:`~repro.core.system.SystemConfig`
+    kwargs.  Measurement defaults match the historical
+    ``run_scenario`` path: the sample interval defaults to a quarter
+    round and the series/edge maxima are always recorded.
+    """
+
+    name = "ftgcs"
+    supports_faults = True
+    supports_dynamic_topology = True
+
+    system_class = FtgcsSystem
+
+    def _make_system(self, graph, params, seed,
+                     config: SystemConfig) -> FtgcsSystem:
+        return self.system_class.build(graph, params, seed=seed,
+                                       config=config)
+
+    def build_nodes(self, ctx: BuildContext) -> None:
+        params = ctx.params
+        strategy_factory = None
+        if ctx.strategy is not None:
+            strategy_factory = _strategy_factory(ctx.strategy,
+                                                 ctx.strategy_args)
+        config = prepare_ftgcs_config(
+            ctx.graph, params,
+            config=SystemConfig(**ctx.config) if ctx.config else None,
+            strategy_factory=strategy_factory,
+            faults_per_cluster=ctx.faults_per_cluster)
+        self.system = self._make_system(ctx.graph, params, ctx.seed,
+                                        config)
+        self.sim = self.system.sim
+        self.network = self.system.network
+
+    def start(self) -> None:
+        self.system.start()
+
+    def horizon(self) -> float:
+        rounds = self.ctx.rounds
+        if rounds < 1:
+            raise ConfigError(f"rounds must be >= 1: {rounds!r}")
+        width = self.system.config.init_jitter
+        if width is None:
+            width = self.system.params.cap_e / 4.0
+        return (self.sim.now + self.system.schedule.round_start(rounds + 1)
+                + width + 1.0)
+
+    def collect(self) -> ProtocolRunResult:
+        result = self.system.result()
+        return ProtocolRunResult(
+            protocol=self.name, seed=self.ctx.seed,
+            max_global_skew=result.max_global_skew,
+            max_local_skew=result.max_local_cluster_skew,
+            series=result.series, edge_maxima=result.edge_maxima,
+            messages_sent=result.messages_sent,
+            events_processed=result.events_processed,
+            detail=result)
+
+    def edge_links(self, a: int, b: int) -> tuple:
+        graph = self.system.graph
+        return tuple((na, nb) for na in graph.members(a)
+                     for nb in graph.members(b))
+
+    def analysis_system(self) -> FtgcsSystem:
+        return self.system
+
+
+@register_protocol
+class LynchWelchProtocol(FtgcsProtocol):
+    """The amortized Lynch–Welch clique algorithm, standalone.
+
+    Graph-free: the topology defaults to a single cluster
+    (``ClusterGraph.line(1)``); passing a multi-cluster graph is an
+    error.  Everything else — faults, config, measurement — matches
+    the FTGCS protocol on that single cluster exactly.
+    """
+
+    name = "lynch_welch"
+    needs_graph = False
+    supports_dynamic_topology = False
+
+    system_class = LynchWelchSystem
+
+    def _make_system(self, graph, params, seed,
+                     config: SystemConfig) -> LynchWelchSystem:
+        return LynchWelchSystem(params, config=config, seed=seed,
+                                cluster_graph=graph)
+
+    def build_nodes(self, ctx: BuildContext) -> None:
+        if ctx.graph is None:
+            from repro.topology.cluster_graph import ClusterGraph
+
+            ctx = replace(ctx, graph=ClusterGraph.line(1))
+            self.ctx = ctx
+        super().build_nodes(ctx)
+
+
+@register_protocol
+class MasterSlaveProtocol(SyncProtocol):
+    """Tree-slaved master–slave synchronization (fault-free baseline).
+
+    ``payload`` knobs (all :class:`MasterSlaveSystem` constructor
+    kwargs): ``rounds`` (default ``ctx.rounds``), ``root``,
+    ``chase_threshold``, ``rate_model``, ``flip_period_rounds``,
+    ``cluster_offsets``, ``jump``, ``record_series``, ``track_edges``.
+    """
+
+    name = "master_slave"
+
+    def build_nodes(self, ctx: BuildContext) -> None:
+        payload = dict(ctx.payload)
+        self.rounds = payload.pop("rounds", ctx.rounds)
+        self.system = MasterSlaveSystem(ctx.graph, ctx.params,
+                                        seed=ctx.seed, **payload)
+        self.sim = self.system.sim
+        self.network = self.system.network
+
+    def start(self) -> None:
+        self.system.start()
+
+    def horizon(self) -> float:
+        return self.system.run_horizon(self.rounds)
+
+    def advance(self, until: float) -> None:
+        self.sim.run(until)
+        self.system.sampler.sample_now()
+
+    def collect(self) -> ProtocolRunResult:
+        maxima = self.system.sampler.maxima
+        return ProtocolRunResult(
+            protocol=self.name, seed=self.ctx.seed,
+            max_global_skew=maxima.global_skew,
+            max_local_skew=maxima.local_cluster,
+            series=list(self.system.sampler.series),
+            edge_maxima=dict(maxima.edge_maxima),
+            messages_sent=self.network.messages_sent,
+            events_processed=self.sim.events_processed,
+            detail=maxima)
+
+    def edge_links(self, a: int, b: int) -> tuple:
+        aug = self.system.aug
+        return tuple((na, nb) for na in aug.members(a)
+                     for nb in aug.members(b))
+
+
+@register_protocol
+class GcsSingleProtocol(SyncProtocol):
+    """The fault-INtolerant GCS baseline, one node per cluster vertex.
+
+    ``payload``: ``params`` (a :class:`GcsParams`, required), ``until``
+    (run horizon, required), ``liars`` (``{node: {neighbor: +-1}}``),
+    ``rate_spread``, ``sample_interval``.  ``series``/``detail`` are
+    the ``(t, local_skew, global_skew)`` sample list, with local skew
+    measured over currently *active* correct edges.
+    """
+
+    name = "gcs_single"
+    supports_dynamic_topology = True
+    needs_params = False
+
+    def build_nodes(self, ctx: BuildContext) -> None:
+        payload = dict(ctx.payload)
+        try:
+            gcs_params = payload.pop("params")
+            self.until = payload.pop("until")
+        except KeyError as missing:
+            raise ConfigError(
+                f"gcs_single needs payload[{missing.args[0]!r}]") from None
+        self.sample_interval = payload.pop("sample_interval", None)
+        self.system = GcsSingleSystem(ctx.graph, gcs_params,
+                                      seed=ctx.seed, **payload)
+        self.sim = self.system.sim
+        self.network = self.system.network
+
+    def start(self) -> None:
+        self.system.start()
+
+    def horizon(self) -> float:
+        return self.until
+
+    def advance(self, until: float) -> None:
+        self.samples = self.system.run(
+            until, sample_interval=self.sample_interval)
+
+    def collect(self) -> ProtocolRunResult:
+        samples = self.samples
+        return ProtocolRunResult(
+            protocol=self.name, seed=self.ctx.seed,
+            max_global_skew=max((s[2] for s in samples), default=0.0),
+            max_local_skew=max((s[1] for s in samples), default=0.0),
+            series=samples,
+            messages_sent=self.network.messages_sent,
+            events_processed=self.sim.events_processed,
+            detail=samples)
+
+
+@register_protocol
+class SrikanthTouegProtocol(SyncProtocol):
+    """Srikanth–Toueg propose-and-pull on a clique (topology-free).
+
+    ``payload``: ``params`` (an :class:`StParams`, required; carries
+    ``n`` so no graph is involved), ``rounds`` (default
+    ``ctx.rounds``), ``silent_faults``, ``rate_spread``,
+    ``sample_interval``.  The uniform skews both report the max
+    observed clique skew (``detail`` holds the same float).
+    """
+
+    name = "srikanth_toueg"
+    needs_graph = False
+    needs_params = False
+
+    def build_nodes(self, ctx: BuildContext) -> None:
+        payload = dict(ctx.payload)
+        try:
+            st_params = payload.pop("params")
+        except KeyError:
+            raise ConfigError(
+                "srikanth_toueg needs payload['params']") from None
+        self.rounds = payload.pop("rounds", ctx.rounds)
+        self.sample_interval = payload.pop("sample_interval", None)
+        self.system = SrikanthTouegSystem(st_params, seed=ctx.seed,
+                                          **payload)
+        self.sim = self.system.sim
+        self.network = self.system.network
+
+    def start(self) -> None:
+        self.system.start()
+
+    def horizon(self) -> float:
+        return (self.rounds + 1) * self.system.params.period
+
+    def advance(self, until: float) -> None:
+        self.skew = self.system.run_until(
+            until, sample_interval=self.sample_interval)
+
+    def collect(self) -> ProtocolRunResult:
+        return ProtocolRunResult(
+            protocol=self.name, seed=self.ctx.seed,
+            max_global_skew=self.skew, max_local_skew=self.skew,
+            messages_sent=self.network.messages_sent,
+            events_processed=self.sim.events_processed,
+            detail=self.skew)
+
+
+__all__ = [
+    "FtgcsProtocol",
+    "GcsSingleProtocol",
+    "LynchWelchProtocol",
+    "MasterSlaveProtocol",
+    "SrikanthTouegProtocol",
+]

@@ -1,6 +1,15 @@
-"""Topologies: the cluster graph ``G`` and its augmentation ``G``."""
+"""Topologies: the cluster graph ``G``, its augmentation ``G``, and
+time-varying edge schedules for dynamic networks."""
 
 from repro.topology.cluster_graph import AugmentedGraph, ClusterGraph
+from repro.topology.schedule import (
+    SCHEDULES,
+    EdgeChurnSchedule,
+    RewireSchedule,
+    TopologySchedule,
+    build_schedule,
+    register_schedule,
+)
 from repro.topology.graphs import (
     adjacency_from_edges,
     balanced_tree_edges,
@@ -21,6 +30,12 @@ from repro.topology.graphs import (
 __all__ = [
     "AugmentedGraph",
     "ClusterGraph",
+    "SCHEDULES",
+    "EdgeChurnSchedule",
+    "RewireSchedule",
+    "TopologySchedule",
+    "build_schedule",
+    "register_schedule",
     "adjacency_from_edges",
     "balanced_tree_edges",
     "bfs_distances",

@@ -1,0 +1,231 @@
+"""Time-varying topologies: schedules of edge activations.
+
+Dynamic-network synchronization (Kuhn, Lenzen, Locher, Oshman,
+"Optimal Gradient Clock Synchronization in Dynamic Networks") models a
+*fixed* vertex set whose edge set changes over time.  This module
+expresses that as a :class:`TopologySchedule` over a base
+:class:`~repro.topology.cluster_graph.ClusterGraph`: the base graph is
+the **union** of every edge that can ever exist, and the schedule is a
+deterministic, seeded list of ``(time, edge, active)`` events toggling
+individual edges.
+
+The generic :class:`~repro.core.protocol.System` applies those events
+through the simulation kernel: at each event time it activates or
+deactivates the corresponding network links (one cluster edge maps to
+``k x k`` node links on the augmented graph), so pulses simply stop
+crossing a down edge while estimators coast on extrapolation.  A static
+graph is the trivial schedule with no events — the static path never
+touches link activation, so static runs are bit-identical to the
+pre-schedule implementation.
+
+Determinism: every schedule draws from ``random.Random(derive_seed(
+seed, "topology/<name>"))``, a stream keyed separately from every
+delay/clock stream, so adding or removing churn never perturbs the
+delay draws of the underlying simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable
+
+from repro.errors import ConfigError, TopologyError
+from repro.sim.rng import derive_seed
+from repro.topology.cluster_graph import ClusterGraph
+
+#: One schedule event: at ``time``, set cluster edge ``(a, b)`` to
+#: ``active``.
+EdgeEvent = "tuple[float, tuple[int, int], bool]"
+
+
+class TopologySchedule:
+    """A (possibly time-varying) activation of a base graph's edges.
+
+    The base class *is* the static schedule: every edge of ``graph``
+    is active forever and :meth:`events` is empty.  Subclasses override
+    :meth:`events` (and optionally :meth:`initial_down`) to describe
+    dynamics.  Schedules are pure descriptions — they never touch a
+    kernel themselves; the generic system applies them.
+    """
+
+    name = "static"
+
+    def __init__(self, graph: ClusterGraph) -> None:
+        self.graph = graph
+
+    @property
+    def is_static(self) -> bool:
+        """Whether the edge set never changes (fast path: no events)."""
+        return type(self).events is TopologySchedule.events
+
+    def initial_down(self, seed: int) -> list[tuple[int, int]]:
+        """Edges inactive at time zero (default: none)."""
+        return []
+
+    def events(self, horizon: float, seed: int
+               ) -> list[tuple[float, tuple[int, int], bool]]:
+        """Deterministic edge events up to ``horizon`` (sorted by time).
+
+        The same ``(horizon, seed)`` always yields the same list, on
+        any machine and in any process.
+        """
+        return []
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.graph.name})"
+
+
+class EdgeChurnSchedule(TopologySchedule):
+    """I.i.d. edge churn: every ``interval``, each edge is down for the
+    next interval independently with probability ``churn``.
+
+    This is the standard "edges flap" dynamic-network adversary in its
+    oblivious randomized form.  ``churn=0`` produces an event stream
+    that re-asserts the all-up state (still deterministic, and
+    byte-identical in measurements to the static schedule because link
+    activation is idempotent).
+
+    ``protect`` names edges that never churn (e.g. to keep a spanning
+    backbone connected).
+    """
+
+    name = "churn"
+
+    def __init__(self, graph: ClusterGraph, interval: float,
+                 churn: float,
+                 protect: Iterable[tuple[int, int]] = ()) -> None:
+        super().__init__(graph)
+        if interval <= 0:
+            raise ConfigError(
+                f"churn interval must be positive: {interval!r}")
+        if not 0.0 <= churn <= 1.0:
+            raise ConfigError(f"churn must be a probability: {churn!r}")
+        self.interval = float(interval)
+        self.churn = float(churn)
+        self.protect = frozenset(
+            (min(a, b), max(a, b)) for a, b in protect)
+        edges = set(graph.edges)
+        for edge in self.protect:
+            if edge not in edges:
+                raise TopologyError(
+                    f"protected edge {edge!r} is not in the base graph")
+
+    def events(self, horizon: float, seed: int):
+        rng = random.Random(derive_seed(seed, f"topology/{self.name}"))
+        churnable = [edge for edge in self.graph.edges
+                     if edge not in self.protect]
+        events = []
+        down: set[tuple[int, int]] = set()
+        t = self.interval
+        while t <= horizon:
+            # One draw per churnable edge per tick, in canonical edge
+            # order, regardless of current state — keeps the stream
+            # independent of history.
+            next_down = {edge for edge in churnable
+                         if rng.random() < self.churn}
+            for edge in churnable:
+                if edge in next_down and edge not in down:
+                    events.append((t, edge, False))
+                elif edge not in next_down and edge in down:
+                    events.append((t, edge, True))
+            down = next_down
+            t += self.interval
+        return events
+
+
+class RewireSchedule(TopologySchedule):
+    """Periodic rewiring: a protected core stays up while exactly
+    ``active_extras`` of the remaining ("chord") edges are active at a
+    time, re-drawn every ``interval``.
+
+    Models small-world/overlay maintenance: the potential edge set is
+    fixed (the base graph), but which chords are materialized rotates.
+    ``core`` defaults to the first ``num_clusters - 1`` edges — for the
+    standard constructors (line, ring, grid) that keeps a connected
+    backbone.
+    """
+
+    name = "rewire"
+
+    def __init__(self, graph: ClusterGraph, interval: float,
+                 active_extras: int,
+                 core: Iterable[tuple[int, int]] | None = None) -> None:
+        super().__init__(graph)
+        if interval <= 0:
+            raise ConfigError(
+                f"rewire interval must be positive: {interval!r}")
+        if core is None:
+            core = graph.edges[:max(graph.num_clusters - 1, 0)]
+        self.core = frozenset((min(a, b), max(a, b)) for a, b in core)
+        self.chords = [edge for edge in graph.edges
+                       if edge not in self.core]
+        if not 0 <= active_extras <= len(self.chords):
+            raise ConfigError(
+                f"active_extras must be in 0..{len(self.chords)}: "
+                f"{active_extras!r}")
+        self.interval = float(interval)
+        self.active_extras = int(active_extras)
+
+    def _draw_active(self, rng: random.Random) -> set[tuple[int, int]]:
+        return set(rng.sample(self.chords, self.active_extras))
+
+    def initial_down(self, seed: int) -> list[tuple[int, int]]:
+        rng = random.Random(derive_seed(seed, f"topology/{self.name}"))
+        active = self._draw_active(rng)
+        return [edge for edge in self.chords if edge not in active]
+
+    def events(self, horizon: float, seed: int):
+        rng = random.Random(derive_seed(seed, f"topology/{self.name}"))
+        active = self._draw_active(rng)  # replays initial_down's draw
+        events = []
+        t = self.interval
+        while t <= horizon:
+            next_active = self._draw_active(rng)
+            for edge in self.chords:
+                if edge in next_active and edge not in active:
+                    events.append((t, edge, True))
+                elif edge not in next_active and edge in active:
+                    events.append((t, edge, False))
+            active = next_active
+            t += self.interval
+        return events
+
+
+#: ``name -> factory(graph, **kwargs)`` for picklable-spec addressing.
+SCHEDULES: dict[str, Callable[..., TopologySchedule]] = {
+    "static": TopologySchedule,
+    "churn": EdgeChurnSchedule,
+    "rewire": RewireSchedule,
+}
+
+
+def register_schedule(name: str,
+                      factory: Callable[..., TopologySchedule]) -> None:
+    """Register a custom topology schedule under ``name``.
+
+    Like cell kinds, custom schedules registered outside this module
+    are visible to pool workers only under the ``fork`` start method.
+    """
+    if name in SCHEDULES:
+        raise ConfigError(f"topology schedule {name!r} already registered")
+    SCHEDULES[name] = factory
+
+
+def build_schedule(name: str, graph: ClusterGraph,
+                   **kwargs) -> TopologySchedule:
+    """Instantiate a registered schedule over ``graph``."""
+    factory = SCHEDULES.get(name)
+    if factory is None:
+        raise ConfigError(f"unknown topology schedule {name!r}; known: "
+                          f"{sorted(SCHEDULES)}")
+    return factory(graph, **kwargs)
+
+
+__all__ = [
+    "SCHEDULES",
+    "EdgeChurnSchedule",
+    "RewireSchedule",
+    "TopologySchedule",
+    "build_schedule",
+    "register_schedule",
+]

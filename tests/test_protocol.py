@@ -1,0 +1,234 @@
+"""Tests for the unified SyncProtocol / SystemBuilder surface."""
+
+import pytest
+
+from repro.baselines.gcs_single import GcsParams
+from repro.baselines.lynch_welch import LynchWelchSystem
+from repro.baselines.srikanth_toueg import StParams
+from repro.core.protocol import (
+    PROTOCOLS,
+    ProtocolRunResult,
+    SyncProtocol,
+    SystemBuilder,
+    get_protocol,
+    protocol_names,
+    register_protocol,
+)
+from repro.core.system import RunResult
+from repro.errors import ConfigError
+from repro.harness.runner import default_params, run_scenario
+from repro.topology.cluster_graph import ClusterGraph
+from repro.topology.schedule import EdgeChurnSchedule
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        # Subset check: examples/tests may register extra protocols
+        # in-process.
+        assert {"ftgcs", "gcs_single", "lynch_welch", "master_slave",
+                "srikanth_toueg"} <= set(protocol_names())
+
+    def test_unknown_name_rejected_with_known_list(self):
+        with pytest.raises(ConfigError) as err:
+            get_protocol("paxos")
+        assert "ftgcs" in str(err.value)
+
+    def test_duplicate_registration_rejected(self):
+        get_protocol("ftgcs")  # force builtin load
+
+        with pytest.raises(ConfigError):
+            register_protocol(PROTOCOLS["ftgcs"])
+
+    def test_non_protocol_rejected(self):
+        with pytest.raises(ConfigError):
+            register_protocol(int)
+
+    def test_unnamed_protocol_rejected(self):
+        class Nameless(SyncProtocol):
+            pass
+
+        with pytest.raises(ConfigError):
+            register_protocol(Nameless)
+
+
+class TestBuilderValidation:
+    def test_unknown_protocol_name(self):
+        with pytest.raises(ConfigError):
+            SystemBuilder("quantum")
+
+    def test_garbage_protocol_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemBuilder(42)
+
+    def test_missing_graph_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemBuilder("ftgcs").params(default_params()).build()
+
+    def test_missing_params_rejected(self):
+        with pytest.raises(ConfigError):
+            (SystemBuilder("ftgcs").topology(ClusterGraph.line(2))
+             .build())
+
+    def test_faults_need_capability(self):
+        params = default_params(f=0)
+        with pytest.raises(ConfigError):
+            (SystemBuilder("master_slave")
+             .topology(ClusterGraph.line(2)).params(params)
+             .faults("equivocate").build())
+
+    def test_dynamic_needs_capability(self):
+        params = default_params(f=0)
+        schedule = EdgeChurnSchedule(ClusterGraph.line(2),
+                                     interval=10.0, churn=0.5)
+        with pytest.raises(ConfigError):
+            (SystemBuilder("master_slave").topology(schedule)
+             .params(params).build())
+
+    def test_bad_topology_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemBuilder("ftgcs").topology("line")
+
+
+class TestFtgcsEquivalence:
+    def test_matches_legacy_run_scenario(self):
+        """The unified path reproduces run_scenario bit-for-bit."""
+        params = default_params(f=1)
+        graph = ClusterGraph.line(3)
+        result = (SystemBuilder("ftgcs").topology(graph).params(params)
+                  .rounds(3).faults("equivocate").seed(7).build().run())
+
+        from repro.faults.strategies import EquivocatorStrategy
+
+        legacy = run_scenario(
+            graph, params, rounds=3, seed=7,
+            strategy_factory=lambda _n: EquivocatorStrategy())
+        assert isinstance(result, ProtocolRunResult)
+        assert isinstance(result.detail, RunResult)
+        assert result.max_global_skew == legacy.result.max_global_skew
+        assert result.messages_sent == legacy.result.messages_sent
+        assert result.events_processed == legacy.result.events_processed
+        assert result.series == legacy.result.series
+
+    def test_rounds_validated(self):
+        system = (SystemBuilder("ftgcs").topology(ClusterGraph.line(1))
+                  .params(default_params()).rounds(0).build())
+        with pytest.raises(ConfigError):
+            system.run()
+
+    def test_system_not_restartable(self):
+        system = (SystemBuilder("ftgcs").topology(ClusterGraph.line(1))
+                  .params(default_params()).rounds(1).build())
+        system.run()
+        with pytest.raises(ConfigError):
+            system.start()
+
+
+class TestLynchWelch:
+    def test_graph_free_build(self):
+        result = (SystemBuilder("lynch_welch")
+                  .params(default_params(f=1)).rounds(3).seed(2)
+                  .build().run())
+        assert result.protocol == "lynch_welch"
+        assert result.detail.diameter == 0
+
+    def test_system_class_rejects_multi_cluster(self):
+        with pytest.raises(ConfigError):
+            LynchWelchSystem(default_params(), cluster_graph=
+                             ClusterGraph.line(2))
+
+    def test_matches_single_cluster_ftgcs(self):
+        """LW is the single-cluster FTGCS system, event for event."""
+        params = default_params(f=1)
+        lw = (SystemBuilder("lynch_welch").params(params).rounds(3)
+              .seed(5).build().run())
+        ft = (SystemBuilder("ftgcs").topology(ClusterGraph.line(1))
+              .params(params).rounds(3).seed(5).build().run())
+        assert lw.series == ft.series
+        assert lw.messages_sent == ft.messages_sent
+
+
+class TestBaselineProtocols:
+    def test_master_slave(self):
+        params = default_params(f=0)
+        result = (SystemBuilder("master_slave")
+                  .topology(ClusterGraph.line(3)).params(params)
+                  .rounds(3).seed(4).payload(jump=True).build().run())
+        assert result.protocol == "master_slave"
+        assert result.max_global_skew >= 0.0
+        assert result.detail.samples > 0  # SkewMaxima
+
+    def test_gcs_single(self):
+        result = (SystemBuilder("gcs_single")
+                  .topology(ClusterGraph.ring(4))
+                  .payload(params=GcsParams.default(), until=100.0)
+                  .seed(3).build().run())
+        assert result.protocol == "gcs_single"
+        assert result.series  # (t, local, global) samples
+        assert result.detail == result.series
+
+    def test_gcs_single_missing_payload(self):
+        builder = (SystemBuilder("gcs_single")
+                   .topology(ClusterGraph.ring(4)))
+        with pytest.raises(ConfigError):
+            builder.build().run()
+
+    def test_srikanth_toueg(self):
+        params = StParams(n=4, f=1, rho=1e-4, d=1.0, u=0.1, period=10.0)
+        result = (SystemBuilder("srikanth_toueg")
+                  .payload(params=params, rounds=3).seed(6)
+                  .build().run())
+        assert result.protocol == "srikanth_toueg"
+        assert result.max_global_skew == result.detail
+
+    def test_srikanth_toueg_honors_until(self):
+        # run(until=X) must bound the measurement window, not the
+        # rounds-derived horizon.
+        params = StParams(n=4, f=1, rho=1e-2, d=1.0, u=0.1, period=10.0)
+
+        def skew_at(until):
+            return (SystemBuilder("srikanth_toueg")
+                    .payload(params=params, rounds=50).seed(6)
+                    .build().run(until=until).detail)
+
+        assert skew_at(20.0) != skew_at(510.0)
+
+    def test_srikanth_toueg_missing_params(self):
+        with pytest.raises(ConfigError):
+            SystemBuilder("srikanth_toueg").build().run()
+
+
+class TestCustomProtocol:
+    def test_register_build_run(self):
+        class CountdownProtocol(SyncProtocol):
+            name = "test_countdown"
+            needs_graph = False
+            needs_params = False
+
+            def build_nodes(self, ctx):
+                from repro.sim.kernel import Simulator
+
+                self.sim = Simulator()
+                self.fired = []
+                for i in range(ctx.payload.get("events", 3)):
+                    self.sim.call_at(float(i + 1), self.fired.append, i)
+
+            def start(self):
+                pass
+
+            def horizon(self):
+                return 10.0
+
+            def collect(self):
+                return ProtocolRunResult(
+                    protocol=self.name, seed=self.ctx.seed,
+                    events_processed=self.sim.events_processed,
+                    detail=list(self.fired))
+
+        register_protocol(CountdownProtocol)
+        try:
+            result = (SystemBuilder("test_countdown")
+                      .payload(events=4).seed(1).build().run())
+            assert result.detail == [0, 1, 2, 3]
+            assert result.events_processed == 4
+        finally:
+            del PROTOCOLS["test_countdown"]

@@ -14,9 +14,9 @@ from repro.harness.tables import Table
 
 
 class TestRegistryContents:
-    def test_all_twelve_registered(self):
-        assert REGISTRY.ids() == [f"t{i:02d}" for i in range(1, 13)]
-        assert len(REGISTRY) == 12
+    def test_all_fourteen_registered(self):
+        assert REGISTRY.ids() == [f"t{i:02d}" for i in range(1, 15)]
+        assert len(REGISTRY) == 14
 
     def test_metadata_complete(self):
         for experiment in REGISTRY:
@@ -52,8 +52,11 @@ class TestRegistryContents:
                                    seed=experiment.default_seed)
             assert quick.specs
             assert len(quick.specs) <= len(full.specs)
+            # Cells either pin an explicit seed or leave seed=None for
+            # the runner's deterministic per-cell derivation from the
+            # experiment's base seed (t13 uses the derived path).
             for spec in quick.specs:
-                assert spec.seed is not None
+                assert spec.seed is None or isinstance(spec.seed, int)
 
 
 class TestRegistryValidation:
@@ -90,7 +93,7 @@ class TestRegistryValidation:
 
 class TestRunExperiment:
     @pytest.mark.parametrize("experiment_id",
-                             [f"t{i:02d}" for i in range(1, 13)])
+                             [f"t{i:02d}" for i in range(1, 15)])
     def test_every_experiment_runs_quick(self, experiment_id):
         experiment = REGISTRY.get(experiment_id)
         table = run_experiment(experiment_id, quick=True)

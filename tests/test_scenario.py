@@ -26,7 +26,8 @@ class TestBuilding:
         assert spec.config == {"init_jitter": 0.1}
         assert spec.collect == ("pulse_diameters",)
         assert spec.key == ("D", 2)
-        assert spec.kind == "ftgcs"
+        assert spec.kind == "protocol"
+        assert spec.protocol is None  # worker defaults to "ftgcs"
 
     def test_graph_entry_points(self):
         assert Scenario.ring(4).build().graph == "ring"
@@ -78,6 +79,50 @@ class TestImmutability:
 
 
 class TestValidation:
+    def test_unknown_protocol_rejected_at_build(self):
+        with pytest.raises(ConfigError) as err:
+            Scenario.line(2).protocol("paxos").build()
+        assert "ftgcs" in str(err.value)
+
+    def test_unknown_schedule_rejected_at_build(self):
+        with pytest.raises(ConfigError) as err:
+            Scenario.line(2).dynamic("teleport").build()
+        assert "churn" in str(err.value)
+
+    def test_known_protocol_and_schedule_build(self):
+        spec = (Scenario.line(2).protocol("gcs_single")
+                .dynamic("churn", interval=5.0, churn=0.1).build())
+        assert spec.kind == "protocol"
+        assert spec.protocol == "gcs_single"
+        assert spec.schedule == "churn"
+        assert spec.schedule_args == {"interval": 5.0, "churn": 0.1}
+
+    def test_of_protocol_entry_point(self):
+        spec = Scenario.of_protocol("srikanth_toueg").build()
+        assert spec.kind == "protocol"
+        assert spec.protocol == "srikanth_toueg"
+        assert spec.graph == ""
+
+    def test_dynamic_on_incapable_protocol_rejected_at_build(self):
+        with pytest.raises(ConfigError) as err:
+            (Scenario.line(3).protocol("master_slave")
+             .dynamic("churn", interval=1.0, churn=0.5).build())
+        assert "dynamic" in str(err.value)
+        # Legacy alias kinds get the same eager check.
+        with pytest.raises(ConfigError):
+            (Scenario.line(3).kind("srikanth_toueg")
+             .dynamic("churn", interval=1.0, churn=0.5).build())
+        # Capable protocols build fine.
+        spec = (Scenario.line(3)
+                .dynamic("churn", interval=1.0, churn=0.5).build())
+        assert spec.schedule == "churn"
+
+    def test_schedule_on_schedule_blind_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            (Scenario.of_kind("failure_mc").payload(f=1, p=0.05,
+                                                    trials=10)
+             .dynamic("churn", interval=1.0, churn=0.5).build())
+
     def test_unknown_strategy_rejected_at_build(self):
         with pytest.raises(ConfigError):
             Scenario.line(2).attack("quantum").build()
@@ -96,4 +141,5 @@ class TestEndToEnd:
         spec = (Scenario.line(2).params(default_params()).rounds(3)
                 .seed(5).attack("silent").build())
         cell = run_cell(spec)
-        assert cell.result.missing_pulses > 0
+        assert cell.result.protocol == "ftgcs"
+        assert cell.result.detail.missing_pulses > 0

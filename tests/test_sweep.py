@@ -34,8 +34,9 @@ class TestRunCell:
         cell = run_cell(spec)
         assert cell.key == ("only",)
         assert cell.seed == 5
-        assert cell.result.rounds_completed >= 3
-        assert cell.result.series  # run_scenario records the series
+        assert cell.result.protocol == "ftgcs"
+        assert cell.result.detail.rounds_completed >= 3
+        assert cell.result.series  # the ftgcs protocol records the series
         steady = cell.steady_state_skews()
         assert set(steady) == {"global", "intra", "local_cluster",
                                "local_node"}
@@ -45,7 +46,7 @@ class TestRunCell:
         spec = ScenarioSpec(graph="line", graph_args=(2,), params=params,
                             rounds=3, seed=5, strategy="silent")
         cell = run_cell(spec)
-        assert cell.result.missing_pulses > 0
+        assert cell.result.detail.missing_pulses > 0
 
     def test_pulse_diameters_on_request(self):
         params = default_params()
@@ -83,9 +84,9 @@ class TestRunCell:
 
 class TestCellKinds:
     def test_builtin_kinds_registered(self):
-        for kind in ("ftgcs", "master_slave", "gcs_single",
-                     "srikanth_toueg", "failure_mc", "trigger_fuzz",
-                     "augment_counts"):
+        for kind in ("protocol", "ftgcs", "master_slave",
+                     "gcs_single", "srikanth_toueg", "failure_mc",
+                     "trigger_fuzz", "augment_counts"):
             assert kind in CELL_KINDS
 
     def test_unknown_kind_rejected(self):
@@ -158,6 +159,90 @@ class TestCellKinds:
             run_cell(spec)
 
 
+class TestProtocolCells:
+    def test_unknown_protocol_rejected(self):
+        spec = ScenarioSpec(kind="protocol", protocol="paxos", seed=0)
+        with pytest.raises(ConfigError):
+            run_cell(spec)
+
+    def test_schedule_without_graph_rejected(self):
+        spec = ScenarioSpec(kind="protocol", protocol="srikanth_toueg",
+                            schedule="churn", seed=0)
+        with pytest.raises(ConfigError):
+            run_cell(spec)
+
+    def test_legacy_kinds_alias_protocol(self):
+        # A legacy-kind spec and the explicit protocol spec are the
+        # same cell, bit for bit.
+        params = default_params()
+        legacy = run_cell(ScenarioSpec(
+            kind="ftgcs", graph="line", graph_args=(2,), params=params,
+            rounds=3, seed=5))
+        modern = run_cell(ScenarioSpec(
+            kind="protocol", protocol="ftgcs", graph="line",
+            graph_args=(2,), params=params, rounds=3, seed=5))
+        assert legacy.result.series == modern.result.series
+        assert legacy.result.protocol == "ftgcs"
+
+    def test_collectors_rejected_for_non_ftgcs_protocols(self):
+        from repro.baselines.srikanth_toueg import StParams
+
+        spec = ScenarioSpec(
+            kind="protocol", protocol="srikanth_toueg", seed=0,
+            payload={"params": StParams(n=4, f=1, rho=1e-4, d=1.0,
+                                        u=0.1, period=10.0),
+                     "rounds": 2},
+            collect=("pulse_diameters",))
+        with pytest.raises(ConfigError):
+            run_cell(spec)
+
+    def test_dynamic_protocol_cell_runs(self):
+        params = default_params(f=1)
+        spec = ScenarioSpec(
+            kind="protocol", graph="line", graph_args=(3,),
+            params=params, rounds=4, seed=2, schedule="churn",
+            schedule_args={"interval": params.round_length,
+                           "churn": 0.5})
+        static = ScenarioSpec(kind="protocol", graph="line",
+                              graph_args=(3,), params=params, rounds=4,
+                              seed=2)
+        assert run_cell(spec).result.series != \
+            run_cell(static).result.series
+
+
+class TestCustomCellKind:
+    def test_custom_kind_runs_serially(self):
+        # Custom kinds run in-process with processes=1; pool visibility
+        # needs the fork start method (module-docstring caveat).
+        from repro.harness.sweep import CELL_KINDS
+
+        def doubled(spec):
+            from repro.harness.sweep import SweepCellResult
+
+            return SweepCellResult(key=spec.key, seed=spec.seed,
+                                   result=2 * spec.payload["x"])
+
+        register_cell_kind("test_doubler", doubled)
+        try:
+            specs = [ScenarioSpec(kind="test_doubler", seed=0,
+                                  payload={"x": x}, key=("x", x))
+                     for x in (1, 2, 3)]
+            cells = SweepRunner(processes=1).run(specs)
+            assert [c.result for c in cells] == [2, 4, 6]
+        finally:
+            del CELL_KINDS["test_doubler"]
+
+    def test_duplicate_custom_kind_rejected(self):
+        from repro.harness.sweep import CELL_KINDS
+
+        register_cell_kind("test_once", lambda spec: None)
+        try:
+            with pytest.raises(ConfigError):
+                register_cell_kind("test_once", lambda spec: None)
+        finally:
+            del CELL_KINDS["test_once"]
+
+
 class TestCollectors:
     def test_builtin_collectors_registered(self):
         for name in ("pulse_diameters", "unanimity", "amortized_rates"):
@@ -222,8 +307,8 @@ class TestSweepRunner:
         assert [c.seed for c in parallel] == [c.seed for c in serial]
         for a, b in zip(serial, parallel):
             assert a.result.max_global_skew == b.result.max_global_skew
-            assert a.result.max_intra_cluster_skew == \
-                b.result.max_intra_cluster_skew
+            assert a.result.detail.max_intra_cluster_skew == \
+                b.result.detail.max_intra_cluster_skew
             assert a.result.messages_sent == b.result.messages_sent
             assert a.result.events_processed == b.result.events_processed
             assert a.result.series == b.result.series

@@ -57,6 +57,22 @@ class TestGenerators:
         assert graph.num_edges == 12
         assert graph.diameter() == 3
 
+    def test_random_connected_seed_deterministic(self):
+        import random
+
+        from repro.topology.graphs import random_connected_edges
+
+        first = random_connected_edges(15, 0.2, random.Random(42))
+        second = random_connected_edges(15, 0.2, random.Random(42))
+        assert first == second
+        moved = random_connected_edges(15, 0.2, random.Random(43))
+        assert first != moved
+        # Canonical form: sorted (min, max) pairs, spanning, no dups.
+        assert first == sorted(first)
+        assert all(a < b for a, b in first)
+        assert len(set(first)) == len(first)
+        assert len(first) >= 14
+
     def test_random_connected(self):
         rng = random.Random(0)
         graph = ClusterGraph.random_connected(20, 0.1, rng)

@@ -1,0 +1,251 @@
+"""Tests for topology schedules and dynamic-network runs."""
+
+import pytest
+
+from repro.errors import ConfigError, TopologyError
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.topology.cluster_graph import ClusterGraph
+from repro.topology.schedule import (
+    SCHEDULES,
+    EdgeChurnSchedule,
+    RewireSchedule,
+    TopologySchedule,
+    build_schedule,
+    register_schedule,
+)
+
+
+class TestStatic:
+    def test_trivial_schedule(self):
+        schedule = TopologySchedule(ClusterGraph.line(3))
+        assert schedule.is_static
+        assert schedule.events(100.0, 1) == []
+        assert schedule.initial_down(1) == []
+
+
+class TestChurn:
+    def make(self, churn=0.5, interval=10.0, **kwargs):
+        return EdgeChurnSchedule(ClusterGraph.ring(5), interval, churn,
+                                 **kwargs)
+
+    def test_deterministic_across_instances(self):
+        assert self.make().events(200.0, 7) == self.make().events(200.0, 7)
+
+    def test_seed_moves_events(self):
+        assert self.make().events(200.0, 7) != self.make().events(200.0, 8)
+
+    def test_events_sorted_and_within_horizon(self):
+        events = self.make().events(95.0, 3)
+        times = [t for t, _, _ in events]
+        assert times == sorted(times)
+        assert all(0 < t <= 95.0 for t in times)
+
+    def test_zero_churn_produces_no_down_events(self):
+        events = self.make(churn=0.0).events(200.0, 3)
+        assert all(active for _, _, active in events) and events == []
+
+    def test_protected_edges_never_flap(self):
+        protected = (0, 1)
+        events = self.make(churn=1.0, protect=[protected]).events(50.0, 3)
+        assert events  # churn=1 downs every unprotected edge
+        assert all(edge != protected for _, edge, _ in events)
+
+    def test_unknown_protected_edge_rejected(self):
+        with pytest.raises(TopologyError):
+            self.make(protect=[(0, 3)])
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            self.make(interval=0.0)
+        with pytest.raises(ConfigError):
+            self.make(churn=1.5)
+
+    def test_not_static(self):
+        assert not self.make().is_static
+
+
+class TestRewire:
+    def make(self, active_extras=1, interval=10.0):
+        return RewireSchedule(ClusterGraph.complete(4), interval,
+                              active_extras)
+
+    def test_core_defaults_to_spanning_prefix(self):
+        schedule = self.make()
+        assert len(schedule.core) == 3
+        assert len(schedule.chords) == 3
+
+    def test_initial_down_matches_event_replay(self):
+        schedule = self.make()
+        down = set(schedule.initial_down(5))
+        assert len(down) == 2  # 3 chords, 1 active
+        # The first event tick only toggles chords relative to the
+        # same initial draw.
+        events = schedule.events(10.0, 5)
+        activated = {edge for _, edge, active in events if active}
+        assert activated <= down | set(schedule.chords)
+
+    def test_active_count_invariant(self):
+        schedule = self.make(active_extras=2)
+        active = {e for e in schedule.chords
+                  if e not in set(schedule.initial_down(1))}
+        assert len(active) == 2
+        for _t, edge, is_active in schedule.events(100.0, 1):
+            if is_active:
+                active.add(edge)
+            else:
+                active.discard(edge)
+        assert len(active) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            self.make(active_extras=9)
+        with pytest.raises(ConfigError):
+            self.make(interval=-1.0)
+
+
+class TestScheduleRegistry:
+    def test_builtins(self):
+        for name in ("static", "churn", "rewire"):
+            assert name in SCHEDULES
+
+    def test_build_by_name(self):
+        schedule = build_schedule("churn", ClusterGraph.line(3),
+                                  interval=5.0, churn=0.2)
+        assert isinstance(schedule, EdgeChurnSchedule)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError) as err:
+            build_schedule("teleport", ClusterGraph.line(3))
+        assert "churn" in str(err.value)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError):
+            register_schedule("churn", EdgeChurnSchedule)
+
+    def test_custom_registration(self):
+        class Flaky(TopologySchedule):
+            name = "test_flaky"
+
+        register_schedule("test_flaky", Flaky)
+        try:
+            assert isinstance(
+                build_schedule("test_flaky", ClusterGraph.line(2)), Flaky)
+        finally:
+            del SCHEDULES["test_flaky"]
+
+
+class TestNetworkLinkActivation:
+    def make_net(self):
+        import random
+
+        from repro.net.delays import UniformDelay
+
+        sim = Simulator()
+        net = Network(sim, d=1.0, u=0.0,
+                      default_delay_model=UniformDelay(
+                          1.0, 0.0, random.Random(0)))
+        for node in (0, 1, 2):
+            net.add_node(node)
+        net.add_link(0, 1)
+        net.add_link(1, 2)
+        return sim, net
+
+    def test_down_link_drops_sends(self):
+        sim, net = self.make_net()
+        received = []
+        net.set_handler(1, lambda m, t: received.append(m))
+        net.set_link_active(0, 1, False)
+        net.send(0, 1, "lost")
+        assert net.messages_dropped == 1
+        net.set_link_active(0, 1, True)
+        net.send(0, 1, "kept")
+        sim.run(until=2.0)
+        assert received == ["kept"]
+        assert net.messages_sent == 1
+
+    def test_broadcast_skips_down_links(self):
+        sim, net = self.make_net()
+        got = {0: [], 2: []}
+        net.set_handler(0, lambda m, t: got[0].append(m))
+        net.set_handler(2, lambda m, t: got[2].append(m))
+        net.set_link_active(1, 2, False)
+        assert net.broadcast(1, "hello") == 1
+        sim.run(until=2.0)
+        assert got[0] == ["hello"] and got[2] == []
+
+    def test_in_flight_messages_still_deliver(self):
+        sim, net = self.make_net()
+        received = []
+        net.set_handler(1, lambda m, t: received.append(m))
+        net.send(0, 1, "in-flight")
+        net.set_link_active(0, 1, False)
+        sim.run(until=2.0)
+        assert received == ["in-flight"]
+
+    def test_link_active_queries(self):
+        _sim, net = self.make_net()
+        assert net.link_active(0, 1)
+        net.set_link_active(0, 1, False)
+        assert not net.link_active(0, 1)
+        assert not net.link_active(1, 0)
+        assert net.link_active(1, 2)
+
+    def test_unknown_link_rejected(self):
+        _sim, net = self.make_net()
+        with pytest.raises(Exception):
+            net.set_link_active(0, 2, False)
+        with pytest.raises(Exception):
+            net.link_active(0, 2)
+
+
+class TestDynamicRuns:
+    def test_ftgcs_under_churn_differs_from_static(self):
+        from repro.core.protocol import SystemBuilder
+        from repro.harness.runner import default_params
+
+        params = default_params(f=1)
+        schedule = EdgeChurnSchedule(
+            ClusterGraph.line(3), interval=params.round_length,
+            churn=0.5)
+        dynamic = (SystemBuilder("ftgcs").topology(schedule)
+                   .params(params).rounds(4).seed(2).build())
+        dyn_result = dynamic.run()
+        static = (SystemBuilder("ftgcs").topology(ClusterGraph.line(3))
+                  .params(params).rounds(4).seed(2).build().run())
+        assert dynamic.protocol.network.messages_dropped > 0
+        assert dyn_result.series != static.series
+
+    def test_run_past_start_horizon_extends_schedule(self):
+        # Extending a run past the horizon applied at start() must
+        # enqueue the schedule's event suffix, not freeze the topology.
+        from repro.core.protocol import SystemBuilder
+        from repro.baselines.gcs_single import GcsParams
+
+        schedule = EdgeChurnSchedule(ClusterGraph.ring(4),
+                                     interval=25.0, churn=0.6)
+        system = (SystemBuilder("gcs_single").topology(schedule)
+                  .payload(params=GcsParams.default(), until=100.0)
+                  .seed(3).build())
+        system.run(until=100.0)
+        dropped_first = system.protocol.network.messages_dropped
+        events_late = [t for t, _, _ in schedule.events(400.0, 3)
+                       if t > 100.0]
+        assert events_late  # churn=0.6 keeps flapping after t=100
+        system.run(until=400.0)
+        assert system.protocol.network.messages_dropped > dropped_first
+
+    def test_dynamic_run_deterministic(self):
+        from repro.core.protocol import SystemBuilder
+        from repro.harness.runner import default_params
+
+        params = default_params(f=1)
+
+        def run():
+            schedule = EdgeChurnSchedule(
+                ClusterGraph.line(3),
+                interval=params.round_length, churn=0.5)
+            return (SystemBuilder("ftgcs").topology(schedule)
+                    .params(params).rounds(4).seed(2).build().run())
+
+        assert run().series == run().series
