@@ -27,6 +27,9 @@ bench-quick:
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q --benchmark-only
 
-# Append current substrate throughput to BENCH_kernel.json.
+# Append current substrate throughput to BENCH_kernel.json.  Entries
+# are stamped with cpu_count; recording on a 1-CPU container prints a
+# non-fatal warning (pool speedups are meaningless there) — prefer
+# re-recording on multi-core hardware.
 bench-record:
 	$(PYTHON) benchmarks/record_baseline.py

@@ -1,0 +1,17 @@
+"""Benchmark T15: T-interval connectivity vs measured local skew."""
+
+from conftest import run_registry
+
+
+def test_t15_t_interval(benchmark, show):
+    table = run_registry(benchmark, "t15")
+    show(table)
+    t_values = table.column("T")
+    assert 1 in t_values and max(t_values) > 1
+    # Skews stay bounded against the worst-case rotating backbone.
+    assert all(value >= 0.0 for value in table.column("local skew"))
+    assert all(value < 10.0 for value in table.column("local skew"))
+    # First-contact machinery actually engaged: every row brought
+    # estimators up from dormant (the initial spanning tree leaves
+    # some cluster edges down at time zero).
+    assert all(count > 0 for count in table.column("bring-ups"))

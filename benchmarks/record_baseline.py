@@ -45,12 +45,24 @@ def main() -> int:
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.harness.microbench import microbench_table, run_all_micro
 
+    cpu_count = os.cpu_count()
+    if cpu_count is not None and cpu_count <= 1:
+        # Non-fatal: the entry is still recorded (the cpu_count stamp
+        # lets readers discount it), but warn loudly so single-core
+        # container numbers don't silently pollute the trajectory.
+        print(
+            "warning: recording on a 1-CPU machine — the sweep pool "
+            "cannot win here, so parallel speedups in this entry are "
+            "not meaningful; prefer re-recording on multi-core "
+            "hardware (entry is stamped with cpu_count for readers)",
+            file=sys.stderr)
+
     results = run_all_micro(quick=True)
     entry = {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "git_revision": git_revision(),
         "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "results": {r["name"]: r for r in results},
     }
 

@@ -68,8 +68,10 @@ try:  # Core layers are appended as they are built on top of the substrate.
         register_protocol,
     )
     from repro.topology import (  # noqa: F401
+        AdversarialSweepSchedule,
         EdgeChurnSchedule,
         RewireSchedule,
+        TIntervalSchedule,
         TopologySchedule,
     )
 
@@ -79,6 +81,7 @@ try:  # Core layers are appended as they are built on top of the substrate.
         "SyncProtocol", "SystemBuilder", "ProtocolRunResult",
         "register_protocol",
         "TopologySchedule", "EdgeChurnSchedule", "RewireSchedule",
+        "TIntervalSchedule", "AdversarialSweepSchedule",
     ]
 except ImportError:  # pragma: no cover - during bootstrap only
     pass

@@ -12,7 +12,7 @@ Usage::
     python -m repro bench-quick                # pre-merge smoke (<60 s)
 
 Experiment ids are the T-identifiers of DESIGN.md section 3
-(``t01`` … ``t14``); every one of them executes through
+(``t01`` … ``t15``); every one of them executes through
 :func:`~repro.harness.registry.run_experiment` and the parallel sweep
 engine, so ``--processes`` applies everywhere.  The bare legacy forms
 (``python -m repro t07``, ``python -m repro --list``) still work and
@@ -57,7 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run experiments through the registry")
     run_p.add_argument(
         "ids", nargs="*", metavar="tNN",
-        help="experiment ids (t01..t14); see 'list'")
+        help="experiment ids (t01..t15); see 'list'")
     run_p.add_argument(
         "--all", action="store_true",
         help="run every experiment in order")

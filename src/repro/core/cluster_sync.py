@@ -86,6 +86,14 @@ class CoreStats:
     flooded_pulses: int = 0
     clamped_corrections: int = 0
     self_reference_misses: int = 0
+    #: Rounds whose correction saw >= 1 real peer pulse — a completed
+    #: *exchange* with the tracked cluster.  The first-contact warm-up
+    #: rule keys off this: an estimate only enters the trigger min/max
+    #: aggregation once at least one exchange completed after its last
+    #: (re)initialization.
+    exchanges_completed: int = 0
+    #: Per-sender pulse-count fast-forwards after link re-contact.
+    peer_resyncs: int = 0
     corrections: list[float] = field(default_factory=list)
 
     @property
@@ -130,6 +138,7 @@ class ClusterSyncCore:
                  on_round_start: Callable[[int], None] | None = None,
                  on_pulse_sent: Callable[[int, float], None] | None = None,
                  record_rounds: bool = False,
+                 auto_resync: bool = False,
                  name: str = "") -> None:
         n_samples = len(peer_ids) + 1
         if n_samples < 3 * f + 1:
@@ -151,6 +160,7 @@ class ClusterSyncCore:
         self._on_round_start = on_round_start
         self._on_pulse_sent = on_pulse_sent
         self._record_rounds = record_rounds
+        self._auto_resync = auto_resync
         self.name = name
 
         self.stats = CoreStats()
@@ -176,12 +186,62 @@ class ClusterSyncCore:
     def base(self) -> float:
         return self._base
 
-    def start(self) -> None:
-        """Begin round 1.  Call once after the owner is fully wired."""
+    @property
+    def running(self) -> bool:
+        """Whether the engine is armed (started and not stopped)."""
+        return self._running
+
+    def start(self, at_round: int = 1) -> None:
+        """Begin at ``at_round`` (default 1).  Call after the owner is
+        fully wired.
+
+        ``at_round > 1`` is the *first-contact bring-up* entry point
+        for passive estimators joining a cluster mid-run: per-sender
+        pulse counts are preset to ``at_round - 1`` so the count-based
+        round attribution credits the next received pulse to
+        ``at_round`` instead of replaying the missed history as round
+        1.  ``at_round=1`` is byte-identical to the historical start.
+        """
         if self._running:
             raise ConfigError(f"{self.name}: already started")
+        if at_round < 1:
+            raise ConfigError(
+                f"{self.name}: rounds are 1-based: {at_round!r}")
         self._running = True
-        self._begin_round(1)
+        if at_round > 1:
+            self._pulse_counts = {w: at_round - 1 for w in self._peer_ids}
+        self._begin_round(at_round)
+
+    def resync_peers(self) -> int:
+        """Fast-forward lagging per-sender pulse counts to the current
+        round (link re-contact support).
+
+        Pulses dropped while a link was down leave the count-based
+        round attribution permanently behind: every later pulse would
+        be inferred ``(missed pulses)`` rounds stale and discarded
+        forever.  Re-contact therefore fast-forwards every count that
+        lags the attribution floor.  The floor is round-phase aware:
+        before the end of phase 2 of the current round, the current
+        round's pulse may still legitimately arrive, so counts are
+        only raised to ``current_round - 1``; past phase 2's end every
+        honest current-round pulse has either arrived or was dropped,
+        so counts are raised to ``current_round`` (a one-round blip —
+        down across a pulse, up before the round ends — would
+        otherwise lock attribution one round behind forever).  Counts
+        already at or past the floor are left alone.  Returns the
+        number of senders fast-forwarded.
+        """
+        floor = self._round - 1
+        if (self._clock.value()
+                >= self._base + self._schedule.phase2_end_offset(self._round)):
+            floor = self._round
+        resynced = 0
+        for sender, count in self._pulse_counts.items():
+            if count < floor:
+                self._pulse_counts[sender] = floor
+                resynced += 1
+        self.stats.peer_resyncs += resynced
+        return resynced
 
     def stop(self) -> None:
         """Cancel all pending activity (crash support)."""
@@ -240,6 +300,25 @@ class ClusterSyncCore:
         inferred_round = count + 1
         self._pulse_counts[sender] = inferred_round
         if inferred_round < self._round:
+            if self._auto_resync:
+                # Dynamic-topology healing: a lagging count means this
+                # sender's pulses were dropped by a link outage that no
+                # resync call caught (a blip entirely inside one
+                # collection window).  Re-anchor the count at the
+                # current round — the next pulse credits round + 1 —
+                # instead of locking one round behind forever, and
+                # fold this pulse into the live window if it is still
+                # open.  Byzantine influence is unchanged: trimming
+                # already bounds what any single sender's sample can
+                # do, whatever round it is credited to.
+                value = self._clock.value()
+                self._pulse_counts[sender] = self._round
+                self.stats.peer_resyncs += 1
+                if (value < self._base
+                        + self._schedule.phase2_end_offset(self._round)):
+                    bucket = self._arrivals.setdefault(self._round, {})
+                    bucket[sender] = value
+                return
             self.stats.stale_pulses += 1
             return
         if inferred_round > self._round + MAX_ROUNDS_AHEAD:
@@ -262,6 +341,8 @@ class ClusterSyncCore:
             self.stats.self_reference_misses += 1
             reference = clock_now
         arrivals = self._arrivals.pop(r, {})
+        if arrivals:
+            self.stats.exchanges_completed += 1
         samples = [0.0]  # tau_vv = 0 by definition
         for w in self._peer_ids:
             value = arrivals.get(w)

@@ -13,6 +13,28 @@ the cluster's pulse schedule each round, so by the paper's analysis
 The estimate clock's ``gamma`` mirrors the *owner's* current mode:
 Eq. (2) defines the nominal rate through the owner's own ``gamma_w``,
 and any rate in the ``[1, theta_g]`` envelope satisfies the analysis.
+
+Dynamic topologies: first contact and warm-up
+---------------------------------------------
+Under a :class:`~repro.topology.schedule.TopologySchedule` a cluster
+edge may be down at time zero or disappear mid-run, so the paper's
+assumption that every estimator starts inside the invariant envelope no
+longer holds.  Two pieces of machinery (used when the owning system
+enables dynamic estimators) close the gap:
+
+* :meth:`ClusterEstimator.bring_up` — a dormant estimator (never
+  started because its link was down at time zero) is (re)initialized
+  on *first contact*: its estimate clock jumps forward to the owner's
+  own logical clock (sound: all correct clocks are within the global
+  skew bound, and jumps never move backwards) and its passive engine
+  starts at the round the owner's clock implies, so the count-based
+  pulse attribution is aligned with the cluster's actual round.
+* **warm-up rule** — an estimate enters the trigger min/max
+  aggregation only after the first *completed exchange* following its
+  last (re)initialization (:attr:`ClusterEstimator.ready`): one round
+  boundary must pass in which at least one pulse from the tracked
+  cluster was folded into the correction.  Until then the estimate is
+  an extrapolated guess and is excluded rather than trusted.
 """
 
 from __future__ import annotations
@@ -23,6 +45,7 @@ from repro.clocks.hardware import HardwareClock
 from repro.clocks.logical import LogicalClock
 from repro.core.cluster_sync import ClusterSyncCore, CoreStats
 from repro.core.rounds import RoundSchedule
+from repro.errors import ConfigError
 from repro.sim.kernel import Simulator
 
 
@@ -54,6 +77,7 @@ class ClusterEstimator:
                  member_ids: tuple[int, ...], base: float,
                  initial_value: float,
                  self_delay: Callable[[], float],
+                 auto_resync: bool = False,
                  name: str = "") -> None:
         self.cluster_id = cluster_id
         self._clock = LogicalClock(
@@ -63,7 +87,13 @@ class ClusterEstimator:
         self._core = ClusterSyncCore(
             self._clock, schedule, base, member_ids, params.f,
             self_delay=self_delay, broadcast=None,
+            auto_resync=auto_resync,
             name=name or f"estimator[{cluster_id}]")
+        #: Exchange count at the last (re)initialization; the warm-up
+        #: rule compares against it (see module docstring).
+        self._ready_after = 0
+        self.bring_ups = 0
+        self.resyncs = 0
 
     # ------------------------------------------------------------------
 
@@ -79,11 +109,59 @@ class ClusterEstimator:
     def current_round(self) -> int:
         return self._core.current_round
 
+    @property
+    def running(self) -> bool:
+        """Whether the passive engine is armed (dormant estimators —
+        link down at time zero under a dynamic schedule — are not)."""
+        return self._core.running
+
+    @property
+    def ready(self) -> bool:
+        """The warm-up rule: has an exchange completed since the last
+        (re)initialization?  Only ready estimates may enter the trigger
+        min/max aggregation in dynamic-estimator mode."""
+        return self._core.stats.exchanges_completed > self._ready_after
+
     def start(self) -> None:
         self._core.start()
 
     def stop(self) -> None:
         self._core.stop()
+
+    def bring_up(self, value: float, at_round: int) -> None:
+        """First-contact (re)initialization of a dormant estimator.
+
+        Jumps the estimate clock forward to ``value`` (the owner's
+        logical clock — jumps never move backwards, so a coasted
+        estimate already ahead is left alone), starts the passive
+        engine at ``at_round`` with pulse attribution aligned to it,
+        and resets the warm-up gate: the estimate re-enters the
+        aggregation only after the next completed exchange.
+        """
+        if self._core.running:
+            raise ConfigError(
+                f"estimator[{self.cluster_id}]: bring_up on a running "
+                f"estimator; use resync() for re-contact")
+        self._clock.jump_to(value)
+        self._ready_after = self._core.stats.exchanges_completed
+        self._core.start(at_round=at_round)
+        self.bring_ups += 1
+
+    def resync(self) -> int:
+        """Re-contact: re-align pulse attribution after a link outage.
+
+        Fast-forwards lagging per-sender pulse counts to the current
+        round (see :meth:`ClusterSyncCore.resync_peers`).  If anything
+        was actually lagging — i.e. pulses were missed — the warm-up
+        gate resets too, so the stale extrapolated estimate leaves the
+        aggregation until one fresh exchange completes.  Returns the
+        number of senders re-aligned.
+        """
+        resynced = self._core.resync_peers()
+        if resynced:
+            self._ready_after = self._core.stats.exchanges_completed
+            self.resyncs += 1
+        return resynced
 
     def value(self, t: float | None = None) -> float:
         """The current estimate ``L~_wC(t)``."""

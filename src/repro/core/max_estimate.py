@@ -88,9 +88,15 @@ class MaxEstimate:
         self._announced_level = max(0, self._level_of(initial_value))
         #: per-sender highest pulse count == highest announced level.
         self._sender_levels: dict[int, int] = {}
+        #: per-sender quarantine deadline after a decode reset: pulses
+        #: *arriving* before it may have been in flight from before
+        #: the link outage and are dropped (see :meth:`reset_sender`).
+        self._quarantine: dict[int, float] = {}
         self.pulses_sent = 0
         self.pulses_received = 0
         self.jumps = 0
+        self.sender_resets = 0
+        self.quarantined_pulses = 0
         self._running = False
 
     # ------------------------------------------------------------------
@@ -113,6 +119,43 @@ class MaxEstimate:
         """
         if self._clock.jump_to(logical_value):
             self._announce_up_to(self._level_of(self.value()))
+
+    @property
+    def announced_level(self) -> int:
+        """Highest level this node has announced so far (the number of
+        MAX pulses a fully-connected receiver has seen from it)."""
+        return self._announced_level
+
+    def reset_sender(self, sender: int,
+                     quarantine_until: float | None = None) -> None:
+        """First-contact (re)initialization of one sender's decode.
+
+        The count-based decode ("k-th pulse from ``sender`` means
+        ``sender`` reached level k") only holds if every pulse since
+        the sender's level 1 was received.  When a link (re)appears
+        under a dynamic topology, that premise is re-established by a
+        *paired* protocol: the receiver resets the sender's count here,
+        and the sender re-announces its current level over the fresh
+        link (see :class:`~repro.core.node.FtgcsNode`); the decode then
+        reads exactly the re-announced level.  If the re-announcement
+        is capped (or lost), the decode *under*-estimates — which keeps
+        the ``M <= true maximum`` invariant intact.
+
+        ``quarantine_until`` closes the one over-count hole: a pulse
+        still in flight from *before* the outage would add to the
+        fresh count on top of the re-announcement.  Pulses from
+        ``sender`` **arriving** before the deadline are dropped
+        (counted in ``quarantined_pulses``); the caller sets the
+        deadline to ``now + d`` — every pre-outage pulse left the
+        sender before the link came back up, so it delivers strictly
+        before ``now + d``, while the re-announcement is delayed by
+        ``U`` so its copies arrive at or after it.  Dropping can only
+        under-count, the sound direction.
+        """
+        self._sender_levels.pop(sender, None)
+        if quarantine_until is not None:
+            self._quarantine[sender] = quarantine_until
+        self.sender_resets += 1
 
     def start(self) -> None:
         if self._running:
@@ -143,11 +186,20 @@ class MaxEstimate:
 
     # ------------------------------------------------------------------
 
-    def on_pulse(self, sender: int, _receive_time: float) -> None:
+    def on_pulse(self, sender: int, receive_time: float) -> None:
         """Process one received MAX pulse."""
         if not self._running:
             return
         self.pulses_received += 1
+        if self._quarantine:
+            until = self._quarantine.get(sender)
+            if until is not None:
+                if receive_time < until:
+                    # Possibly in flight from before the outage; the
+                    # decode must not count it (see reset_sender).
+                    self.quarantined_pulses += 1
+                    return
+                del self._quarantine[sender]
         level = self._sender_levels.get(sender, 0) + 1
         self._sender_levels[sender] = level
         confirmed = self._confirmed_level(self._cluster_of.get(sender))

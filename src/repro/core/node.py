@@ -17,6 +17,24 @@ engine; one from an adjacent cluster feeds that cluster's estimator;
 MAX pulses feed the max-estimate.  Senders are identified at link level
 (the paper assumes each node knows which neighbor, and hence which
 cluster, a pulse came from).
+
+Dynamic topologies (``dynamic_estimators=True``): estimator state
+follows the *live* edge set instead of the build-time union graph.  An
+adjacent cluster whose edge is down at time zero leaves its estimator
+dormant; the edge appearing later — reported via
+:meth:`FtgcsNode.set_cluster_link`, or evidenced by a first pulse —
+triggers first-contact bring-up (:meth:`ClusterEstimator.bring_up`),
+an edge re-appearing after an outage re-aligns pulse attribution
+(:meth:`ClusterEstimator.resync`), and only *ready* estimates (the
+warm-up rule: one completed exchange since (re)initialization) enter
+the trigger min/max aggregation.  On link-up the max-estimate performs
+its paired bring-up too: the receiver side resets the per-sender level
+decode (quarantining arrivals for ``d`` so pre-outage in-flight pulses
+cannot inflate the fresh count) and the sender side re-announces its
+current level unicast over the fresh links ``U`` later (capped at
+:data:`MAX_REANNOUNCE_LEVELS`; capping and quarantining only
+under-estimate, which is the sound direction).  With the flag off
+(the default) behavior is bit-identical to the static implementation.
 """
 
 from __future__ import annotations
@@ -39,6 +57,12 @@ from repro.net.network import Network
 from repro.sim.kernel import Simulator
 
 
+#: Cap on MAX pulses re-sent per neighbor at link bring-up.  A capped
+#: re-announcement makes the receiver's level decode an underestimate,
+#: which is the sound direction for the ``M <= true maximum`` invariant.
+MAX_REANNOUNCE_LEVELS = 64
+
+
 @dataclass
 class MaxEstimateConfig:
     """Settings for the optional global-skew estimate component."""
@@ -53,6 +77,12 @@ class NodeStats:
 
     unknown_sender_pulses: int = 0
     dropped_after_crash: int = 0
+    #: First-contact estimator (re)initializations (dynamic mode).
+    estimator_bring_ups: int = 0
+    #: Estimator pulse-attribution re-alignments after link outages.
+    estimator_resyncs: int = 0
+    #: MAX pulses re-sent at link bring-up (dynamic mode).
+    max_reannounce_pulses: int = 0
     #: per-round gamma choices as ``(round, gamma)`` pairs.
     mode_by_round: list[tuple[int, int]] = field(default_factory=list)
 
@@ -70,6 +100,7 @@ class FtgcsNode:
                  rng: random.Random, policy: str = "slow_default",
                  max_estimate: MaxEstimateConfig | None = None,
                  record_rounds: bool = False,
+                 dynamic_estimators: bool = False,
                  on_pulse_sent: Callable[[int, int, int, float], None]
                  | None = None) -> None:
         """Build and wire a node (see :class:`~repro.core.system.
@@ -78,8 +109,9 @@ class FtgcsNode:
         ``cluster_members`` must include ``node_id`` itself;
         ``adjacent_members`` maps each adjacent cluster to all its
         member ids; ``bases`` must cover the own and all adjacent
-        clusters.  ``on_pulse_sent(cluster, round, node, time)`` is the
-        system's pulse-log hook.
+        clusters.  ``dynamic_estimators`` opts into first-contact
+        estimator bring-up (module docstring).  ``on_pulse_sent(
+        cluster, round, node, time)`` is the system's pulse-log hook.
         """
         if node_id not in cluster_members:
             raise ConfigError(
@@ -89,8 +121,16 @@ class FtgcsNode:
         self._sim = sim
         self._network = network
         self._params = params
+        self._schedule = schedule
+        self._bases = dict(bases)
+        self._adjacent_members = {b: tuple(members) for b, members
+                                  in adjacent_members.items()}
         self._rng = rng
         self._crashed = False
+        self._dynamic = dynamic_estimators
+        #: Cluster-level link state (dynamic mode); missing means up.
+        self._link_active: dict[int, bool] = {}
+        self._started = False
         self.stats = NodeStats()
         self._record_rounds = record_rounds
 
@@ -124,6 +164,7 @@ class FtgcsNode:
                 sim, hardware, params, schedule, b_cluster, members,
                 bases[b_cluster], estimator_initials[b_cluster],
                 self_delay=self._self_delay,
+                auto_resync=dynamic_estimators,
                 name=f"est[{node_id}->{b_cluster}]")
 
         self.max_estimate: MaxEstimate | None = None
@@ -148,8 +189,17 @@ class FtgcsNode:
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Start all engines; call once after construction."""
-        for estimator in self.estimators.values():
+        """Start all engines; call once after construction.
+
+        In dynamic-estimator mode, estimators whose cluster link is
+        down at start stay *dormant* — they are brought up on first
+        contact instead of coasting on build-time state.
+        """
+        self._started = True
+        for b_cluster, estimator in self.estimators.items():
+            if self._dynamic and not self._link_active.get(b_cluster,
+                                                           True):
+                continue
             estimator.start()
         if self.max_estimate is not None:
             self.max_estimate.start()
@@ -167,6 +217,85 @@ class FtgcsNode:
     @property
     def crashed(self) -> bool:
         return self._crashed
+
+    # ------------------------------------------------------------------
+    # Dynamic topology (first-contact estimator bring-up)
+    # ------------------------------------------------------------------
+
+    def set_cluster_link(self, b_cluster: int, active: bool) -> None:
+        """Report a cluster-edge activation change to this node.
+
+        Called by the system when a topology-schedule event touches the
+        edge to ``b_cluster``.  Before :meth:`start` this only records
+        the state (so initially-down links leave their estimators
+        dormant); after start, a down→up transition triggers estimator
+        bring-up (dormant) or pulse-attribution resync (re-contact),
+        plus the max-estimate's paired reset/re-announce.  Down events
+        need no action: the estimator simply coasts on extrapolation.
+        No-op unless the node was built with ``dynamic_estimators``.
+        """
+        if not self._dynamic or b_cluster not in self.estimators:
+            return
+        was = self._link_active.get(b_cluster, True)
+        self._link_active[b_cluster] = active
+        if (not self._started or self._crashed or not active or was):
+            return
+        # Down -> up after start: first contact or re-contact.
+        estimator = self.estimators[b_cluster]
+        if not estimator.running:
+            self._bring_up(b_cluster)
+        else:
+            self.stats.estimator_resyncs += estimator.resync()
+        if self.max_estimate is not None:
+            members = self._adjacent_members[b_cluster]
+            # Quarantine window: any pre-outage in-flight pulse from
+            # these senders delivers strictly before now + d; dropping
+            # arrivals in that window makes over-counting impossible.
+            quarantine_until = self._sim.now + self._params.d
+            for member in members:
+                self.max_estimate.reset_sender(
+                    member, quarantine_until=quarantine_until)
+            # Delay our own re-announcement by U so its copies (delays
+            # in [d - U, d]) arrive at or after the peers' symmetric
+            # quarantine deadline instead of inside it.
+            self._sim.call_in(self._params.u, self._reannounce_max,
+                              members)
+
+    def _bring_up(self, b_cluster: int) -> None:
+        """First-contact (re)initialization of one dormant estimator.
+
+        The estimate clock is seeded from the owner's own logical
+        *progress* re-based onto the tracked cluster
+        (``base_B + (L_own - base_own)``): bases are build-time
+        configuration the estimators already receive, and progress is
+        within the global skew bound of the tracked cluster's true
+        progress, so the seed starts inside a skew-bounded envelope of
+        the cluster clock.  The passive engine starts one round
+        boundary ahead of the round that progress implies, so its
+        alarms lie in the future and pulse attribution is aligned.
+        """
+        progress = self.logical.value() - self._bases[self.cluster_id]
+        value = self._bases[b_cluster] + progress
+        at_round = 1 if progress <= 0 else (
+            self._schedule.rounds_until(progress) + 1)
+        estimator = self.estimators[b_cluster]
+        estimator.bring_up(value, at_round)
+        estimator.set_gamma(self.logical.gamma)
+        self.stats.estimator_bring_ups += 1
+
+    def _reannounce_max(self, members: tuple[int, ...]) -> None:
+        """Unicast our announced MAX level over freshly-up links (the
+        sender half of the max-estimate bring-up pact; fired ``U``
+        after the link event, see :meth:`set_cluster_link`)."""
+        if self._crashed:
+            return
+        level = min(self.max_estimate.announced_level,
+                    MAX_REANNOUNCE_LEVELS)
+        pulse = Pulse(sender=self.node_id, kind=PulseKind.MAX)
+        for member in members:
+            for _ in range(level):
+                self._network.send(self.node_id, member, pulse)
+                self.stats.max_reannounce_pulses += 1
 
     # ------------------------------------------------------------------
     # Messaging
@@ -205,6 +334,12 @@ class FtgcsNode:
             return
         estimator = self.estimators.get(sender_cluster)
         if estimator is not None:
+            if self._dynamic and not estimator.running:
+                # A delivered pulse is itself first-contact evidence
+                # (covers links activated without a schedule event
+                # notification reaching us).
+                self._link_active[sender_cluster] = True
+                self._bring_up(sender_cluster)
             estimator.on_pulse(message.sender, receive_time)
 
     # ------------------------------------------------------------------
@@ -212,6 +347,12 @@ class FtgcsNode:
     # ------------------------------------------------------------------
 
     def _estimate_snapshot(self) -> dict[int, float]:
+        if self._dynamic:
+            # Warm-up rule: only estimates with a completed exchange
+            # since their last (re)initialization enter the trigger
+            # min/max aggregation.
+            return {b: est.value() for b, est in self.estimators.items()
+                    if est.running and est.ready}
         return {b: est.value() for b, est in self.estimators.items()}
 
     def _on_round_start(self, round_index: int) -> None:

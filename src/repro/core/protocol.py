@@ -81,6 +81,9 @@ class BuildContext:
     strategy: str | None = None
     strategy_args: tuple = ()
     faults_per_cluster: int | None = None
+    #: First-contact estimator bring-up (requires the protocol's
+    #: ``supports_first_contact`` capability).
+    first_contact: bool = False
     config: dict = field(default_factory=dict)
     payload: dict = field(default_factory=dict)
 
@@ -109,6 +112,10 @@ class ProtocolRunResult:
     series: list = field(default_factory=list)
     edge_maxima: dict[tuple[int, int], float] = field(default_factory=dict)
     messages_sent: int = 0
+    #: Messages dropped by deactivated links (0 on static topologies);
+    #: every adapter's :meth:`SyncProtocol.collect` fills it from its
+    #: network, so dynamic-run message accounting is uniform.
+    messages_dropped: int = 0
     events_processed: int = 0
     detail: Any = None
 
@@ -138,6 +145,11 @@ class SyncProtocol:
     supports_faults: bool = False
     #: Tolerates mid-run edge activation changes (TopologySchedule).
     supports_dynamic_topology: bool = False
+    #: Supports first-contact estimator bring-up
+    #: (``SystemBuilder.first_contact()``): per-neighbor estimator
+    #: state follows the live edge set instead of being frozen at
+    #: build time from the union graph.
+    supports_first_contact: bool = False
     #: Requires a cluster graph (clique-only protocols set False).
     needs_graph: bool = True
     #: Requires ``BuildContext.params`` (protocols whose parameters
@@ -184,6 +196,19 @@ class SyncProtocol:
         """
         return ((a, b),)
 
+    def apply_edge_event(self, edge: tuple[int, int],
+                         active: bool) -> None:
+        """Apply one topology-schedule edge event to the live system.
+
+        The default toggles every network link realizing the cluster
+        edge.  Protocols with per-neighbor state that must track the
+        live edge set (first-contact estimator bring-up) override this
+        to additionally notify their nodes — after calling ``super()``
+        so links are already in their new state when nodes react.
+        """
+        for a, b in self.edge_links(*edge):
+            self.network.set_link_active(a, b, active)
+
     def analysis_system(self):
         """The live object in-worker collectors operate on, or ``None``
         for protocols without collector support."""
@@ -210,10 +235,10 @@ class System:
                 f"build_nodes")
         self._started = False
         self._schedule_horizon: float | None = None
+        self._schedule_events_applied = 0
 
     def _set_edge(self, edge: tuple[int, int], active: bool) -> None:
-        for a, b in self.protocol.edge_links(*edge):
-            self.protocol.network.set_link_active(a, b, active)
+        self.protocol.apply_edge_event(edge, active)
 
     def _apply_schedule(self, horizon: float) -> None:
         """Schedule edge events up to ``horizon`` (incremental).
@@ -221,7 +246,12 @@ class System:
         Schedule event streams are deterministic prefixes — a longer
         horizon re-derives the same leading events — so extending a
         run past the previously applied horizon only enqueues the new
-        suffix.  Safe to call repeatedly.
+        suffix.  The already-applied prefix is skipped *by index*, not
+        by timestamp: a horizon-boundary tick's timestamp is clamped
+        to the horizon it was derived for, so re-deriving it under a
+        longer horizon yields the same event at a (few ulps) different
+        time — an index cursor cannot be fooled into enqueueing that
+        event twice.  Safe to call repeatedly.
         """
         schedule = self.ctx.schedule
         if schedule is None or schedule.is_static:
@@ -234,10 +264,10 @@ class System:
             for edge in schedule.initial_down(seed):
                 self._set_edge(edge, False)
         sim = self.protocol.sim
-        for time, edge, active in schedule.events(horizon, seed):
-            if applied is not None and time <= applied:
-                continue  # already enqueued by an earlier call
+        events = schedule.events(horizon, seed)
+        for time, edge, active in events[self._schedule_events_applied:]:
             sim.call_at(time, self._set_edge, edge, active)
+        self._schedule_events_applied = len(events)
         self._schedule_horizon = horizon
 
     def start(self, horizon: float | None = None) -> None:
@@ -293,6 +323,7 @@ class SystemBuilder:
         self._strategy: str | None = None
         self._strategy_args: tuple = ()
         self._faults_per_cluster: int | None = None
+        self._first_contact = False
         self._config: dict = {}
         self._payload: dict = {}
 
@@ -335,6 +366,15 @@ class SystemBuilder:
             self._faults_per_cluster = per_cluster
         return self
 
+    def first_contact(self, enabled: bool = True) -> "SystemBuilder":
+        """Enable first-contact estimator bring-up: per-neighbor
+        estimator state follows the live edge set (dormant while a
+        link is down at start, brought up on first contact, warm-up
+        rule before entering the trigger aggregation).  Checked
+        against the protocol's ``supports_first_contact`` flag."""
+        self._first_contact = bool(enabled)
+        return self
+
     def configure(self, **config) -> "SystemBuilder":
         """Merge protocol-family configuration (FTGCS family:
         :class:`~repro.core.system.SystemConfig` kwargs, including
@@ -366,11 +406,16 @@ class SystemBuilder:
             raise ConfigError(
                 f"protocol {protocol.name!r} does not support dynamic "
                 f"topologies")
+        if self._first_contact and not protocol.supports_first_contact:
+            raise ConfigError(
+                f"protocol {protocol.name!r} does not support "
+                f"first-contact estimator bring-up")
         ctx = BuildContext(
             graph=self._graph, schedule=self._schedule,
             params=self._params, rounds=self._rounds, seed=self._seed,
             strategy=self._strategy, strategy_args=self._strategy_args,
             faults_per_cluster=self._faults_per_cluster,
+            first_contact=self._first_contact,
             config=dict(self._config), payload=dict(self._payload))
         if protocol.needs_params and ctx.params is None:
             raise ConfigError(

@@ -79,6 +79,14 @@ class SystemConfig:
     enable_max_estimate / max_estimate_unit:
         Theorem C.3 machinery; the unit defaults to ``delta_trigger``
         (see :mod:`repro.core.max_estimate` for the rationale).
+    dynamic_estimators:
+        First-contact estimator bring-up for dynamic topologies (see
+        :mod:`repro.core.node`): estimators follow the live edge set —
+        dormant while their link is down at start, brought up on first
+        contact, resynced on re-contact, and gated by the warm-up rule
+        (one completed exchange) before entering the trigger
+        aggregation.  Off by default: static runs and legacy dynamic
+        runs are bit-identical to the frozen-estimator implementation.
     e1:
         Initial error bound for loose-initialization runs (adaptive
         round schedule); default: steady state ``E``.
@@ -97,6 +105,7 @@ class SystemConfig:
     allow_fault_overflow: bool = False
     enable_max_estimate: bool = False
     max_estimate_unit: float | None = None
+    dynamic_estimators: bool = False
     e1: float | None = None
     sample_interval: float | None = None
     record_series: bool = False
@@ -127,6 +136,9 @@ class RunResult:
     both_triggers_rounds: int
     fast_rounds: int
     slow_rounds: int
+    #: First-contact machinery counters (0 unless dynamic_estimators).
+    estimator_bring_ups: int = 0
+    estimator_resyncs: int = 0
     series: list[SkewSnapshot] = field(default_factory=list)
     edge_maxima: dict[tuple[int, int], float] = field(default_factory=dict)
 
@@ -364,6 +376,7 @@ class FtgcsSystem:
                 estimator_initials=estimator_initials, rng=rng,
                 policy=cfg.policy, max_estimate=max_cfg,
                 record_rounds=cfg.record_rounds and not is_faulty,
+                dynamic_estimators=cfg.dynamic_estimators,
                 on_pulse_sent=None if is_faulty else self._log_pulse)
             self.nodes[node_id] = node
             if is_faulty:
@@ -397,6 +410,25 @@ class FtgcsSystem:
                    time: float) -> None:
         self.pulse_log.setdefault((cluster, round_index), []).append(
             (node, time))
+
+    def notify_cluster_edge(self, edge: tuple[int, int],
+                            active: bool) -> None:
+        """Forward a topology-schedule edge event to the member nodes.
+
+        This is the first-contact hook: nodes on either side of the
+        cluster edge learn that their link set changed and (re)start
+        estimators accordingly.  No-op unless the system was built with
+        ``dynamic_estimators`` — the legacy frozen-estimator behavior
+        stays bit-identical.
+        """
+        if not self.config.dynamic_estimators:
+            return
+        a, b = edge
+        for node in self.nodes.values():
+            if node.cluster_id == a:
+                node.set_cluster_link(b, active)
+            elif node.cluster_id == b:
+                node.set_cluster_link(a, active)
 
     # ------------------------------------------------------------------
     # Running
@@ -516,6 +548,10 @@ class FtgcsSystem:
             missing_pulses=missing, clamped_corrections=clamped,
             stale_pulses=stale, flooded_pulses=flooded,
             both_triggers_rounds=both, fast_rounds=fast, slow_rounds=slow,
+            estimator_bring_ups=sum(n.stats.estimator_bring_ups
+                                    for n in honest),
+            estimator_resyncs=sum(n.stats.estimator_resyncs
+                                  for n in honest),
             series=list(self.sampler.series),
             edge_maxima=dict(self.sampler.maxima.edge_maxima))
 

@@ -731,13 +731,40 @@ def _fast_gcs_params(mu: float = 0.05, period: float = 2.0) -> GcsParams:
                              period=period)
 
 
+def _stabilization_time(samples, band: float = 1.2,
+                        tail_fraction: float = 0.3) -> float:
+    """Time by which ``(t, local)`` samples settle into the steady band.
+
+    The steady level is the max local skew over the final
+    ``tail_fraction`` of samples; the stabilization time is the time of
+    the *last* sample exceeding ``band`` times that level (the first
+    sample time when nothing ever exceeds the band — instant
+    stability).  Used by the adversarial-schedule rows to quantify
+    recovery after topology events.
+    """
+    if not samples:
+        return float("nan")
+    tail = samples[int(len(samples) * (1.0 - tail_fraction)):]
+    steady = max(local for _, local in tail)
+    threshold = band * steady
+    settle = samples[0][0]
+    for t, local in samples:
+        if local > threshold:
+            settle = t
+    return settle
+
+
 @REGISTRY.experiment(
     "t13",
     title="T13  Dynamic networks: skew vs edge churn (Kuhn et al.)",
     claim="Under i.i.d. edge churn applied through the topology "
           "schedule, FTGCS and the fault-intolerant GCS baseline both "
           "degrade gracefully on line/ring/grid; the sweep quantifies "
-          "skew growth against the churn rate for each.",
+          "skew growth against the churn rate for each.  An "
+          "adversarial cut-sweep row (first-contact estimator "
+          "bring-up enabled) measures the worst case: the topology is "
+          "disconnected at every step, yet skew stabilizes after the "
+          "events.",
     columns=["graph", "churn", "ftgcs local", "ftgcs global",
              "gcs local", "gcs global"],
     default_seed=13)
@@ -767,14 +794,37 @@ def t13_plan(quick: bool, seed: int) -> ExperimentPlan:
             .payload(params=gcs_params, until=gcs_horizon)
             .tag("gcs", graph, churn).build())
 
+    # Appended after the churn grid so the derived per-cell seeds of
+    # the existing cells (and hence the existing rows) stay
+    # byte-identical: the adversarial cut-sweep pair, with
+    # first-contact estimator bring-up on the FTGCS side.
+    sweep_rounds = 12 if quick else 30
+    specs.append(
+        Scenario.line(4).params(params).rounds(sweep_rounds)
+        .dynamic("adversarial_sweep", interval=interval)
+        .first_contact()
+        .tag("ftgcs", "line-sweep", "adv").build())
+    specs.append(
+        Scenario.line(4).protocol("gcs_single")
+        .dynamic("adversarial_sweep", interval=gcs_interval)
+        .payload(params=gcs_params, until=gcs_horizon)
+        .tag("gcs", "line-sweep", "adv").build())
+
     def finish(cells, table: Table) -> Table:
+        churn_cells = cells[:2 * len(grid)]
         for (graph, args, churn), ft_cell, gcs_cell in zip(
-                grid, cells[0::2], cells[1::2]):
+                grid, churn_cells[0::2], churn_cells[1::2]):
             ft = ft_cell.result
             gcs = gcs_cell.result
             table.add_row(f"{graph}{args}", churn,
                           ft.max_local_skew, ft.max_global_skew,
                           gcs.max_local_skew, gcs.max_global_skew)
+        adv_ft, adv_gcs = cells[2 * len(grid):]
+        ft = adv_ft.result
+        gcs = adv_gcs.result
+        table.add_row("line(4,)", "sweep",
+                      ft.max_local_skew, ft.max_global_skew,
+                      gcs.max_local_skew, gcs.max_global_skew)
         table.add_note(
             f"edges flap i.i.d. per interval (ftgcs: every "
             f"{interval:.3g}, gcs: every {gcs_interval:.3g}); down "
@@ -784,6 +834,18 @@ def t13_plan(quick: bool, seed: int) -> ExperimentPlan:
                        "scales (FTGCS: rho=1e-4 cluster params; GCS: "
                        "rho=1e-2 fast-drift params), so compare trends "
                        "down a column, not across algorithms")
+        detail = ft.detail
+        settle = _stabilization_time(
+            [(s.time, s.max_local_cluster) for s in detail.series])
+        table.add_note(
+            f"'sweep' row: an adversarial cut walks the line (one "
+            f"step per {interval:.3g}, disconnecting the graph each "
+            f"step) with first-contact estimator bring-up enabled "
+            f"({detail.estimator_bring_ups} bring-ups, "
+            f"{detail.estimator_resyncs} resyncs, "
+            f"{adv_ft.result.messages_dropped} messages dropped); "
+            f"local skew stabilizes into its steady band by "
+            f"t={settle:.4g}")
         return table
 
     return ExperimentPlan(specs=specs, finish=finish)
@@ -828,6 +890,67 @@ def t14_plan(quick: bool, seed: int) -> ExperimentPlan:
         table.add_note("steady skews = max over the final half of "
                        "samples; fault-free lines with alternating "
                        "drift rates, rho=1e-2, period=2d")
+        return table
+
+    return ExperimentPlan(specs=specs, finish=finish)
+
+
+# ----------------------------------------------------------------------
+# T15 — T-interval connectivity vs measured local skew (Kuhn et al.)
+# ----------------------------------------------------------------------
+
+@REGISTRY.experiment(
+    "t15",
+    title="T15  T-interval connectivity vs local skew (Kuhn et al.)",
+    claim="Against a worst-case T-interval-connected adversary (a "
+          "rotating spanning backbone; every non-backbone edge down), "
+          "FTGCS with first-contact estimator bring-up keeps the "
+          "local skew bounded at every T, degrading as T shrinks — "
+          "smaller T means a faster-rotating backbone, more "
+          "first-contact events, and longer stabilization.",
+    columns=["graph", "T", "local skew", "global skew", "bring-ups",
+             "resyncs", "stabilized by"],
+    default_seed=15)
+def t15_plan(quick: bool, seed: int) -> ExperimentPlan:
+    params = fast_dynamics_params(f=1)
+    graphs = [("ring", (4,))]
+    if not quick:
+        graphs.append(("grid", (3, 3)))
+    t_values = (1, 2, 4) if quick else (1, 2, 4, 8)
+    rounds = 15 if quick else 40
+    interval = params.round_length
+
+    grid = [(graph, args, T) for graph, args in graphs
+            for T in t_values]
+    specs = [
+        Scenario.on(graph, *args).params(params).rounds(rounds)
+        .dynamic("t_interval", interval=interval, T=T)
+        .first_contact()
+        .tag(graph, T).build()
+        for graph, args, T in grid]
+
+    def finish(cells, table: Table) -> Table:
+        for (graph, args, T), cell in zip(grid, cells):
+            result = cell.result
+            detail = result.detail
+            settle = _stabilization_time(
+                [(s.time, s.max_local_cluster) for s in detail.series])
+            table.add_row(f"{graph}{args}", T,
+                          result.max_local_skew, result.max_global_skew,
+                          detail.estimator_bring_ups,
+                          detail.estimator_resyncs, settle)
+        table.add_note(
+            f"T-interval connectivity: the adversary keeps one seeded "
+            f"random spanning tree up per epoch of T intervals (each "
+            f"tree lives two epochs, so every sliding window of T "
+            f"intervals contains a stable connected spanning "
+            f"subgraph) and kills every other edge; interval = "
+            f"{interval:.4g} (one round)")
+        table.add_note("'stabilized by' = time of the last local-skew "
+                       "sample above 1.2x the steady (final-30%) "
+                       "level; estimators warm up (one completed "
+                       "exchange) before entering the trigger "
+                       "aggregation")
         return table
 
     return ExperimentPlan(specs=specs, finish=finish)
@@ -960,6 +1083,15 @@ def t14_parameter_grid(quick: bool = True, seed: int = 14,
                           processes=processes)
 
 
+def t15_t_interval(quick: bool = True, seed: int = 15,
+                   processes: int | None = None) -> Table:
+    """T-interval-connectivity sweep: local skew and stabilization
+    time vs T against a rotating worst-case spanning backbone, with
+    first-contact estimator bring-up."""
+    return run_experiment("t15", quick=quick, seed=seed,
+                          processes=processes)
+
+
 #: All experiments, for "run everything" entry points.
 ALL_EXPERIMENTS = {
     "t01": t01_local_skew_vs_diameter,
@@ -976,6 +1108,7 @@ ALL_EXPERIMENTS = {
     "t12": t12_convergence,
     "t13": t13_dynamic_networks,
     "t14": t14_parameter_grid,
+    "t15": t15_t_interval,
 }
 
 

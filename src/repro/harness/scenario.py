@@ -121,6 +121,14 @@ class Scenario:
         return self._with(schedule=schedule,
                           schedule_args=dict(schedule_args))
 
+    def first_contact(self, enabled: bool = True) -> "Scenario":
+        """Enable first-contact estimator bring-up: estimator state
+        follows the live edge set (dormant while the link is down,
+        brought up on first contact, warm-up rule before entering the
+        trigger aggregation).  The protocol must declare
+        ``supports_first_contact`` (checked at :meth:`build`)."""
+        return self._with(first_contact=bool(enabled))
+
     def params(self, params: Parameters) -> "Scenario":
         """Attach the full FTGCS parameter set."""
         return self._with(params=params)
@@ -212,6 +220,21 @@ class Scenario:
                 raise ConfigError(
                     f"protocol {name!r} does not support dynamic "
                     f"topologies")
+        if fields.get("first_contact"):
+            if kind in _SCHEDULE_BLIND_KINDS:
+                raise ConfigError(
+                    f"cell kind {kind!r} ignores first_contact; "
+                    f".first_contact() needs a protocol cell")
+            name = None
+            if kind == "protocol":
+                name = protocol or "ftgcs"
+            elif kind in _LEGACY_PROTOCOL_KINDS:
+                name = kind
+            if (name is not None
+                    and not get_protocol(name).supports_first_contact):
+                raise ConfigError(
+                    f"protocol {name!r} does not support first-contact "
+                    f"estimator bring-up")
         strategy = fields.get("strategy")
         if strategy is not None and strategy not in STRATEGIES:
             raise ConfigError(f"unknown strategy {strategy!r}; known: "

@@ -157,6 +157,10 @@ class ScenarioSpec:
         :data:`~repro.topology.schedule.SCHEDULES` name plus factory
         kwargs, turning the (static) ``graph`` into a time-varying
         topology.  ``"static"`` (the default) is the trivial schedule.
+    first_contact:
+        For ``"protocol"`` cells: enable first-contact estimator
+        bring-up (``SystemBuilder.first_contact``); the protocol must
+        declare ``supports_first_contact``.
     payload:
         Kind- or protocol-specific picklable knobs (e.g. the
         master-slave ``jump`` flag, the Monte Carlo
@@ -181,6 +185,7 @@ class ScenarioSpec:
     protocol: str | None = None
     schedule: str = "static"
     schedule_args: dict = field(default_factory=dict)
+    first_contact: bool = False
     payload: dict = field(default_factory=dict)
     collect: tuple = ()
 
@@ -295,6 +300,8 @@ def _run_protocol_cell(spec: ScenarioSpec) -> SweepCellResult:
     if spec.params is not None:
         builder.params(spec.params)
     builder.rounds(spec.rounds).seed(spec.seed)
+    if spec.first_contact:
+        builder.first_contact(True)
     if spec.strategy is not None:
         builder.faults(spec.strategy, *spec.strategy_args,
                        per_cluster=spec.faults_per_cluster)

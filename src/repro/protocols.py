@@ -17,15 +17,15 @@ per-algorithm paths — the property the experiment tables rely on.
 
 Capability summary:
 
-============== ======== ========= ======= =========
-protocol       faults   dynamic   graph   params in
-============== ======== ========= ======= =========
-ftgcs          yes      yes       yes     ``.params``
-lynch_welch    yes      no        no      ``.params``
-master_slave   no       no        yes     ``.params``
-gcs_single     liars*   yes       yes     ``payload["params"]``
-srikanth_toueg silent*  no        no      ``payload["params"]``
-============== ======== ========= ======= =========
+============== ======== ========= ============= ======= =========
+protocol       faults   dynamic   first-contact graph   params in
+============== ======== ========= ============= ======= =========
+ftgcs          yes      yes       yes           yes     ``.params``
+lynch_welch    yes      no        no            no      ``.params``
+master_slave   no       no        no            yes     ``.params``
+gcs_single     liars*   yes       no            yes     ``payload["params"]``
+srikanth_toueg silent*  no        no            no      ``payload["params"]``
+============== ======== ========= ============= ======= =========
 
 ``*`` — these baselines model faults through protocol-specific payload
 knobs (``liars``, ``silent_faults``) rather than the named-strategy
@@ -100,6 +100,7 @@ class FtgcsProtocol(SyncProtocol):
     name = "ftgcs"
     supports_faults = True
     supports_dynamic_topology = True
+    supports_first_contact = True
 
     system_class = FtgcsSystem
 
@@ -119,6 +120,8 @@ class FtgcsProtocol(SyncProtocol):
             config=SystemConfig(**ctx.config) if ctx.config else None,
             strategy_factory=strategy_factory,
             faults_per_cluster=ctx.faults_per_cluster)
+        if ctx.first_contact:
+            config.dynamic_estimators = True
         self.system = self._make_system(ctx.graph, params, ctx.seed,
                                         config)
         self.sim = self.system.sim
@@ -145,6 +148,7 @@ class FtgcsProtocol(SyncProtocol):
             max_local_skew=result.max_local_cluster_skew,
             series=result.series, edge_maxima=result.edge_maxima,
             messages_sent=result.messages_sent,
+            messages_dropped=self.network.messages_dropped,
             events_processed=result.events_processed,
             detail=result)
 
@@ -152,6 +156,13 @@ class FtgcsProtocol(SyncProtocol):
         graph = self.system.graph
         return tuple((na, nb) for na in graph.members(a)
                      for nb in graph.members(b))
+
+    def apply_edge_event(self, edge, active) -> None:
+        # Links first, then the first-contact notification, so nodes
+        # reacting to the event (max-pulse re-announcement) see the
+        # link in its new state.
+        super().apply_edge_event(edge, active)
+        self.system.notify_cluster_edge(edge, active)
 
     def analysis_system(self) -> FtgcsSystem:
         return self.system
@@ -170,6 +181,7 @@ class LynchWelchProtocol(FtgcsProtocol):
     name = "lynch_welch"
     needs_graph = False
     supports_dynamic_topology = False
+    supports_first_contact = False  # single cluster: no estimators
 
     system_class = LynchWelchSystem
 
@@ -226,6 +238,7 @@ class MasterSlaveProtocol(SyncProtocol):
             series=list(self.system.sampler.series),
             edge_maxima=dict(maxima.edge_maxima),
             messages_sent=self.network.messages_sent,
+            messages_dropped=self.network.messages_dropped,
             events_processed=self.sim.events_processed,
             detail=maxima)
 
@@ -282,6 +295,7 @@ class GcsSingleProtocol(SyncProtocol):
             max_local_skew=max((s[1] for s in samples), default=0.0),
             series=samples,
             messages_sent=self.network.messages_sent,
+            messages_dropped=self.network.messages_dropped,
             events_processed=self.sim.events_processed,
             detail=samples)
 
@@ -330,6 +344,7 @@ class SrikanthTouegProtocol(SyncProtocol):
             protocol=self.name, seed=self.ctx.seed,
             max_global_skew=self.skew, max_local_skew=self.skew,
             messages_sent=self.network.messages_sent,
+            messages_dropped=self.network.messages_dropped,
             events_processed=self.sim.events_processed,
             detail=self.skew)
 

@@ -4,8 +4,10 @@ time-varying edge schedules for dynamic networks."""
 from repro.topology.cluster_graph import AugmentedGraph, ClusterGraph
 from repro.topology.schedule import (
     SCHEDULES,
+    AdversarialSweepSchedule,
     EdgeChurnSchedule,
     RewireSchedule,
+    TIntervalSchedule,
     TopologySchedule,
     build_schedule,
     register_schedule,
@@ -31,8 +33,10 @@ __all__ = [
     "AugmentedGraph",
     "ClusterGraph",
     "SCHEDULES",
+    "AdversarialSweepSchedule",
     "EdgeChurnSchedule",
     "RewireSchedule",
+    "TIntervalSchedule",
     "TopologySchedule",
     "build_schedule",
     "register_schedule",

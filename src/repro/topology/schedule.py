@@ -26,16 +26,48 @@ delay draws of the underlying simulation.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Callable, Iterable
 
 from repro.errors import ConfigError, TopologyError
 from repro.sim.rng import derive_seed
+from repro.topology import graphs as g
 from repro.topology.cluster_graph import ClusterGraph
 
 #: One schedule event: at ``time``, set cluster edge ``(a, b)`` to
 #: ``active``.
 EdgeEvent = "tuple[float, tuple[int, int], bool]"
+
+
+def tick_count(interval: float, horizon: float) -> int:
+    """Number of schedule ticks ``interval, 2*interval, ...`` up to and
+    *including* ``horizon``.
+
+    This pins the horizon boundary rule for every periodic schedule: a
+    tick landing nominally at ``t == horizon`` **fires**.  The count is
+    computed by division (with one relative ulp of tolerance) rather
+    than by comparing accumulated tick times against the horizon, so
+    float drift in the running sum can never silently drop — or
+    duplicate — the final tick.  Event loops pair this with
+    :func:`clamp_tick` so the final tick's *timestamp* also lands at
+    or before the horizon (an accumulated sum can drift a few ulps
+    past it, which would leave the event enqueued beyond the kernel's
+    run window — emitted but never executed).
+    """
+    return max(0, int(math.floor(horizon / interval * (1.0 + 1e-12))))
+
+
+def clamp_tick(t: float, horizon: float) -> float:
+    """Clamp an accumulated tick timestamp to the horizon.
+
+    Only the final tick can drift past the horizon (the drift is a few
+    ulps, many orders below one interval), and by the boundary rule
+    that tick is nominally *at* the horizon — so its event time is the
+    horizon itself.  All earlier ticks pass through unchanged, keeping
+    event streams byte-identical to the historical accumulation.
+    """
+    return horizon if t > horizon else t
 
 
 class TopologySchedule:
@@ -116,8 +148,10 @@ class EdgeChurnSchedule(TopologySchedule):
                      if edge not in self.protect]
         events = []
         down: set[tuple[int, int]] = set()
-        t = self.interval
-        while t <= horizon:
+        t = 0.0
+        for _ in range(tick_count(self.interval, horizon)):
+            t += self.interval
+            tick = clamp_tick(t, horizon)
             # One draw per churnable edge per tick, in canonical edge
             # order, regardless of current state — keeps the stream
             # independent of history.
@@ -125,11 +159,10 @@ class EdgeChurnSchedule(TopologySchedule):
                          if rng.random() < self.churn}
             for edge in churnable:
                 if edge in next_down and edge not in down:
-                    events.append((t, edge, False))
+                    events.append((tick, edge, False))
                 elif edge not in next_down and edge in down:
-                    events.append((t, edge, True))
+                    events.append((tick, edge, True))
             down = next_down
-            t += self.interval
         return events
 
 
@@ -142,14 +175,21 @@ class RewireSchedule(TopologySchedule):
     fixed (the base graph), but which chords are materialized rotates.
     ``core`` defaults to the first ``num_clusters - 1`` edges — for the
     standard constructors (line, ring, grid) that keeps a connected
-    backbone.
+    backbone.  A custom ``core`` need not span the graph; pass
+    ``require_connected=True`` to make every draw re-sample (with the
+    same seeded stream, so determinism is preserved) until
+    ``core + active chords`` is connected.
     """
 
     name = "rewire"
 
+    #: Bounded re-sampling for ``require_connected`` draws.
+    MAX_DRAW_ATTEMPTS = 256
+
     def __init__(self, graph: ClusterGraph, interval: float,
                  active_extras: int,
-                 core: Iterable[tuple[int, int]] | None = None) -> None:
+                 core: Iterable[tuple[int, int]] | None = None,
+                 require_connected: bool = False) -> None:
         super().__init__(graph)
         if interval <= 0:
             raise ConfigError(
@@ -165,9 +205,35 @@ class RewireSchedule(TopologySchedule):
                 f"{active_extras!r}")
         self.interval = float(interval)
         self.active_extras = int(active_extras)
+        self.require_connected = bool(require_connected)
+        if (self.require_connected
+                and not self._connected_with(set(self.chords))):
+            # Necessary-condition check only: core plus *all* chords
+            # disconnected means no draw of any size can succeed.
+            # Infeasibility of the specific ``active_extras``-sized
+            # draws (a subset-sum question) surfaces at draw time as
+            # the exhausted-attempts error below.
+            raise TopologyError(
+                "require_connected: core plus all chords is "
+                "disconnected; no draw can satisfy it")
+
+    def _connected_with(self, active: set[tuple[int, int]]) -> bool:
+        edges = sorted(self.core | active)
+        return g.is_connected(
+            g.adjacency_from_edges(self.graph.num_clusters, edges))
 
     def _draw_active(self, rng: random.Random) -> set[tuple[int, int]]:
-        return set(rng.sample(self.chords, self.active_extras))
+        attempts = self.MAX_DRAW_ATTEMPTS if self.require_connected else 1
+        for _ in range(attempts):
+            active = set(rng.sample(self.chords, self.active_extras))
+            if not self.require_connected or self._connected_with(active):
+                return active
+        raise TopologyError(
+            f"rewire could not draw a connected active set in "
+            f"{self.MAX_DRAW_ATTEMPTS} attempts (core={sorted(self.core)}, "
+            f"active_extras={self.active_extras}); the configuration "
+            f"may admit no connected draw of this size at all — raise "
+            f"active_extras or extend the core")
 
     def initial_down(self, seed: int) -> list[tuple[int, int]]:
         rng = random.Random(derive_seed(seed, f"topology/{self.name}"))
@@ -178,16 +244,170 @@ class RewireSchedule(TopologySchedule):
         rng = random.Random(derive_seed(seed, f"topology/{self.name}"))
         active = self._draw_active(rng)  # replays initial_down's draw
         events = []
-        t = self.interval
-        while t <= horizon:
+        t = 0.0
+        for _ in range(tick_count(self.interval, horizon)):
+            t += self.interval
+            tick = clamp_tick(t, horizon)
             next_active = self._draw_active(rng)
             for edge in self.chords:
                 if edge in next_active and edge not in active:
-                    events.append((t, edge, True))
+                    events.append((tick, edge, True))
                 elif edge not in next_active and edge in active:
-                    events.append((t, edge, False))
+                    events.append((tick, edge, False))
             active = next_active
+        return events
+
+
+class TIntervalSchedule(TopologySchedule):
+    """Worst-case *T-interval-connected* dynamics (Kuhn–Lynch–Oshman).
+
+    Time is divided into intervals of length ``interval``; the dynamic
+    graph is **T-interval connected**: for every window of ``T``
+    consecutive intervals there is one *stable* connected spanning
+    subgraph present throughout the window.  The deterministic
+    adversary keeps exactly that guarantee and nothing more: it draws a
+    seeded random spanning tree ``S_e`` per epoch of ``T`` intervals,
+    keeps ``S_e`` up for *two* consecutive epochs (``[eT, (e+2)T)``
+    intervals — so every sliding window of ``T`` intervals falls
+    inside some tree's lifetime), and kills every other edge.  Smaller
+    ``T`` therefore means a faster-rotating backbone and more
+    first-contact events; ``T -> inf`` degenerates to one static
+    spanning tree.
+
+    The spanning-tree sequence is a seeded randomized Kruskal walk, so
+    the same ``(horizon, seed)`` always yields the same events.
+    """
+
+    name = "t_interval"
+
+    def __init__(self, graph: ClusterGraph, interval: float,
+                 T: int) -> None:
+        super().__init__(graph)
+        if interval <= 0:
+            raise ConfigError(
+                f"t_interval interval must be positive: {interval!r}")
+        if T < 1:
+            raise ConfigError(f"T must be >= 1: {T!r}")
+        if not graph.is_connected():
+            raise TopologyError(
+                f"t_interval needs a connected base graph: {graph!r}")
+        self.interval = float(interval)
+        self.T = int(T)
+
+    def _spanning_tree(self, rng: random.Random) -> frozenset:
+        """One seeded random spanning tree (randomized Kruskal)."""
+        edges = list(self.graph.edges)
+        rng.shuffle(edges)
+        parent = list(range(self.graph.num_clusters))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        tree = []
+        for a, b in edges:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+                tree.append((a, b))
+        return frozenset(tree)
+
+    def _active_for_epoch(self, trees: list, e: int) -> frozenset:
+        """Edges up during epoch ``e``: the current tree plus the
+        previous one (still inside its two-epoch lifetime)."""
+        active = set(trees[e])
+        if e > 0:
+            active |= trees[e - 1]
+        return frozenset(active)
+
+    def initial_down(self, seed: int) -> list[tuple[int, int]]:
+        rng = random.Random(derive_seed(seed, f"topology/{self.name}"))
+        s0 = self._spanning_tree(rng)
+        return [edge for edge in self.graph.edges if edge not in s0]
+
+    def events(self, horizon: float, seed: int):
+        rng = random.Random(derive_seed(seed, f"topology/{self.name}"))
+        epoch_length = self.T * self.interval
+        epochs = tick_count(epoch_length, horizon)
+        trees = [self._spanning_tree(rng) for _ in range(epochs + 1)]
+        events = []
+        active = self._active_for_epoch(trees, 0)
+        t = 0.0
+        for e in range(1, epochs + 1):
+            t += epoch_length
+            tick = clamp_tick(t, horizon)
+            next_active = self._active_for_epoch(trees, e)
+            for edge in self.graph.edges:
+                if edge in next_active and edge not in active:
+                    events.append((tick, edge, True))
+                elif edge not in next_active and edge in active:
+                    events.append((tick, edge, False))
+            active = next_active
+        return events
+
+
+class AdversarialSweepSchedule(TopologySchedule):
+    """A deterministic adversary walking a *cut* across the graph.
+
+    Cluster ids define a linear order; cut position ``c`` downs every
+    edge ``(a, b)`` with ``a <= c < b``.  Each tick the position
+    advances by one (wrapping over the ``num_clusters - 1`` interior
+    positions), so the down set sweeps across the graph, temporarily
+    **disconnecting** it at every step while the union over any full
+    sweep restores every edge.  This is strictly harsher than
+    T-interval connectivity — it is the "eventually connected" regime
+    where only union-connectivity over a window holds — and is the
+    worst case for estimator staleness: every edge periodically
+    disappears and re-appears, so every estimator pair periodically
+    re-establishes contact.
+
+    Entirely deterministic (the seed is unused): the same cut walk on
+    every run, which makes stabilization-time measurements directly
+    comparable across seeds.
+    """
+
+    name = "adversarial_sweep"
+
+    def __init__(self, graph: ClusterGraph, interval: float) -> None:
+        super().__init__(graph)
+        if interval <= 0:
+            raise ConfigError(
+                f"sweep interval must be positive: {interval!r}")
+        if graph.num_clusters < 3:
+            # Two clusters have a single cut position: the "walk"
+            # would pin that cut down forever, never restoring any
+            # edge — use an explicit one-shot schedule for that.
+            raise TopologyError(
+                f"adversarial sweep needs >= 3 clusters (with 2 the "
+                f"only cut never moves): {graph!r}")
+        self.interval = float(interval)
+
+    def _cut(self, position: int) -> list[tuple[int, int]]:
+        """Edges crossing the cut between ``position`` and
+        ``position + 1`` in the id order."""
+        return [(a, b) for a, b in self.graph.edges
+                if a <= position < b]
+
+    def initial_down(self, seed: int) -> list[tuple[int, int]]:
+        return self._cut(0)
+
+    def events(self, horizon: float, seed: int):
+        positions = self.graph.num_clusters - 1
+        events = []
+        down = set(self._cut(0))
+        t = 0.0
+        for i in range(1, tick_count(self.interval, horizon) + 1):
             t += self.interval
+            tick = clamp_tick(t, horizon)
+            next_down = set(self._cut(i % positions))
+            for edge in self.graph.edges:
+                if edge in next_down and edge not in down:
+                    events.append((tick, edge, False))
+                elif edge not in next_down and edge in down:
+                    events.append((tick, edge, True))
+            down = next_down
         return events
 
 
@@ -196,6 +416,8 @@ SCHEDULES: dict[str, Callable[..., TopologySchedule]] = {
     "static": TopologySchedule,
     "churn": EdgeChurnSchedule,
     "rewire": RewireSchedule,
+    "t_interval": TIntervalSchedule,
+    "adversarial_sweep": AdversarialSweepSchedule,
 }
 
 
@@ -223,9 +445,12 @@ def build_schedule(name: str, graph: ClusterGraph,
 
 __all__ = [
     "SCHEDULES",
+    "AdversarialSweepSchedule",
     "EdgeChurnSchedule",
     "RewireSchedule",
+    "TIntervalSchedule",
     "TopologySchedule",
     "build_schedule",
     "register_schedule",
+    "tick_count",
 ]

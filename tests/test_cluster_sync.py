@@ -217,3 +217,148 @@ class TestBaseOffsets:
         core.start()
         sim.run(until=2.5 * params.round_length)
         assert seen[:3] == [1, 2, 3]
+
+
+class TestFirstContactSupport:
+    """start(at_round), resync_peers, and exchange tracking — the
+    engine half of first-contact estimator bring-up."""
+
+    def test_start_at_round_aligns_pulse_attribution(self, params):
+        sim, clock, core = make_core(params)
+        # The clock starts at 0; jump it to the round-4 regime first so
+        # the round-4 alarms lie in the future.
+        clock.jump_to(3 * params.round_length)
+        core.start(at_round=4)
+        assert core.current_round == 4
+        # The next pulse from a peer is credited to round 4, not 1.
+        core.on_pulse(101, sim.now)
+        assert core.stats.stale_pulses == 0
+        assert core.stats.flooded_pulses == 0
+
+    def test_start_at_round_one_matches_plain_start(self, params):
+        broadcasts_a, broadcasts_b = [], []
+        sim_a, _, core_a = make_core(params, broadcasts=broadcasts_a)
+        sim_b, _, core_b = make_core(params, broadcasts=broadcasts_b)
+        core_a.start()
+        core_b.start(at_round=1)
+        sim_a.run(until=2 * params.round_length)
+        sim_b.run(until=2 * params.round_length)
+        assert broadcasts_a == broadcasts_b
+
+    def test_start_at_round_validated(self, params):
+        _, _, core = make_core(params)
+        with pytest.raises(ConfigError):
+            core.start(at_round=0)
+
+    def test_running_property(self, params):
+        _, _, core = make_core(params)
+        assert not core.running
+        core.start()
+        assert core.running
+        core.stop()
+        assert not core.running
+
+    def test_resync_peers_fast_forwards_lagging_counts(self, params):
+        sim, clock, core = make_core(params)
+        core.start()
+        # Simulate rounds passing without pulses (link down): advance
+        # through 3 full rounds.
+        sim.run(until=3.5 * params.round_length)
+        assert core.current_round >= 3
+        before = core.current_round
+        resynced = core.resync_peers()
+        assert resynced == len(PEERS)
+        assert core.stats.peer_resyncs == len(PEERS)
+        # Next pulse now credits the current round instead of round 1.
+        core.on_pulse(101, sim.now)
+        assert core.stats.stale_pulses == 0
+        assert core.current_round == before
+
+    def test_resync_is_idempotent_and_respects_floor(self, params):
+        sim, clock, core = make_core(params)
+        core.start()
+        sim.run(until=2.5 * params.round_length)
+        core.on_pulse(101, sim.now)
+        core.resync_peers()
+        counts = dict(core._pulse_counts)
+        # Counts reach at least the conservative floor, and a second
+        # resync with no intervening outage moves nothing.
+        assert all(c >= core.current_round - 1 for c in counts.values())
+        assert core.resync_peers() == 0
+        assert dict(core._pulse_counts) == counts
+
+    def test_without_resync_pulses_stay_stale_forever(self, params):
+        """Documents the failure resync exists for: after missed
+        rounds, count-based attribution drops every later pulse."""
+        sim, clock, core = make_core(params)
+        core.start()
+        sim.run(until=3.5 * params.round_length)
+        for _ in range(3):
+            core.on_pulse(101, sim.now)
+        assert core.stats.stale_pulses == 3
+
+    def test_exchanges_completed_counts_rounds_with_pulses(self, params):
+        sim, clock, core = make_core(params)
+        core.start()
+        feed_symmetric_round(sim, core, params, 1)
+        sim.run(until=1.5 * params.round_length)
+        assert core.stats.exchanges_completed == 1
+        # A round with no pulses at all does not count as an exchange.
+        sim.run(until=2.5 * params.round_length)
+        assert core.stats.exchanges_completed == 1
+
+
+class TestResyncBlipHealing:
+    """Review regressions: outages shorter than one round must not
+    lock pulse attribution one round behind forever."""
+
+    def _run_to_past_phase2(self, params, core, sim, r):
+        # Phase 2 of round r ends at logical phase2_end_offset(r); on
+        # a unit-rate, delta=1 clock that is offset/(1+phi) real time.
+        schedule = RoundSchedule(params)
+        end = schedule.phase2_end_offset(r) / (1.0 + params.phi)
+        sim.run(until=end + 1e-6)
+
+    def test_resync_past_phase2_repairs_one_round_lag(self, params):
+        sim, clock, core = make_core(params)
+        core.start()
+        # Round 1's pulses were dropped (no on_pulse calls); resync
+        # after phase 2's end must raise counts to the current round,
+        # so the next (round-2) pulse attributes correctly.
+        self._run_to_past_phase2(params, core, sim, 1)
+        assert core.current_round == 1
+        assert core.resync_peers() == len(PEERS)
+        core.on_pulse(101, sim.now)  # round-2 pulse
+        assert core.stats.stale_pulses == 0
+
+    def test_auto_resync_heals_unnoticed_blip(self, params):
+        """A blip no resync call caught: the first stale pulse
+        re-anchors the sender instead of starting a permanent
+        stale-forever stream."""
+        sim = Simulator()
+        hw = HardwareClock(sim, ConstantRate(1.0), rho=params.rho)
+        clock = LogicalClock(sim, hw, phi=params.phi, mu=params.mu,
+                             delta=1.0, gamma=0)
+        core = ClusterSyncCore(
+            clock, RoundSchedule(params), 0.0, PEERS, params.f,
+            self_delay=lambda: params.d, broadcast=None,
+            auto_resync=True, name="healing-core")
+        core.start()
+        sim.run(until=2.5 * params.round_length)  # rounds 1-2 missed
+        r = core.current_round
+        core.on_pulse(101, sim.now)  # would be stale without healing
+        assert core.stats.stale_pulses == 0
+        assert core.stats.peer_resyncs == 1
+        # The sender is re-anchored: the following pulse credits the
+        # next round, not a round in the past.
+        core.on_pulse(101, sim.now)
+        assert core.stats.stale_pulses == 0
+        assert core._pulse_counts[101] == r + 1
+
+    def test_auto_resync_off_preserves_stale_accounting(self, params):
+        sim, clock, core = make_core(params)
+        core.start()
+        sim.run(until=2.5 * params.round_length)
+        core.on_pulse(101, sim.now)
+        assert core.stats.stale_pulses == 1
+        assert core.stats.peer_resyncs == 0

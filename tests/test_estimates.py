@@ -101,3 +101,62 @@ class TestEstimatorIntegration:
                                    config=SystemConfig(byzantine=byz))
         result = system.run_rounds(10)
         assert result.max_estimate_error <= params.estimate_error_bound()
+
+
+class TestFirstContactBringUp:
+    def test_dormant_estimator_not_running(self, params):
+        _, estimator = make_estimator(params)
+        assert not estimator.running
+        estimator.start()
+        assert estimator.running
+
+    def test_bring_up_jumps_clock_and_aligns_round(self, params):
+        sim, estimator = make_estimator(params)
+        # Mid-run first contact: three rounds in, owner's clock leads.
+        sim.run(until=3.0 * params.round_length)
+        own_value = 3.2 * params.round_length
+        schedule = RoundSchedule(params)
+        at_round = schedule.rounds_until(own_value) + 1
+        estimator.bring_up(own_value, at_round)
+        assert estimator.running
+        assert estimator.bring_ups == 1
+        assert estimator.value() >= own_value
+        assert estimator.current_round == at_round
+        # Pulses attribute to the bring-up round, not round 1.
+        estimator.on_pulse(MEMBERS[0], sim.now)
+        assert estimator.stats.stale_pulses == 0
+
+    def test_bring_up_on_running_estimator_rejected(self, params):
+        _, estimator = make_estimator(params)
+        estimator.start()
+        with pytest.raises(Exception):
+            estimator.bring_up(0.0, 1)
+
+    def test_warm_up_rule(self, params):
+        """An estimate is not ready until one exchange completed after
+        (re)initialization."""
+        sim, estimator = make_estimator(params)
+        sim.run(until=1.0)
+        estimator.bring_up(1.0, 1)
+        assert not estimator.ready
+        # Feed all members' round-1 pulses, then cross the round
+        # boundary: the completed exchange makes the estimate ready.
+        for member in MEMBERS:
+            sim.call_at(sim.now + params.d, estimator.on_pulse, member,
+                        sim.now + params.d)
+        sim.run(until=sim.now + 1.5 * params.round_length)
+        assert estimator.stats.exchanges_completed >= 1
+        assert estimator.ready
+
+    def test_resync_resets_readiness_only_when_lagging(self, params):
+        sim, estimator = make_estimator(params)
+        estimator.start()
+        # Nothing missed yet: resync is a no-op and readiness state is
+        # untouched.
+        assert estimator.resync() == 0
+        assert estimator.resyncs == 0
+        # Let rounds pass with no pulses (outage), then resync.
+        sim.run(until=3.5 * params.round_length)
+        assert estimator.resync() == len(MEMBERS)
+        assert estimator.resyncs == 1
+        assert not estimator.ready

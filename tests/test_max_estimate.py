@@ -125,3 +125,68 @@ class TestValidation:
         est.stop()
         est.on_pulse(1, 0.0)
         assert est.value() == pytest.approx(0.0)
+
+
+class TestFirstContactReset:
+    def test_announced_level_exposed(self):
+        sim, est, sent = make_max(rho=0.0, unit=2.0, hw_rate=1.0)
+        est.start()
+        sim.run(until=6.5)
+        assert est.announced_level == 3
+        assert len(sent) == 3
+
+    def test_reset_sender_restarts_decode_from_zero(self):
+        sim, est, _ = make_max(rho=0.1, unit=1.0, f=1)
+        est.start()
+        # Two witnesses from cluster 0 at level 2 -> jump.
+        for sender in (1, 2):
+            for _ in range(2):
+                est.on_pulse(sender, sim.now)
+        assert est.jumps >= 1  # levels 1 and 2 both confirm
+        value_after_jump = est.value()
+        est.reset_sender(1)
+        est.reset_sender(2)
+        assert est.sender_resets == 2
+        # The estimate itself is untouched (M never moves backwards)...
+        assert est.value() >= value_after_jump
+        # ...and a re-announced stream decodes from level 1 again:
+        # one pulse each re-attests only level 1, which cannot raise
+        # the already-higher estimate (undercount = sound direction).
+        jumps_before = est.jumps
+        for sender in (1, 2):
+            est.on_pulse(sender, sim.now)
+        assert est.jumps == jumps_before
+
+    def test_reset_then_full_reannounce_restores_decode(self):
+        sim, est, _ = make_max(rho=0.1, unit=1.0, f=1)
+        est.start()
+        for sender in (1, 2):
+            for _ in range(3):
+                est.on_pulse(sender, sim.now)
+        level_settled = est.value()
+        est.reset_sender(1)
+        est.reset_sender(2)
+        # The paired protocol: senders re-announce their full level
+        # over the fresh link; the decode then reads it exactly.
+        for sender in (1, 2):
+            for _ in range(5):
+                est.on_pulse(sender, sim.now)
+        assert est.value() >= level_settled
+
+    def test_quarantine_drops_pre_outage_in_flight_pulses(self):
+        """The over-count hole: a pulse in flight from before the
+        outage must not stack on top of the re-announced stream."""
+        sim, est, _ = make_max(rho=0.1, unit=1.0, f=1)
+        est.start()
+        est.reset_sender(1, quarantine_until=sim.now + 1.0)  # d = 1
+        # Arrivals inside the window (possibly pre-outage) are dropped.
+        est.on_pulse(1, sim.now + 0.5)
+        assert est.quarantined_pulses == 1
+        assert est._sender_levels.get(1) is None
+        # Arrivals at or after the deadline (the delayed
+        # re-announcement's earliest possible arrival) count normally.
+        est.on_pulse(1, sim.now + 1.0)
+        assert est._sender_levels[1] == 1
+        # The quarantine clears after the first post-deadline pulse.
+        est.on_pulse(1, sim.now + 1.1)
+        assert est._sender_levels[1] == 2

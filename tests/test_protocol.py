@@ -232,3 +232,79 @@ class TestCustomProtocol:
             assert result.events_processed == 4
         finally:
             del PROTOCOLS["test_countdown"]
+
+
+class TestMessagesDropped:
+    """Satellite regression: Network.messages_dropped is plumbed into
+    ProtocolRunResult uniformly across all five adapters."""
+
+    def test_static_runs_report_zero_for_every_adapter(self):
+        params = default_params(f=1)
+        runs = [
+            (SystemBuilder("ftgcs").topology(ClusterGraph.line(2))
+             .params(params).rounds(2).seed(1).build()),
+            (SystemBuilder("lynch_welch").params(params).rounds(2)
+             .seed(1).build()),
+            (SystemBuilder("master_slave")
+             .topology(ClusterGraph.line(3))
+             .params(default_params(f=0)).rounds(2).seed(1)
+             .payload(jump=True).build()),
+            (SystemBuilder("gcs_single").topology(ClusterGraph.ring(4))
+             .payload(params=GcsParams.default(), until=50.0).seed(1)
+             .build()),
+            (SystemBuilder("srikanth_toueg")
+             .payload(params=StParams(n=4, f=1, rho=1e-4, d=1.0, u=0.1,
+                                      period=10.0), rounds=2)
+             .seed(1).build()),
+        ]
+        for system in runs:
+            result = system.run()
+            assert result.messages_dropped == 0
+            # The field mirrors the live network counter exactly.
+            assert (result.messages_dropped
+                    == system.protocol.network.messages_dropped)
+
+    def test_dynamic_runs_report_drops(self):
+        params = default_params(f=1)
+        for name, build in (
+            ("ftgcs", lambda s: (SystemBuilder("ftgcs").topology(s)
+                                 .params(params).rounds(4).seed(2)
+                                 .build())),
+            ("gcs_single", lambda s: (SystemBuilder("gcs_single")
+                                      .topology(s)
+                                      .payload(params=GcsParams.default(),
+                                               until=300.0)
+                                      .seed(2).build())),
+        ):
+            schedule = EdgeChurnSchedule(
+                ClusterGraph.line(3),
+                interval=(params.round_length if name == "ftgcs"
+                          else 25.0),
+                churn=0.5)
+            system = build(schedule)
+            result = system.run()
+            assert result.messages_dropped > 0
+            assert (result.messages_dropped
+                    == system.protocol.network.messages_dropped)
+
+
+class TestFirstContactCapability:
+    def test_flags(self):
+        assert get_protocol("ftgcs").supports_first_contact
+        for name in ("lynch_welch", "master_slave", "gcs_single",
+                     "srikanth_toueg"):
+            assert not get_protocol(name).supports_first_contact
+
+    def test_builder_validates_eagerly(self):
+        with pytest.raises(ConfigError) as err:
+            (SystemBuilder("gcs_single").topology(ClusterGraph.ring(4))
+             .payload(params=GcsParams.default(), until=10.0)
+             .first_contact().build())
+        assert "first-contact" in str(err.value)
+
+    def test_first_contact_reaches_system_config(self):
+        params = default_params(f=1)
+        system = (SystemBuilder("ftgcs").topology(ClusterGraph.line(2))
+                  .params(params).rounds(1).seed(1).first_contact()
+                  .build())
+        assert system.protocol.system.config.dynamic_estimators

@@ -14,9 +14,9 @@ from repro.harness.tables import Table
 
 
 class TestRegistryContents:
-    def test_all_fourteen_registered(self):
-        assert REGISTRY.ids() == [f"t{i:02d}" for i in range(1, 15)]
-        assert len(REGISTRY) == 14
+    def test_all_fifteen_registered(self):
+        assert REGISTRY.ids() == [f"t{i:02d}" for i in range(1, 16)]
+        assert len(REGISTRY) == 15
 
     def test_metadata_complete(self):
         for experiment in REGISTRY:
@@ -93,7 +93,7 @@ class TestRegistryValidation:
 
 class TestRunExperiment:
     @pytest.mark.parametrize("experiment_id",
-                             [f"t{i:02d}" for i in range(1, 15)])
+                             [f"t{i:02d}" for i in range(1, 16)])
     def test_every_experiment_runs_quick(self, experiment_id):
         experiment = REGISTRY.get(experiment_id)
         table = run_experiment(experiment_id, quick=True)
@@ -109,6 +109,17 @@ class TestRunExperiment:
         parallel = run_experiment("t05", quick=True, processes=3)
         assert serial.rows == parallel.rows
         assert serial.format() == parallel.format()
+
+    def test_dynamic_experiments_serial_vs_parallel(self):
+        # The dynamic-topology experiments (adversarial schedules +
+        # first-contact bring-up) must also be pool-size invariant.
+        for experiment_id in ("t13", "t15"):
+            serial = run_experiment(experiment_id, quick=True,
+                                    processes=1)
+            parallel = run_experiment(experiment_id, quick=True,
+                                      processes=2)
+            assert serial.rows == parallel.rows
+            assert serial.notes == parallel.notes
 
     def test_seed_override_changes_monte_carlo(self):
         default = run_experiment("t05", quick=True)

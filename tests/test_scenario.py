@@ -143,3 +143,34 @@ class TestEndToEnd:
         cell = run_cell(spec)
         assert cell.result.protocol == "ftgcs"
         assert cell.result.detail.missing_pulses > 0
+
+
+class TestFirstContactValidation:
+    def test_first_contact_builds_for_ftgcs(self):
+        spec = (Scenario.line(2).params(default_params(f=1)).rounds(2)
+                .dynamic("adversarial_sweep", interval=10.0)
+                .first_contact().build())
+        assert spec.first_contact
+
+    def test_first_contact_on_incapable_protocol_rejected(self):
+        with pytest.raises(ConfigError) as err:
+            Scenario.ring(4).protocol("gcs_single").first_contact().build()
+        assert "first-contact" in str(err.value)
+
+    def test_first_contact_on_schedule_blind_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            Scenario.of_kind("failure_mc").first_contact().build()
+
+    def test_first_contact_spec_runs_end_to_end(self):
+        params = default_params(f=1)
+        spec = (Scenario.line(3).params(params).rounds(4).seed(5)
+                .dynamic("adversarial_sweep",
+                         interval=params.round_length)
+                .first_contact().build())
+        cell = run_cell(spec)
+        # The walking cut leaves edge (0,1) down at start, so its
+        # estimators come up from dormant once the cut moves on, and
+        # the cut returning forces resyncs.
+        assert cell.result.detail.estimator_bring_ups > 0
+        assert cell.result.detail.estimator_resyncs > 0
+        assert cell.result.messages_dropped > 0

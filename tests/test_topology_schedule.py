@@ -8,11 +8,14 @@ from repro.sim.kernel import Simulator
 from repro.topology.cluster_graph import ClusterGraph
 from repro.topology.schedule import (
     SCHEDULES,
+    AdversarialSweepSchedule,
     EdgeChurnSchedule,
     RewireSchedule,
+    TIntervalSchedule,
     TopologySchedule,
     build_schedule,
     register_schedule,
+    tick_count,
 )
 
 
@@ -104,9 +107,262 @@ class TestRewire:
             self.make(interval=-1.0)
 
 
+class TestHorizonBoundary:
+    """The one rule: a tick nominally at ``t == horizon`` fires."""
+
+    def test_tick_count_inclusive_at_exact_multiple(self):
+        assert tick_count(10.0, 30.0) == 3
+        assert tick_count(10.0, 29.999) == 2
+        assert tick_count(10.0, 9.999) == 0
+
+    def test_tick_count_survives_float_drift(self):
+        # 3 * 0.1 accumulates to 0.30000000000000004 > 0.3; the naive
+        # `accumulated <= horizon` loop drops the nominally-final
+        # tick.  Division-based counting keeps it.
+        assert 0.1 + 0.1 + 0.1 > 0.3
+        assert tick_count(0.1, 0.3) == 3
+
+    def test_churn_fires_tick_at_exact_horizon(self):
+        # Seed 1's third draw flips edges (probed), and 10+10+10 is
+        # float-exact, so the boundary tick is directly observable.
+        schedule = EdgeChurnSchedule(ClusterGraph.ring(4),
+                                     interval=10.0, churn=0.5)
+        events = schedule.events(30.0, 1)
+        assert max(t for t, _, _ in events) == 30.0
+
+    def test_churn_final_tick_not_lost_to_float_drift(self):
+        # Regression: horizon 0.3 with interval 0.1 must include the
+        # third tick even though the running sum overshoots 0.3.
+        schedule = EdgeChurnSchedule(ClusterGraph.ring(4),
+                                     interval=0.1, churn=0.5)
+        at_boundary = schedule.events(0.3, 1)
+        assert any(round(t / 0.1) == 3 for t, _, _ in at_boundary)
+        # The boundary tick's *timestamp* is clamped to the horizon —
+        # an accumulated 0.30000000000000004 would be enqueued past
+        # the kernel's run window and never execute.
+        assert all(t <= 0.3 for t, _, _ in at_boundary)
+        assert max(t for t, _, _ in at_boundary) == 0.3
+
+    def test_single_tick_tolerance(self):
+        # The k=1 case goes through the same tolerance as every other
+        # tick: a float-computed interval nominally equal to the
+        # horizon still fires.
+        assert tick_count(0.1 + 0.1 + 0.1, 0.3) == 1
+        assert tick_count(10.0, -5.0) == 0
+
+    def test_rewire_final_tick_not_lost_to_float_drift(self):
+        schedule = RewireSchedule(ClusterGraph.complete(4),
+                                  interval=0.1, active_extras=1)
+        assert schedule.events(0.3, 3) == schedule.events(0.35, 3)
+
+
+class TestTInterval:
+    def make(self, graph=None, interval=10.0, T=2):
+        return TIntervalSchedule(graph or ClusterGraph.grid(3, 3),
+                                 interval, T)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            self.make(interval=0.0)
+        with pytest.raises(ConfigError):
+            self.make(T=0)
+        with pytest.raises(TopologyError):
+            self.make(graph=ClusterGraph(4, [(0, 1), (2, 3)]))
+
+    def test_not_static(self):
+        assert not self.make().is_static
+
+    def test_deterministic(self):
+        assert self.make().events(500.0, 9) == self.make().events(500.0, 9)
+        assert self.make().initial_down(9) == self.make().initial_down(9)
+        assert self.make().events(500.0, 9) != self.make().events(500.0, 10)
+
+    def test_initial_down_leaves_spanning_tree(self):
+        schedule = self.make()
+        graph = schedule.graph
+        down = set(schedule.initial_down(4))
+        up = [e for e in graph.edges if e not in down]
+        assert len(up) == graph.num_clusters - 1  # a spanning tree
+        from repro.topology.graphs import adjacency_from_edges, is_connected
+
+        assert is_connected(
+            adjacency_from_edges(graph.num_clusters, sorted(up)))
+
+    def _active_per_interval(self, schedule, seed, intervals):
+        """Replay initial_down + events into per-interval edge sets."""
+        graph = schedule.graph
+        active = set(graph.edges) - set(schedule.initial_down(seed))
+        events = schedule.events(intervals * schedule.interval, seed)
+        per_interval = []
+        index = 0
+        for i in range(intervals):
+            t_end = (i + 1) * schedule.interval
+            per_interval.append(frozenset(active))
+            while index < len(events) and events[index][0] <= t_end:
+                _, edge, is_active = events[index]
+                if is_active:
+                    active.add(edge)
+                else:
+                    active.discard(edge)
+                index += 1
+        return per_interval
+
+    @pytest.mark.parametrize("T", [1, 2, 3])
+    def test_t_interval_connectivity_holds(self, T):
+        """Every sliding window of T intervals shares a stable
+        connected spanning subgraph — the defining property."""
+        from repro.topology.graphs import adjacency_from_edges, is_connected
+
+        schedule = self.make(T=T)
+        n = schedule.graph.num_clusters
+        per_interval = self._active_per_interval(schedule, 6, 6 * T)
+        for start in range(len(per_interval) - T + 1):
+            stable = frozenset.intersection(
+                *per_interval[start:start + T])
+            assert is_connected(
+                adjacency_from_edges(n, sorted(stable))), \
+                f"window [{start}, {start + T}) has no stable " \
+                f"connected spanning subgraph"
+
+    def test_backbone_rotates(self):
+        # The adversary actually changes the surviving subgraph:
+        # some epoch transition toggles edges.
+        schedule = self.make(T=1)
+        assert schedule.events(200.0, 6)
+
+    def test_registered(self):
+        built = build_schedule("t_interval", ClusterGraph.ring(5),
+                               interval=5.0, T=3)
+        assert isinstance(built, TIntervalSchedule)
+
+
+class TestAdversarialSweep:
+    def make(self, graph=None, interval=10.0):
+        return AdversarialSweepSchedule(graph or ClusterGraph.line(5),
+                                        interval)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            self.make(interval=-1.0)
+        with pytest.raises(TopologyError):
+            self.make(graph=ClusterGraph.line(1))
+        # Two clusters have one cut position: the walk would never
+        # move and the only edge would stay down forever.
+        with pytest.raises(TopologyError):
+            self.make(graph=ClusterGraph.line(2))
+
+    def test_seed_independent_and_deterministic(self):
+        # The sweep is the same deterministic cut walk for every seed,
+        # so stabilization measurements are comparable across seeds.
+        assert self.make().events(200.0, 1) == self.make().events(200.0, 2)
+
+    def test_walks_every_cut_position(self):
+        schedule = self.make()
+        down = set(schedule.initial_down(0))
+        assert down == {(0, 1)}  # cut position 0 on a line
+        seen_down = [frozenset(down)]
+        for _, edge, active in schedule.events(100.0, 0):
+            if active:
+                down.discard(edge)
+            else:
+                down.add(edge)
+            seen_down.append(frozenset(down))
+        # On a line every interior edge is the cut exactly once per
+        # sweep; the union of down sets covers all edges.
+        assert frozenset.union(*seen_down) == set(schedule.graph.edges)
+
+    def test_exactly_one_cut_down_at_a_time_on_a_line(self):
+        schedule = self.make()
+        down = set(schedule.initial_down(0))
+        events = schedule.events(200.0, 0)
+        boundaries = sorted({t for t, _, _ in events})
+        index = 0
+        for t in boundaries:
+            while index < len(events) and events[index][0] <= t:
+                _, edge, active = events[index]
+                (down.discard if active else down.add)(edge)
+                index += 1
+            assert len(down) == 1  # a line cut is a single edge
+
+    def test_registered(self):
+        built = build_schedule("adversarial_sweep", ClusterGraph.ring(4),
+                               interval=2.0)
+        assert isinstance(built, AdversarialSweepSchedule)
+
+
+class TestRewireConnectivity:
+    #: 4 clusters; core (0,1) does not span, so random chord draws can
+    #: disconnect the active graph.
+    EDGES = [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2), (1, 3)]
+
+    def make(self, require_connected, active_extras=2):
+        graph = ClusterGraph(4, list(self.EDGES))
+        return RewireSchedule(graph, interval=10.0,
+                              active_extras=active_extras,
+                              core=[(0, 1)],
+                              require_connected=require_connected)
+
+    def _disconnected_draws(self, schedule, seed, horizon=2000.0):
+        """Count *intervals* (per-tick end states) whose core+active
+        graph is disconnected."""
+        from repro.topology.graphs import adjacency_from_edges, is_connected
+
+        active = {e for e in schedule.chords
+                  if e not in set(schedule.initial_down(seed))}
+        by_tick: dict[float, list] = {}
+        for t, edge, is_active in schedule.events(horizon, seed):
+            by_tick.setdefault(t, []).append((edge, is_active))
+        states = [frozenset(active)]
+        for t in sorted(by_tick):
+            for edge, is_active in by_tick[t]:
+                (active.add if is_active else active.discard)(edge)
+            states.append(frozenset(active))
+        bad = 0
+        for state in states:
+            edges = sorted(schedule.core | state)
+            if not is_connected(adjacency_from_edges(4, edges)):
+                bad += 1
+        return bad
+
+    def test_unconstrained_draws_can_disconnect(self):
+        # Documents the behavior the flag exists for: without it, some
+        # draw leaves the active graph disconnected.
+        assert self._disconnected_draws(self.make(False), seed=1) > 0
+
+    def test_require_connected_never_disconnects(self):
+        assert self._disconnected_draws(self.make(True), seed=1) == 0
+
+    def test_require_connected_is_deterministic(self):
+        a = self.make(True).events(500.0, 3)
+        b = self.make(True).events(500.0, 3)
+        assert a == b
+        assert a != self.make(True).events(500.0, 4)
+
+    def test_default_off_preserves_legacy_stream(self):
+        # The flag must not perturb existing schedules: default-off
+        # draws are byte-identical to the pre-flag implementation
+        # (one sample() per tick, no connectivity filtering).
+        import random
+
+        from repro.sim.rng import derive_seed
+
+        schedule = self.make(False)
+        rng = random.Random(derive_seed(7, "topology/rewire"))
+        expected_initial = set(schedule.chords) - set(
+            rng.sample(schedule.chords, schedule.active_extras))
+        assert set(schedule.initial_down(7)) == expected_initial
+
+    def test_impossible_requirement_rejected(self):
+        graph = ClusterGraph(4, [(0, 1), (2, 3)])
+        with pytest.raises(TopologyError):
+            RewireSchedule(graph, interval=1.0, active_extras=1,
+                           core=[(0, 1)], require_connected=True)
+
+
 class TestScheduleRegistry:
     def test_builtins(self):
-        for name in ("static", "churn", "rewire"):
+        for name in ("static", "churn", "rewire", "t_interval",
+                     "adversarial_sweep"):
             assert name in SCHEDULES
 
     def test_build_by_name(self):
@@ -249,3 +505,61 @@ class TestDynamicRuns:
                     .params(params).rounds(4).seed(2).build().run())
 
         assert run().series == run().series
+
+
+class TestScheduleExtension:
+    def test_extending_run_does_not_replay_boundary_event(self):
+        """Review regression: a horizon-boundary event (timestamp
+        clamped to the first horizon) must not be re-enqueued when the
+        run is extended — the applied prefix is skipped by index."""
+        from repro.core.protocol import SyncProtocol, System, BuildContext
+
+        class Recorder(SyncProtocol):
+            name = "test_recorder"
+            supports_dynamic_topology = True
+            needs_graph = True
+            needs_params = False
+
+            def build_nodes(self, ctx):
+                from repro.net.network import Network
+                from repro.sim.kernel import Simulator
+
+                self.sim = Simulator()
+                self.network = Network(self.sim, d=1.0, u=0.0)
+                for c in range(ctx.graph.num_clusters):
+                    self.network.add_node(c)
+                for a, b in ctx.graph.edges:
+                    self.network.add_link(a, b)
+                self.applied = []
+
+            def apply_edge_event(self, edge, active):
+                super().apply_edge_event(edge, active)
+                self.applied.append((self.sim.now, edge, active))
+
+            def start(self):
+                pass
+
+            def horizon(self):
+                return 0.3
+
+            def collect(self):
+                return None
+
+        graph = ClusterGraph.ring(4)
+        schedule = EdgeChurnSchedule(graph, interval=0.1, churn=0.5)
+        protocol = Recorder()
+        system = System(protocol, BuildContext(graph=graph,
+                                               schedule=schedule,
+                                               seed=1))
+        system.start(0.3)
+        protocol.sim.run(0.3)
+        first = list(protocol.applied)
+        # The boundary tick executed (clamped to the horizon).
+        assert any(t == 0.3 for t, _, _ in first)
+        system._apply_schedule(0.5)
+        protocol.sim.run(0.5)
+        # No event of the first horizon was applied twice.
+        assert protocol.applied[:len(first)] == first
+        replayed = [e for e in protocol.applied[len(first):]
+                    if e[0] <= 0.3 + 1e-9]
+        assert replayed == []
