@@ -1,14 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test verify list run bench-quick bench bench-record
+.PHONY: test verify list run bench-quick bench-quick-ci bench bench-record
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 # What CI runs (.github/workflows/ci.yml): tier-1 tests + the
-# pre-merge smoke check.
-verify: test bench-quick
+# pre-merge smoke check in its non-strict form (the throughput
+# comparison against BENCH_kernel.json is hardware-sensitive, so only
+# the explicit `make bench-quick` gate hard-fails on it).
+verify: test bench-quick-ci
 
 # List every registered experiment (the T1-T12 registry).
 list:
@@ -20,7 +22,14 @@ run:
 	$(PYTHON) -m repro run $(T) $(ARGS)
 
 # Pre-merge smoke check: kernel/substrate microbenchmarks, < 60 s.
+# --check asserts event throughput within 10% of BENCH_kernel.json;
+# use it on hardware comparable to the recorded baseline.  CI (and
+# `make verify`) run the plain form, where a regression is a
+# non-fatal warning.
 bench-quick:
+	$(PYTHON) -m repro bench-quick --check
+
+bench-quick-ci:
 	$(PYTHON) -m repro bench-quick
 
 # Full pytest-benchmark suite (tables T1-T12 + kernel microbenches).
@@ -29,7 +38,8 @@ bench:
 
 # Append current substrate throughput to BENCH_kernel.json.  Entries
 # are stamped with cpu_count; recording on a 1-CPU container prints a
-# non-fatal warning (pool speedups are meaningless there) — prefer
-# re-recording on multi-core hardware.
+# non-fatal warning (pool speedups are meaningless there), and is
+# refused outright (unless FORCE=1) when it would bury a multi-core
+# baseline — prefer re-recording on multi-core hardware.
 bench-record:
-	$(PYTHON) benchmarks/record_baseline.py
+	$(PYTHON) benchmarks/record_baseline.py $(if $(FORCE),--force)

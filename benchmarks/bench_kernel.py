@@ -9,6 +9,7 @@ experiment suite.
 from repro.clocks import ConstantRate, HardwareClock, LogicalClock
 from repro.core.params import Parameters
 from repro.core.system import FtgcsSystem
+from repro.harness.microbench import _delivery_flood
 from repro.sim import Simulator
 from repro.topology import ClusterGraph
 
@@ -48,6 +49,26 @@ def test_alarm_inversion_with_rate_changes(benchmark):
         return len(fired)
 
     assert benchmark(run) == 100
+
+
+def test_delivery_batching_throughput_d64(benchmark):
+    """The batched delivery fast path on a delivery-bound D=64 flood.
+
+    The same workload through the legacy per-message-event path is
+    ``test_delivery_legacy_throughput_d64`` below; the batched run
+    must deliver the identical message stream (same count, same
+    handler order) with fewer kernel events.
+    """
+    delivered, kernel_events = benchmark(_delivery_flood, True, 64, 6)
+    assert delivered == 15_732
+    assert kernel_events < delivered  # one wake-up per batch
+
+
+def test_delivery_legacy_throughput_d64(benchmark):
+    """Reference: the unbatched per-message event stream at D=64."""
+    delivered, kernel_events = benchmark(_delivery_flood, False, 64, 6)
+    assert delivered == 15_732
+    assert kernel_events == delivered  # one kernel event per message
 
 
 def test_system_round_throughput(benchmark):

@@ -2,11 +2,15 @@
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/record_baseline.py
+    PYTHONPATH=src python benchmarks/record_baseline.py [--force]
 
 Appends one entry per invocation (keyed by git revision when
 available) so the perf trajectory of the kernel and the system hot
-path is tracked PR over PR.  The measurements are the shared
+path is tracked PR over PR.  When the latest recorded entry came from
+a multi-core machine, recording from a 1-CPU container is refused
+(``--force`` overrides): a single-core entry at the head of the
+history would silently become the comparison baseline for
+``bench-quick --check`` and misrepresent the trajectory.  The measurements are the shared
 microbenchmarks of :mod:`repro.harness.microbench`: event dispatch,
 repeating-event dispatch, alarm inversion under rate-change storms,
 full system rounds, and the sweep grid (serial vs pool, with the
@@ -41,12 +45,43 @@ def git_revision() -> str | None:
     return out.stdout.strip() or None
 
 
-def main() -> int:
+def _latest_cpu_count(history: list[dict]) -> int | None:
+    for entry in reversed(history):
+        count = entry.get("cpu_count")
+        if count is not None:
+            return count
+    return None
+
+
+def _load_history() -> list[dict]:
+    if not OUTPUT.exists():
+        return []
+    try:
+        return json.loads(OUTPUT.read_text())
+    except json.JSONDecodeError:
+        print(f"warning: {OUTPUT} was unreadable; starting fresh",
+              file=sys.stderr)
+        return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    force = "--force" in (sys.argv[1:] if argv is None else argv)
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.harness.microbench import microbench_table, run_all_micro
 
+    history = _load_history()
     cpu_count = os.cpu_count()
     if cpu_count is not None and cpu_count <= 1:
+        recorded = _latest_cpu_count(history)
+        if recorded is not None and recorded > 1 and not force:
+            print(
+                f"error: the latest BENCH_kernel.json entry was "
+                f"recorded on {recorded} CPUs; refusing to append a "
+                f"1-CPU entry on top of it (it would become the "
+                f"bench-quick comparison baseline).  Re-record on "
+                f"comparable hardware, or pass --force to record "
+                f"anyway.", file=sys.stderr)
+            return 1
         # Non-fatal: the entry is still recorded (the cpu_count stamp
         # lets readers discount it), but warn loudly so single-core
         # container numbers don't silently pollute the trajectory.
@@ -66,13 +101,6 @@ def main() -> int:
         "results": {r["name"]: r for r in results},
     }
 
-    history: list[dict] = []
-    if OUTPUT.exists():
-        try:
-            history = json.loads(OUTPUT.read_text())
-        except json.JSONDecodeError:
-            print(f"warning: {OUTPUT} was unreadable; starting fresh",
-                  file=sys.stderr)
     history.append(entry)
     OUTPUT.write_text(json.dumps(history, indent=2) + "\n")
 

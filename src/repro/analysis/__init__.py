@@ -10,13 +10,15 @@ from repro.analysis.bounds import (
 from repro.analysis.metrics import (
     ClusterExtrema,
     SkewSnapshot,
+    accumulate_grouped,
     cluster_extrema,
     compute_snapshot,
     compute_snapshot_grouped,
+    log_log_fit,
     pulse_diameters,
     unanimity_by_round,
 )
-from repro.analysis.sampling import SkewMaxima, SkewSampler
+from repro.analysis.sampling import SampleBuffer, SkewMaxima, SkewSampler
 from repro.analysis.traces import (
     ClockTraceRecorder,
     Trace,
@@ -34,11 +36,14 @@ __all__ = [
     "system_failure_probability",
     "ClusterExtrema",
     "SkewSnapshot",
+    "accumulate_grouped",
     "cluster_extrema",
     "compute_snapshot",
     "compute_snapshot_grouped",
+    "log_log_fit",
     "pulse_diameters",
     "unanimity_by_round",
+    "SampleBuffer",
     "SkewMaxima",
     "SkewSampler",
 ]

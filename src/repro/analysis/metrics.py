@@ -19,6 +19,7 @@ computed from per-cluster extrema in ``O(|C| + |E|)`` per snapshot.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
@@ -83,6 +84,34 @@ def compute_snapshot_grouped(time: float,
     include_edges:
         Also record the per-edge cluster-skew map (costlier to store).
     """
+    edge_skews: dict[tuple[int, int], float] | None = (
+        {} if include_edges else None)
+    global_skew, max_intra, max_local_cluster, max_local_node = (
+        accumulate_grouped(groups, cluster_edges, edge_out=edge_skews))
+    return SkewSnapshot(
+        time=time, global_skew=global_skew,
+        max_intra_cluster=max_intra,
+        max_local_cluster=max_local_cluster, max_local_node=max_local_node,
+        edge_skews=edge_skews if edge_skews is not None else {})
+
+
+def accumulate_grouped(groups: list[tuple[int, list[float]]],
+                       cluster_edges: list[tuple[int, int]],
+                       edge_maxima: dict[tuple[int, int], float]
+                       | None = None,
+                       edge_out: dict[tuple[int, int], float]
+                       | None = None) -> tuple[float, float, float, float]:
+    """The allocation-free core of :func:`compute_snapshot_grouped`.
+
+    Computes ``(global_skew, max_intra_cluster, max_local_cluster,
+    max_local_node)`` as plain floats — no :class:`SkewSnapshot` is
+    built, which is what lets a buffered sampler take thousands of
+    samples without allocating one object per tick.  ``edge_maxima``
+    (running per-edge maxima) is updated in place when given;
+    ``edge_out`` (this sample's per-edge skews) is filled when given.
+    Both see exactly the values :func:`compute_snapshot_grouped` would
+    have produced.
+    """
     lows: dict[int, float] = {}
     highs: dict[int, float] = {}
     global_low = global_high = 0.0
@@ -107,11 +136,11 @@ def compute_snapshot_grouped(time: float,
         if spread > max_intra:
             max_intra = spread
     if first:
-        return SkewSnapshot(time, 0.0, 0.0, 0.0, 0.0)
+        return (0.0, 0.0, 0.0, 0.0)
 
     max_local_cluster = 0.0
     max_local_node = max_intra  # clique edges are node edges too
-    edge_skews: dict[tuple[int, int], float] = {}
+    track = edge_maxima is not None or edge_out is not None
     for edge in cluster_edges:
         a, b = edge
         la = lows.get(a)
@@ -126,13 +155,14 @@ def compute_snapshot_grouped(time: float,
         node_skew = max(ha - lb, hb - la)
         if node_skew > max_local_node:
             max_local_node = node_skew
-        if include_edges:
-            edge_skews[edge] = cluster_skew
-    return SkewSnapshot(
-        time=time, global_skew=global_high - global_low,
-        max_intra_cluster=max_intra,
-        max_local_cluster=max_local_cluster, max_local_node=max_local_node,
-        edge_skews=edge_skews)
+        if track:
+            if edge_out is not None:
+                edge_out[edge] = cluster_skew
+            if edge_maxima is not None \
+                    and cluster_skew > edge_maxima.get(edge, 0.0):
+                edge_maxima[edge] = cluster_skew
+    return (global_high - global_low, max_intra, max_local_cluster,
+            max_local_node)
 
 
 def compute_snapshot(time: float,
@@ -158,6 +188,45 @@ def compute_snapshot(time: float,
               for c, vals in values_by_cluster.items()]
     return compute_snapshot_grouped(time, groups, cluster_edges,
                                     include_edges=include_edges)
+
+
+def log_log_fit(xs: "list[float]", ys: "list[float]"
+                ) -> tuple[float, float, float]:
+    """Least-squares power-law fit ``ln y = intercept + slope * ln x``.
+
+    Returns ``(slope, intercept, rms_residual)`` where the residual is
+    the root-mean-square error of the fit in log space.  This is the
+    Gradient-TRIX-style regression: fitting measured local skew
+    against the trigger unit ``kappa`` (or against the diameter)
+    should give slope ~ 1 with a small residual when the skew tracks
+    kappa proportionally.  With fewer than two distinct ``x`` values
+    the slope is undefined and ``(nan, nan, nan)`` is returned;
+    inputs must be positive.
+
+    Pure float arithmetic in input order — no randomness, no
+    environment dependence — so finish steps using it stay
+    bit-identical between serial and pooled sweeps.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"log_log_fit needs matched inputs: {len(xs)} vs {len(ys)}")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("log_log_fit needs positive inputs")
+    n = len(xs)
+    if n < 2 or len(set(xs)) < 2:
+        nan = float("nan")
+        return (nan, nan, nan)
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    sse = sum((y - (intercept + slope * x)) ** 2
+              for x, y in zip(lx, ly))
+    return (slope, intercept, math.sqrt(sse / n))
 
 
 def pulse_diameters(pulse_log: dict[tuple[int, int], list[tuple[int, float]]]

@@ -15,24 +15,55 @@ Sampling is also the measurement hot path — for every event the
 algorithm fires, the sampler reads every correct clock several times
 per round.  The sampler therefore (a) re-arms one repeating kernel
 event (:meth:`~repro.sim.kernel.Simulator.call_repeating`) instead of
-allocating a fresh event per tick, and (b) accepts *grouped* collectors
+allocating a fresh event per tick, (b) accepts *grouped* collectors
 that fill preallocated flat per-cluster buffers
 (:func:`~repro.analysis.metrics.compute_snapshot_grouped`) instead of
-rebuilding nested dicts each sample.  Collectors returning the legacy
-``{cluster: {node: value}}`` form keep working.
+rebuilding nested dicts each sample, and (c) when a series is
+recorded, appends each tick's metrics into a preallocated
+:class:`SampleBuffer` (numpy-backed where available, :mod:`array`
+fallback) through the allocation-free
+:func:`~repro.analysis.metrics.accumulate_grouped` kernel — no
+:class:`~repro.analysis.metrics.SkewSnapshot` object is built per
+tick; the snapshot list materializes lazily on access and is
+bit-identical to the historical eager form.  Collectors returning the
+legacy ``{cluster: {node: value}}`` form keep working.
+
+Horizon boundary rule
+---------------------
+A tick landing nominally at ``t == horizon`` **fires** — the same rule
+periodic topology schedules pinned down
+(:func:`~repro.topology.schedule.tick_count` /
+:func:`~repro.topology.schedule.clamp_tick`).  The repeating-event
+form accumulates ``t += interval`` and is therefore exposed to the
+same float drift that can push the final tick a few ulps past the
+horizon, where ``Simulator.run(until=horizon)`` never fires it.  Pass
+``horizon=`` to :meth:`SkewSampler.start` when the run's end is known:
+the sampler then derives the tick count by division and clamps the
+final tick's timestamp to the horizon, so a run of exactly ``N``
+intervals always yields ``N + 1`` samples (the start sample plus one
+per tick).  Without a horizon (the open-ended system path, where runs
+may be extended) the legacy repeating event is used unchanged.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Callable, Union
 
 from repro.analysis.metrics import (
     SkewSnapshot,
+    accumulate_grouped,
     compute_snapshot_grouped,
 )
 from repro.errors import ConfigError
 from repro.sim.kernel import Simulator
+from repro.topology.schedule import clamp_tick, tick_count
+
+try:  # pragma: no cover - exercised via whichever backend exists
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 #: ``collector()`` returning correct clock values either grouped as
 #: ``[(cluster, values), ...]`` (fast path, buffers may be reused) or
@@ -40,6 +71,75 @@ from repro.sim.kernel import Simulator
 Collector = Callable[[], Union[
     "list[tuple[int, list[float]]]",
     "dict[int, dict[int, float]]"]]
+
+#: Per-sample metric columns held by :class:`SampleBuffer`, in order.
+SAMPLE_COLUMNS = ("time", "global_skew", "max_intra_cluster",
+                  "max_local_cluster", "max_local_node")
+
+
+class SampleBuffer:
+    """Flat preallocated per-metric columns for skew samples.
+
+    One growable float column per entry of :data:`SAMPLE_COLUMNS`.
+    With numpy available the columns are preallocated ``float64``
+    arrays grown by doubling; otherwise :class:`array.array` columns
+    (C doubles, amortized append) are used.  Either way, recording a
+    sample costs five scalar stores — no dict, tuple, or dataclass is
+    allocated per tick.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1: {capacity!r}")
+        self._length = 0
+        if _np is not None:
+            self._numpy = True
+            self._columns = [_np.empty(capacity) for _ in SAMPLE_COLUMNS]
+        else:
+            self._numpy = False
+            self._columns = [array("d") for _ in SAMPLE_COLUMNS]
+
+    def __len__(self) -> int:
+        return self._length
+
+    def append(self, time: float, global_skew: float, intra: float,
+               local_cluster: float, local_node: float) -> None:
+        """Record one sample (five scalar stores on the hot path)."""
+        i = self._length
+        columns = self._columns
+        if self._numpy:
+            if i == len(columns[0]):
+                self._columns = columns = [
+                    _np.concatenate([col, _np.empty(len(col))])
+                    for col in columns]
+            columns[0][i] = time
+            columns[1][i] = global_skew
+            columns[2][i] = intra
+            columns[3][i] = local_cluster
+            columns[4][i] = local_node
+        else:
+            columns[0].append(time)
+            columns[1].append(global_skew)
+            columns[2].append(intra)
+            columns[3].append(local_cluster)
+            columns[4].append(local_node)
+        self._length = i + 1
+
+    def column(self, name: str) -> list[float]:
+        """One metric column as a plain float list (length == len(self))."""
+        try:
+            index = SAMPLE_COLUMNS.index(name)
+        except ValueError:
+            raise ConfigError(f"unknown sample column {name!r}; known: "
+                              f"{SAMPLE_COLUMNS}") from None
+        return [float(v) for v in self._columns[index][:self._length]]
+
+    def row(self, index: int) -> tuple[float, float, float, float, float]:
+        """One sample's ``(time, global, intra, local_cluster,
+        local_node)``."""
+        if not 0 <= index < self._length:
+            raise IndexError(index)
+        return tuple(float(col[index]) for col in self._columns)
 
 
 @dataclass
@@ -79,7 +179,8 @@ class SkewSampler:
     cluster_edges:
         Edge list of the cluster graph ``G``.
     record_series:
-        Keep every :class:`~repro.analysis.metrics.SkewSnapshot`.
+        Keep the full metric series (buffered; ``series`` materializes
+        :class:`~repro.analysis.metrics.SkewSnapshot` objects lazily).
     track_edges:
         Maintain per-edge cluster-skew maxima (needed for profiles).
     """
@@ -98,21 +199,121 @@ class SkewSampler:
         self._record_series = record_series
         self._track_edges = track_edges
         self.maxima = SkewMaxima()
-        self.series: list[SkewSnapshot] = []
+        self._buffer = SampleBuffer() if record_series else None
+        #: Per-sample edge-skew dicts (parallel to the buffer); only
+        #: kept when both the series and edges are recorded.
+        self._edge_series: list[dict[tuple[int, int], float]] = []
         self._event = None
+        #: Guards double-start; distinct from ``_event`` because the
+        #: horizon-bounded form clears its event once the tick budget
+        #: is exhausted while remaining logically started (``stop()``
+        #: resets it, so stop-then-restart keeps working).
+        self._started = False
+        #: One-shot scheduling state for the horizon-bounded form.
+        self._ticks_remaining = 0
+        self._next_tick = 0.0
+        self._horizon: float | None = None
 
-    def start(self) -> None:
-        """Take a first sample now and re-arm every ``interval``."""
-        if self._event is not None:
+    @property
+    def series(self) -> list[SkewSnapshot]:
+        """The recorded series as :class:`SkewSnapshot` objects.
+
+        Materialized from the flat buffer on access (the buffer itself
+        never allocates per tick); values are bit-identical to the
+        historical eagerly-built list.
+        """
+        buffer = self._buffer
+        if buffer is None:
+            return []
+        edge_series = self._edge_series
+        if edge_series:
+            return [SkewSnapshot(*buffer.row(i), edge_skews=edge_series[i])
+                    for i in range(len(buffer))]
+        return [SkewSnapshot(*buffer.row(i)) for i in range(len(buffer))]
+
+    def start(self, horizon: float | None = None) -> None:
+        """Take a first sample now and re-arm every ``interval``.
+
+        ``horizon`` opts into the horizon boundary rule (module
+        docstring): exactly ``tick_count(interval, horizon - now)``
+        further ticks fire, the final one clamped to ``horizon`` so
+        float drift in the accumulated tick time can never drop it
+        past a ``run(until=horizon)`` window.  Without it the sampler
+        rides one open-ended repeating event (the historical
+        behavior, bit-identical for existing callers).
+        """
+        if self._started:
             raise ConfigError("sampler already started")
+        self._started = True
+        now = self._sim.now
+        if horizon is not None:
+            if horizon < now:
+                raise ConfigError(
+                    f"horizon {horizon!r} precedes now {now!r}")
+            self.sample_now()
+            self._horizon = horizon
+            self._ticks_remaining = tick_count(self._interval,
+                                               horizon - now)
+            self._next_tick = now
+            self._arm_next()
+            return
         self.sample_now()
         self._event = self._sim.call_repeating(self._interval,
-                                               self.sample_now)
+                                               self._sample_tick)
+
+    def _arm_next(self) -> None:
+        if self._ticks_remaining <= 0:
+            self._event = None
+            return
+        self._ticks_remaining -= 1
+        t = self._next_tick + self._interval
+        self._next_tick = t
+        self._event = self._sim.call_at(
+            clamp_tick(t, self._horizon), self._bounded_tick)
+
+    def _bounded_tick(self) -> None:
+        self._sample_tick()
+        self._arm_next()
 
     def stop(self) -> None:
         if self._event is not None:
             self._sim.cancel(self._event)
             self._event = None
+        self._ticks_remaining = 0
+        self._started = False
+
+    def _sample_tick(self) -> None:
+        """Take one sample without allocating a snapshot (hot path)."""
+        values = self._collector()
+        if isinstance(values, dict):
+            values = [(c, list(vals.values()))
+                      for c, vals in values.items()]
+        maxima = self.maxima
+        record = self._record_series
+        edge_out = None
+        if self._track_edges:
+            if record:
+                edge_out = {}
+                self._edge_series.append(edge_out)
+            global_skew, intra, local_cluster, local_node = (
+                accumulate_grouped(values, self._cluster_edges,
+                                   edge_maxima=maxima.edge_maxima,
+                                   edge_out=edge_out))
+        else:
+            global_skew, intra, local_cluster, local_node = (
+                accumulate_grouped(values, self._cluster_edges))
+        if global_skew > maxima.global_skew:
+            maxima.global_skew = global_skew
+        if intra > maxima.intra_cluster:
+            maxima.intra_cluster = intra
+        if local_cluster > maxima.local_cluster:
+            maxima.local_cluster = local_cluster
+        if local_node > maxima.local_node:
+            maxima.local_node = local_node
+        maxima.samples += 1
+        if record:
+            self._buffer.append(self._sim.now, global_skew, intra,
+                                local_cluster, local_node)
 
     def sample_now(self) -> SkewSnapshot:
         """Take one sample immediately (also updates maxima)."""
@@ -125,5 +326,10 @@ class SkewSampler:
             include_edges=self._track_edges)
         self.maxima.update(snap)
         if self._record_series:
-            self.series.append(snap)
+            self._buffer.append(snap.time, snap.global_skew,
+                                snap.max_intra_cluster,
+                                snap.max_local_cluster,
+                                snap.max_local_node)
+            if self._track_edges:
+                self._edge_series.append(snap.edge_skews)
         return snap

@@ -185,9 +185,13 @@ class GcsSingleSystem:
     def __init__(self, graph: ClusterGraph, params: GcsParams,
                  seed: int = 0,
                  liars: dict[int, dict[int, int]] | None = None,
-                 rate_spread: bool = True) -> None:
+                 rate_spread: bool = True,
+                 batched_delivery: bool = True) -> None:
         """``liars`` maps a node id to its per-neighbor phantom
-        directions (see :class:`GcsLiarNode`)."""
+        directions (see :class:`GcsLiarNode`).  ``batched_delivery``
+        selects the network's delivery path (measurements are
+        bit-identical either way; ``False`` is the legacy per-message
+        event stream for A/B benchmarks)."""
         self.graph = graph
         self.params = params
         self.sim = Simulator()
@@ -195,7 +199,8 @@ class GcsSingleSystem:
         self.network = Network(
             self.sim, d=params.d, u=params.u,
             default_delay_model=UniformDelay(
-                params.d, params.u, self.rng.stream("delays")))
+                params.d, params.u, self.rng.stream("delays")),
+            batched=batched_delivery)
         n = graph.num_clusters
         for node_id in range(n):
             self.network.add_node(node_id)

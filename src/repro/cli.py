@@ -45,6 +45,10 @@ BENCH_QUICK = "bench-quick"
 #: fast, so the registry -> sweep -> table path is covered pre-merge).
 BENCH_SMOKE_EXPERIMENT = "t12"
 
+#: Allowed relative event-throughput regression against the recorded
+#: ``BENCH_kernel.json`` baseline before ``bench-quick`` complains.
+BASELINE_TOLERANCE = 0.10
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -100,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--processes", type=int, default=None, metavar="N",
         help="worker processes for sweep-backed microbenchmarks")
+    bench_p.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) when event throughput falls more than "
+             f"{int(BASELINE_TOLERANCE * 100)}%% below the latest "
+             "BENCH_kernel.json baseline (always printed as a "
+             "warning otherwise)")
 
     return parser
 
@@ -210,15 +220,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _baseline_event_throughput() -> float | None:
+    """Latest recorded ``event_throughput`` rate from
+    ``BENCH_kernel.json`` (searched at the repo root relative to this
+    package, then the working directory), or ``None``."""
+    import json
+    from pathlib import Path
+
+    candidates = [Path(__file__).resolve().parents[2] / "BENCH_kernel.json",
+                  Path("BENCH_kernel.json")]
+    for path in candidates:
+        if not path.is_file():
+            continue
+        try:
+            history = json.loads(path.read_text())
+            entry = history[-1]
+            return float(
+                entry["results"]["event_throughput"]["events_per_second"])
+        except (json.JSONDecodeError, KeyError, IndexError, TypeError,
+                ValueError):
+            return None
+    return None
+
+
+def _check_baseline(results: list[dict], strict: bool) -> int:
+    """Compare measured event throughput against the recorded baseline.
+
+    Within ``BASELINE_TOLERANCE`` (or faster) passes silently with one
+    status line; a larger regression prints a warning and — only with
+    ``strict`` (``make bench-quick`` / ``--check``) — fails the run.
+    CI invokes the plain form, so there the warning is non-fatal
+    (shared runners are too noisy to gate merges on wall clock).
+    """
+    baseline = _baseline_event_throughput()
+    if baseline is None or baseline <= 0:
+        print("[baseline: no usable BENCH_kernel.json entry; skipping "
+              "throughput check]", file=sys.stderr)
+        return 0
+    measured = next(
+        (r["events_per_second"] for r in results
+         if r["name"] == "event_throughput"), None)
+    if measured is None:
+        return 0
+    ratio = measured / baseline
+    if ratio >= 1.0 - BASELINE_TOLERANCE:
+        print(f"[baseline: event throughput at {ratio:.0%} of "
+              f"BENCH_kernel.json ({measured:,.0f} vs "
+              f"{baseline:,.0f} events/s) — ok]", file=sys.stderr)
+        return 0
+    print(f"warning: event throughput regressed to {ratio:.0%} of the "
+          f"recorded baseline ({measured:,.0f} vs {baseline:,.0f} "
+          f"events/s; tolerance {BASELINE_TOLERANCE:.0%})",
+          file=sys.stderr)
+    return 1 if strict else 0
+
+
 def run_bench_quick(quick: bool = True,
-                    processes: int | None = None) -> int:
-    """Substrate microbenchmarks plus one registry experiment."""
+                    processes: int | None = None,
+                    check: bool = False) -> int:
+    """Substrate microbenchmarks plus one registry experiment.
+
+    ``check=True`` (``--check``; what ``make bench-quick`` passes)
+    turns a >10% event-throughput regression against
+    ``BENCH_kernel.json`` into a failure instead of a warning.
+    """
     from repro.harness.microbench import microbench_table, run_all_micro
 
     started = time.perf_counter()
     results = run_all_micro(quick=quick, processes=processes)
     table = microbench_table(results)
     print(table.format())
+    status = _check_baseline(results, strict=check)
     # One registry experiment end-to-end: covers the registry -> plan
     # -> sweep -> table wiring before merging.
     smoke = run_experiment(BENCH_SMOKE_EXPERIMENT, quick=True,
@@ -229,7 +301,7 @@ def run_bench_quick(quick: bool = True,
           f"{len(smoke.rows)} rows]")
     print(f"[{BENCH_QUICK} finished in "
           f"{time.perf_counter() - started:.1f}s]")
-    return 0
+    return status
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -248,7 +320,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_show(args)
     if args.command == BENCH_QUICK:
         return run_bench_quick(quick=not args.full,
-                               processes=args.processes)
+                               processes=args.processes,
+                               check=args.check)
     if args.command == "run":
         return _cmd_run(args)
     parser.print_usage()

@@ -32,8 +32,11 @@ its paired bring-up too: the receiver side resets the per-sender level
 decode (quarantining arrivals for ``d`` so pre-outage in-flight pulses
 cannot inflate the fresh count) and the sender side re-announces its
 current level unicast over the fresh links ``U`` later (capped at
-:data:`MAX_REANNOUNCE_LEVELS`; capping and quarantining only
-under-estimate, which is the sound direction).  With the flag off
+``max_reannounce_levels``, default :data:`MAX_REANNOUNCE_LEVELS`,
+configurable via ``SystemConfig.max_reannounce_levels``; capping and
+quarantining only under-estimate, which is the sound direction, and
+every capped re-announcement is counted in
+``stats.reannounce_cap_hits``).  With the flag off
 (the default) behavior is bit-identical to the static implementation.
 """
 
@@ -57,9 +60,13 @@ from repro.net.network import Network
 from repro.sim.kernel import Simulator
 
 
-#: Cap on MAX pulses re-sent per neighbor at link bring-up.  A capped
-#: re-announcement makes the receiver's level decode an underestimate,
-#: which is the sound direction for the ``M <= true maximum`` invariant.
+#: Default cap on MAX pulses re-sent per neighbor at link bring-up.  A
+#: capped re-announcement makes the receiver's level decode an
+#: underestimate, which is the sound direction for the ``M <= true
+#: maximum`` invariant — but it *undercounts* silently on long outages,
+#: so the cap is configurable (``SystemConfig.max_reannounce_levels``)
+#: and every capped re-announcement is counted in
+#: ``NodeStats.reannounce_cap_hits`` / ``RunResult.reannounce_cap_hits``.
 MAX_REANNOUNCE_LEVELS = 64
 
 
@@ -83,6 +90,10 @@ class NodeStats:
     estimator_resyncs: int = 0
     #: MAX pulses re-sent at link bring-up (dynamic mode).
     max_reannounce_pulses: int = 0
+    #: Re-announcements truncated by the level cap (each one means the
+    #: receiving side decodes an *under*-estimate — sound, but worth
+    #: surfacing so long-outage runs can size the cap).
+    reannounce_cap_hits: int = 0
     #: per-round gamma choices as ``(round, gamma)`` pairs.
     mode_by_round: list[tuple[int, int]] = field(default_factory=list)
 
@@ -101,6 +112,7 @@ class FtgcsNode:
                  max_estimate: MaxEstimateConfig | None = None,
                  record_rounds: bool = False,
                  dynamic_estimators: bool = False,
+                 max_reannounce_levels: int = MAX_REANNOUNCE_LEVELS,
                  on_pulse_sent: Callable[[int, int, int, float], None]
                  | None = None) -> None:
         """Build and wire a node (see :class:`~repro.core.system.
@@ -128,6 +140,11 @@ class FtgcsNode:
         self._rng = rng
         self._crashed = False
         self._dynamic = dynamic_estimators
+        if max_reannounce_levels < 1:
+            raise ConfigError(
+                f"max_reannounce_levels must be >= 1: "
+                f"{max_reannounce_levels!r}")
+        self._max_reannounce_levels = int(max_reannounce_levels)
         #: Cluster-level link state (dynamic mode); missing means up.
         self._link_active: dict[int, bool] = {}
         self._started = False
@@ -289,8 +306,13 @@ class FtgcsNode:
         after the link event, see :meth:`set_cluster_link`)."""
         if self._crashed:
             return
-        level = min(self.max_estimate.announced_level,
-                    MAX_REANNOUNCE_LEVELS)
+        announced = self.max_estimate.announced_level
+        level = min(announced, self._max_reannounce_levels)
+        if announced > level:
+            # The decode on the other side will under-estimate by
+            # (announced - level) levels — sound, but counted so runs
+            # with long outages can tell the cap was binding.
+            self.stats.reannounce_cap_hits += 1
         pulse = Pulse(sender=self.node_id, kind=PulseKind.MAX)
         for member in members:
             for _ in range(level):

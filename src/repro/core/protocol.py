@@ -117,6 +117,12 @@ class ProtocolRunResult:
     #: network, so dynamic-run message accounting is uniform.
     messages_dropped: int = 0
     events_processed: int = 0
+    #: Max-estimate re-announcements truncated by the configured level
+    #: cap (``SystemConfig.max_reannounce_levels``); only the FTGCS
+    #: family can produce them, every other adapter reports 0.  A
+    #: nonzero count means the global-skew estimate decode ran as an
+    #: underestimate after some link bring-up (sound but lossy).
+    reannounce_cap_hits: int = 0
     detail: Any = None
 
 

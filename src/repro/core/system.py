@@ -30,7 +30,11 @@ from repro.analysis.metrics import (
 from repro.analysis.sampling import SkewSampler
 from repro.clocks.hardware import HardwareClock
 from repro.clocks.rate_models import ConstantRate, FlipRate, RateModel
-from repro.core.node import FtgcsNode, MaxEstimateConfig
+from repro.core.node import (
+    MAX_REANNOUNCE_LEVELS,
+    FtgcsNode,
+    MaxEstimateConfig,
+)
 from repro.core.params import Parameters
 from repro.core.rounds import RoundSchedule
 from repro.errors import ConfigError
@@ -87,6 +91,19 @@ class SystemConfig:
         (one completed exchange) before entering the trigger
         aggregation.  Off by default: static runs and legacy dynamic
         runs are bit-identical to the frozen-estimator implementation.
+    max_reannounce_levels:
+        Cap on MAX pulses re-sent per neighbor at link bring-up
+        (dynamic mode).  A binding cap makes the receiver's decode an
+        *under*-estimate — sound, but lossy on long outages; every
+        capped re-announcement is counted in
+        ``RunResult.reannounce_cap_hits`` so the cap can be sized.
+    batched_delivery:
+        Deliver messages through the network's batched fast path (one
+        kernel wake-up per batch instead of one event per message; see
+        :mod:`repro.net.network`).  On by default — handler execution
+        order, and therefore every measurement, is bit-identical
+        either way; ``False`` restores the legacy per-message event
+        stream for A/B benchmarking.
     e1:
         Initial error bound for loose-initialization runs (adaptive
         round schedule); default: steady state ``E``.
@@ -106,6 +123,8 @@ class SystemConfig:
     enable_max_estimate: bool = False
     max_estimate_unit: float | None = None
     dynamic_estimators: bool = False
+    max_reannounce_levels: int = MAX_REANNOUNCE_LEVELS
+    batched_delivery: bool = True
     e1: float | None = None
     sample_interval: float | None = None
     record_series: bool = False
@@ -139,6 +158,9 @@ class RunResult:
     #: First-contact machinery counters (0 unless dynamic_estimators).
     estimator_bring_ups: int = 0
     estimator_resyncs: int = 0
+    #: Re-announcements truncated by ``max_reannounce_levels`` (the
+    #: undercount stays sound; nonzero means the cap was binding).
+    reannounce_cap_hits: int = 0
     series: list[SkewSnapshot] = field(default_factory=list)
     edge_maxima: dict[tuple[int, int], float] = field(default_factory=dict)
 
@@ -275,7 +297,8 @@ class FtgcsSystem:
 
     def _build_network(self) -> Network:
         p = self.params
-        net = Network(self.sim, d=p.d, u=p.u)
+        net = Network(self.sim, d=p.d, u=p.u,
+                      batched=self.config.batched_delivery)
         for node_id in range(self.graph.num_nodes):
             net.add_node(node_id)
         for a, b in self.graph.node_edges():
@@ -377,6 +400,7 @@ class FtgcsSystem:
                 policy=cfg.policy, max_estimate=max_cfg,
                 record_rounds=cfg.record_rounds and not is_faulty,
                 dynamic_estimators=cfg.dynamic_estimators,
+                max_reannounce_levels=cfg.max_reannounce_levels,
                 on_pulse_sent=None if is_faulty else self._log_pulse)
             self.nodes[node_id] = node
             if is_faulty:
@@ -552,7 +576,9 @@ class FtgcsSystem:
                                     for n in honest),
             estimator_resyncs=sum(n.stats.estimator_resyncs
                                   for n in honest),
-            series=list(self.sampler.series),
+            reannounce_cap_hits=sum(n.stats.reannounce_cap_hits
+                                    for n in honest),
+            series=self.sampler.series,
             edge_maxima=dict(self.sampler.maxima.edge_maxima))
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ deterministic, so the minimum is the least-noise estimate.
 from __future__ import annotations
 
 import os
+import random
 import time
 from typing import Callable
 
@@ -28,6 +29,8 @@ from repro.harness.sweep import (
     default_processes,
 )
 from repro.harness.tables import Table
+from repro.net.delays import UniformDelay
+from repro.net.network import Network
 from repro.sim import Simulator
 from repro.topology import ClusterGraph
 
@@ -120,6 +123,61 @@ def bench_system_rounds(rounds: int = 4, repeats: int = 3) -> dict:
             "events_per_second": events[0] / best}
 
 
+def _delivery_flood(batched: bool, diameter: int,
+                    ttl: int) -> tuple[int, int]:
+    """One D-diameter line flood: every node seeds one broadcast and
+    each delivery re-broadcasts until its hop budget runs out, so
+    in-flight messages are the entire event population — the regime
+    batched delivery targets.  Returns ``(delivered, kernel_events)``.
+    """
+    sim = Simulator()
+    rng = random.Random(7)
+    net = Network(sim, d=1.0, u=0.5,
+                  default_delay_model=UniformDelay(1.0, 0.5, rng),
+                  batched=batched)
+    n = diameter + 1
+
+    def forward(node: int, message, _t: float) -> None:
+        if message[1] > 0:
+            net.broadcast(node, (node, message[1] - 1))
+
+    for i in range(n):
+        net.add_node(i, lambda msg, t, i=i: forward(i, msg, t))
+    for i in range(diameter):
+        net.add_link(i, i + 1)
+    for i in range(n):
+        net.broadcast(i, (i, ttl))
+    sim.run_until_idle()
+    return net.messages_delivered, sim.events_processed
+
+
+def bench_delivery_batching(diameter: int = 64, ttl: int = 6,
+                            repeats: int = 3) -> dict:
+    """Batched vs legacy delivery on a delivery-bound D=64 line flood.
+
+    Measures the same message stream through both network paths
+    (handler execution order is bit-identical); ``speedup`` is legacy
+    wall clock over batched wall clock — the headline number for the
+    batched-delivery fast path.
+    """
+    last: list = [None]
+
+    def run_batched() -> None:
+        last[0] = _delivery_flood(True, diameter, ttl)
+
+    batched_best = _best_of(run_batched, repeats)
+    legacy_best = _best_of(
+        lambda: _delivery_flood(False, diameter, ttl), repeats)
+    # The flood is deterministic, so the timed runs' (delivered,
+    # kernel_events) are the reported ones — no extra run needed.
+    delivered, kernel_events = last[0]
+    return {"name": "delivery_batching", "diameter": diameter,
+            "messages": delivered, "kernel_events": kernel_events,
+            "seconds": batched_best, "legacy_seconds": legacy_best,
+            "messages_per_second": delivered / batched_best,
+            "speedup": legacy_best / batched_best}
+
+
 def bench_sweep(cells: int = 8, rounds: int = 20,
                 processes: int | None = None) -> dict:
     """A small scenario grid: serial wall clock vs a worker pool.
@@ -174,6 +232,7 @@ def run_all_micro(quick: bool = True,
         bench_event_throughput(events=100_000 * scale),
         bench_repeating_throughput(ticks=100_000 * scale),
         bench_alarm_inversion(rate_changes=2_000 * scale),
+        bench_delivery_batching(ttl=6 if quick else 10),
         bench_system_rounds(rounds=4 * scale),
         bench_sweep(cells=4 * scale, rounds=15, processes=processes),
     ]
@@ -191,6 +250,12 @@ def microbench_table(results: list[dict]) -> Table:
                 f"(p={r['processes']})", r["serial_seconds"],
                 r["speedup"], "pool speedup (bit-identical: "
                 + ("yes" if r["bit_identical"] else "NO") + ")")
+        elif r["name"] == "delivery_batching":
+            table.add_row(
+                f"delivery D={r['diameter']} "
+                f"({r['messages']} msgs)", r["seconds"],
+                r["speedup"], "batched/legacy speedup "
+                f"({r['messages_per_second']:,.0f} msg/s)")
         elif "events_per_second" in r:
             table.add_row(r["name"], r["seconds"],
                           r["events_per_second"], "events/s")

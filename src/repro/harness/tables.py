@@ -29,6 +29,8 @@ def _json_value(value: Any) -> Any:
 
 
 def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):

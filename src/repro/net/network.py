@@ -27,10 +27,34 @@ broadcasts skip it) while the structural link set — and therefore
 link goes down still deliver (the packet left the sender while the
 link was up).  Static runs never populate the inactive set, so the
 hot paths stay byte-identical to the static-only implementation.
+
+Batched delivery (the default fast path)
+----------------------------------------
+In-flight messages dominate the event population of large runs (at
+diameter 64 they outnumber every alarm and sampler event combined), so
+by default the network does **not** allocate one kernel event per
+message.  Instead every send pushes a plain ``(time, seq, receiver,
+message)`` tuple onto an internal delivery heap — with ``seq`` drawn
+from the *kernel's* sequence counter, exactly the number the legacy
+per-message event would have carried — and a single *flush* event,
+co-keyed with the earliest pending delivery, wakes the network up.
+One wake-up then drains every consecutively-due delivery (all entries
+whose ``(time, seq)`` key precedes the kernel's next queued event and
+the current run horizon), advancing ``sim.now`` per entry.
+
+Because seq allocation, delivery times, and the position of every
+delivery relative to every other kernel event are all unchanged,
+handler execution order is **bit-identical** to the legacy
+one-event-per-message stream; only ``Simulator.events_processed``
+shrinks (one flush per batch instead of one event per message).
+``batched=False`` restores the legacy stream for A/B measurements
+(``SystemConfig.batched_delivery`` surfaces the knob on the FTGCS
+family).
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.errors import NetworkError
@@ -57,10 +81,15 @@ class Network:
     default_delay_model:
         Model used by links that do not override it.  ``None`` means
         links must each specify their own model.
+    batched:
+        Deliver through the batched fast path (module docstring).
+        ``False`` restores the legacy one-kernel-event-per-message
+        stream; handler execution order is bit-identical either way.
     """
 
     def __init__(self, sim: Simulator, d: float, u: float,
-                 default_delay_model: DelayModel | None = None) -> None:
+                 default_delay_model: DelayModel | None = None,
+                 batched: bool = True) -> None:
         if d <= 0:
             raise NetworkError(f"d must be positive: {d!r}")
         if not 0 <= u <= d:
@@ -77,6 +106,23 @@ class Network:
         #: static topologies — the common case the hot paths check
         #: with one falsy test.
         self._inactive: set[tuple[int, int]] = set()
+        self.batched = bool(batched)
+        #: Pending ``(time, seq, receiver, message)`` deliveries
+        #: (batched mode); ``seq`` comes from the kernel's counter so
+        #: ordering against kernel events matches the legacy stream.
+        self._pending: list[tuple[float, int, int, Any]] = []
+        #: ``(time, seq)`` of the earliest armed flush event, or
+        #: ``None``.  Invariant: whenever ``_pending`` is non-empty
+        #: (and no drain is active), a flush is armed at a key <= the
+        #: head entry's key.
+        self._flush_key: tuple[float, int] | None = None
+        #: True while :meth:`_flush` drains; sends occurring inside a
+        #: drain skip arming (the drain re-arms once at its end).
+        self._draining = False
+        #: Stable bound-method reference: wake-ups are always armed
+        #: with this exact object so the drain can recognize (and
+        #: absorb) this network's own events by identity.
+        self._flush_cb = self._flush
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -215,7 +261,10 @@ class Network:
             sender, receiver, self._sim.now)
         self._validate_delay(delay)
         self.messages_sent += 1
-        self._sim.call_in(delay, self._deliver, receiver, message)
+        if self.batched:
+            self._schedule_delivery(delay, receiver, message)
+        else:
+            self._sim.call_in(delay, self._deliver, receiver, message)
 
     def send_with_delay(self, sender: int, receiver: int, message: Any,
                         delay: float) -> None:
@@ -233,7 +282,10 @@ class Network:
             return
         self._validate_delay(delay)
         self.messages_sent += 1
-        self._sim.call_in(delay, self._deliver, receiver, message)
+        if self.batched:
+            self._schedule_delivery(delay, receiver, message)
+        else:
+            self._sim.call_in(delay, self._deliver, receiver, message)
 
     def broadcast(self, sender: int, message: Any) -> int:
         """Send ``message`` to every neighbor; returns the copy count.
@@ -248,6 +300,7 @@ class Network:
             raise NetworkError(f"unknown node: {sender!r}")
         now = self._sim.now
         inactive = self._inactive
+        batched = self.batched
         copies = 0
         for receiver in neighbors:
             if inactive and (sender, receiver) in inactive:
@@ -257,11 +310,148 @@ class Network:
                 sender, receiver, now)
             self._validate_delay(delay)
             self.messages_sent += 1
-            self._sim.call_in(delay, self._deliver, receiver, message)
+            if batched:
+                self._schedule_delivery(delay, receiver, message)
+            else:
+                self._sim.call_in(delay, self._deliver, receiver, message)
             copies += 1
         return copies
 
+    @property
+    def pending_deliveries(self) -> int:
+        """In-flight messages not yet handed to a receiver.
+
+        Batched mode: the delivery heap's size.  Legacy mode: always 0
+        (per-message kernel events are not tracked here — use
+        ``sim.pending_events``).
+        """
+        return len(self._pending)
+
+    def _schedule_delivery(self, delay: float, receiver: int,
+                           message: Any) -> None:
+        """Queue one delivery on the batched path.
+
+        The entry takes the kernel sequence number the legacy
+        per-message event would have consumed, so ordering against
+        every other kernel event is unchanged; a flush wake-up is
+        (re)armed whenever this entry becomes the earliest pending
+        delivery.
+        """
+        sim = self._sim
+        now = sim._now
+        time = now + delay
+        if time < now:
+            # A few-ulp negative draw inside the validation tolerance;
+            # clamp exactly like Simulator.call_in would.
+            time = now
+        # Inlined Simulator.alloc_seq: this runs once per message.
+        queue = sim._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        heappush(self._pending, (time, seq, receiver, message))
+        if self._draining:
+            # The active drain re-checks the pending head every step
+            # and re-arms once at its end; arming here would only
+            # churn wake-up events the drain immediately absorbs.
+            return
+        key = self._flush_key
+        if key is None or time < key[0] or (time == key[0]
+                                            and seq < key[1]):
+            self._flush_key = (time, seq)
+            sim.call_at_key(time, seq, self._flush_cb, time, seq)
+
+    def _flush(self, time: float, seq: int) -> None:
+        """Deliver every consecutively-due pending message (hot path).
+
+        Fired by a kernel wake-up co-keyed with a delivery entry.  The
+        drain hands over every pending entry whose ``(time, seq)`` key
+        precedes both the kernel's next *foreign* queued event and the
+        active run horizon — exactly the entries the legacy stream
+        would have fired as individual events before the kernel got to
+        do anything else — advancing ``sim.now`` to each entry's own
+        due time.  The network's own not-yet-fired wake-up events (and
+        lazily-cancelled entries) at the kernel head are absorbed
+        rather than treated as drain boundaries, so a delivery-bound
+        workload drains in one wake-up per foreign-event gap instead
+        of one per arm.
+        """
+        if self._flush_key is not None and self._flush_key[0] == time \
+                and self._flush_key[1] == seq:
+            self._flush_key = None
+        sim = self._sim
+        queue = sim._queue
+        pending = self._pending
+        handlers_get = self._handlers.get
+        kernel_heap = queue._heap
+        horizon = sim._horizon
+        budget = sim._batch_budget
+        heappop_ = heappop
+        flush_cb = self._flush_cb
+        flush_key = self._flush_key
+        delivered = 0
+        self._draining = True
+        try:
+            while pending:
+                if delivered >= budget:
+                    # run_until_idle(max_events=...) budget spent mid
+                    # drain: hand control back so the kernel's
+                    # runaway-loop guard can fire (the re-arm below
+                    # keeps the remaining entries schedulable).
+                    break
+                head = pending[0]
+                t = head[0]
+                if t > horizon:
+                    break
+                while kernel_heap:
+                    k = kernel_heap[0]
+                    event = k[2]
+                    if event.cancelled:
+                        # The kernel loop would skip it anyway.
+                        heappop_(kernel_heap)
+                        continue
+                    if event.callback is flush_cb:
+                        # One of our own wake-ups: absorb it into this
+                        # drain instead of bouncing through the kernel.
+                        heappop_(kernel_heap)
+                        event.fired = True
+                        queue._live -= 1
+                        if flush_key is not None and k[0] == flush_key[0] \
+                                and k[1] == flush_key[1]:
+                            flush_key = None
+                        continue
+                    break
+                if kernel_heap:
+                    k = kernel_heap[0]
+                    if t > k[0] or (t == k[0] and head[1] > k[1]):
+                        break
+                heappop_(pending)
+                # Monotonic by heap order (every entry key is >= the
+                # flush key that woke us); assigning directly skips a
+                # method call per message.
+                sim._now = t
+                delivered += 1
+                # Counted before the handler runs, like the legacy
+                # per-message path: handlers reading the public
+                # counter mid-run see identical values either way.
+                self.messages_delivered += 1
+                handler = handlers_get(head[2])
+                if handler is not None:
+                    handler(head[3], t)
+        finally:
+            self._draining = False
+            self._flush_key = flush_key
+            sim._batch_budget = budget - delivered
+            if pending:
+                head = pending[0]
+                if flush_key is None or head[0] < flush_key[0] \
+                        or (head[0] == flush_key[0]
+                            and head[1] < flush_key[1]):
+                    self._flush_key = (head[0], head[1])
+                    sim.call_at_key(head[0], head[1], self._flush_cb,
+                                    head[0], head[1])
+
     def _deliver(self, receiver: int, message: Any) -> None:
+        """Legacy per-message kernel-event delivery (``batched=False``)."""
         handler = self._handlers.get(receiver)
         self.messages_delivered += 1
         if handler is not None:

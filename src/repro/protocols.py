@@ -150,6 +150,7 @@ class FtgcsProtocol(SyncProtocol):
             messages_sent=result.messages_sent,
             messages_dropped=self.network.messages_dropped,
             events_processed=result.events_processed,
+            reannounce_cap_hits=result.reannounce_cap_hits,
             detail=result)
 
     def edge_links(self, a: int, b: int) -> tuple:
@@ -235,7 +236,7 @@ class MasterSlaveProtocol(SyncProtocol):
             protocol=self.name, seed=self.ctx.seed,
             max_global_skew=maxima.global_skew,
             max_local_skew=maxima.local_cluster,
-            series=list(self.system.sampler.series),
+            series=self.system.sampler.series,
             edge_maxima=dict(maxima.edge_maxima),
             messages_sent=self.network.messages_sent,
             messages_dropped=self.network.messages_dropped,

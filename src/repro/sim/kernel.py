@@ -20,6 +20,7 @@ lookups on each iteration.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Callable
 
 from repro.errors import SimulationError
@@ -57,6 +58,18 @@ class Simulator:
         self._now = 0.0
         self._events_processed = 0
         self._running = False
+        #: Time bound of the active :meth:`run` call (``inf`` outside
+        #: one).  Batch consumers (the batched network delivery path)
+        #: read it so a single kernel wake-up never executes work past
+        #: the caller's horizon.
+        self._horizon = math.inf
+        #: Work-unit budget of the active
+        #: :meth:`run_until_idle(max_events=...)` call (``inf``
+        #: otherwise).  Batch consumers decrement it per delivered
+        #: unit and stop draining at zero, so the runaway-loop guard
+        #: still fires when a send-on-delivery cascade never returns
+        #: to the kernel loop.
+        self._batch_budget = math.inf
 
     @property
     def now(self) -> float:
@@ -164,6 +177,52 @@ class Simulator:
         event.interval = interval
         return event
 
+    # ------------------------------------------------------------------
+    # Batch-consumer API (internal; used by the batched network path)
+    # ------------------------------------------------------------------
+
+    def alloc_seq(self) -> int:
+        """Consume one scheduling sequence number without queueing.
+
+        The batched network delivery path assigns every message the
+        sequence number the legacy one-event-per-message path would
+        have given its delivery event, so tie-breaking among
+        simultaneous events stays bit-identical whether batching is on
+        or off.  The number is burned either way — callers must use it
+        (in their own side queue) or accept the gap.  (The network's
+        per-message hot path inlines this body; this method is the
+        documented contract and the entry point for other batch
+        consumers.)
+        """
+        queue = self._queue
+        seq = queue._seq
+        queue._seq = seq + 1
+        return seq
+
+    def call_at_key(self, time: float, seq: int,
+                    callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback`` at an explicit ``(time, seq)`` key.
+
+        Internal plumbing for batch consumers: a wake-up event co-keyed
+        with an :meth:`alloc_seq`-numbered side-queue entry fires at
+        exactly the heap position the legacy per-entry event would
+        have, so interleaving with every other kernel event is
+        preserved.  ``seq`` must come from :meth:`alloc_seq` (reusing a
+        live event's key is undefined).
+        """
+        queue = self._queue
+        event = _new_event(Event)
+        event.time = time
+        event.seq = seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event.fired = False
+        event.interval = None
+        queue._live += 1
+        heapq.heappush(queue._heap, (time, seq, event))
+        return event
+
     def cancel(self, event: Event) -> None:
         """Cancel a scheduled event (safe to call twice or after it
         fired; cancelling a repeating event stops future firings)."""
@@ -171,6 +230,11 @@ class Simulator:
 
     def step(self) -> bool:
         """Fire the single next event.
+
+        A batched-network flush event fired through here delivers at
+        most one message (the batch budget is pinned to one work unit
+        for the duration), so step-driven loops keep their per-event
+        granularity under the batched delivery path too.
 
         Returns
         -------
@@ -181,9 +245,14 @@ class Simulator:
         event = queue.pop()
         if event is None:
             return False
-        self._now = event.time
-        self._events_processed += 1
-        event.callback(*event.args)
+        prev_budget = self._batch_budget
+        self._batch_budget = 1.0
+        try:
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+        finally:
+            self._batch_budget = prev_budget
         interval = event.interval
         if interval is not None and not event.cancelled:
             queue.requeue(event, event.time + interval)
@@ -202,6 +271,16 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
+        # Save/restore the batch-consumer state: a `run` nested inside
+        # a bounded `run_until_idle` (legal — only run-in-run is
+        # blocked) must neither inherit the outer budget (work inside
+        # a nested run never counted toward an outer bound, and an
+        # exhausted budget would make zero-progress flush wake-ups
+        # spin) nor clobber the outer horizon on exit.
+        prev_horizon = self._horizon
+        prev_budget = self._batch_budget
+        self._horizon = until
+        self._batch_budget = math.inf
         # Hot loop: operate on the queue internals with local bindings.
         # Compaction rewrites the heap list in place, so `heap` stays a
         # valid alias across callbacks that cancel events.
@@ -241,6 +320,8 @@ class Simulator:
         finally:
             self._events_processed += processed
             self._running = False
+            self._horizon = prev_horizon
+            self._batch_budget = prev_budget
 
     def run_until_idle(self, max_events: int | None = None) -> int:
         """Process events until the queue is empty.
@@ -248,37 +329,55 @@ class Simulator:
         Parameters
         ----------
         max_events:
-            Optional safety bound; after exactly ``max_events`` events
-            have fired with work still queued, raises
-            :class:`~repro.errors.SimulationError` so runaway
-            self-scheduling loops surface as errors rather than hangs.
-            A run needing exactly ``max_events`` events completes.
+            Optional safety bound on *work units* — kernel events plus
+            batched network deliveries (which execute inside a single
+            flush event).  Once the budget is spent with work still
+            queued, raises :class:`~repro.errors.SimulationError` so
+            runaway self-scheduling loops surface as errors rather
+            than hangs, whether they schedule events or send messages.
+            A run needing exactly ``max_events`` units completes.
 
         Returns
         -------
         int
-            Number of events processed by this call.
+            Number of kernel events processed by this call.
         """
         # Same locals-bound hot loop as :meth:`run` (see comment there);
-        # `step()` per event would double the dispatch cost.
+        # `step()` per event would double the dispatch cost.  The
+        # budget lives in ``self._batch_budget`` (re-read per
+        # iteration) only when a bound was requested, so the common
+        # unbounded path pays nothing for it.
         queue = self._queue
         heap = queue._heap
         heappop = heapq.heappop
         heappush = heapq.heappush
         fired = 0
+        bounded = max_events is not None
+        # Own budget and horizon for the duration (saved/restored so
+        # nesting works like the pre-batching per-call counters: an
+        # inner call never consumes — or disables — an outer bound,
+        # and "until idle" means every pending delivery is due).
+        prev_horizon = self._horizon
+        prev_budget = self._batch_budget
+        self._horizon = math.inf
+        self._batch_budget = max_events if bounded else math.inf
         try:
             while heap:
                 entry = heappop(heap)
                 event = entry[2]
                 if event.cancelled:
                     continue
-                if max_events is not None and fired >= max_events:
-                    # A live event remains but the budget is spent.
-                    # Push the entry back (same seq, order preserved)
-                    # so the queue state stays consistent.
-                    heappush(heap, entry)
-                    raise SimulationError(
-                        f"run_until_idle exceeded max_events={max_events}")
+                if bounded:
+                    if self._batch_budget <= 0:
+                        # A live event remains but the budget is spent.
+                        # Push the entry back (same seq, order
+                        # preserved) so the queue state stays
+                        # consistent.
+                        heappush(heap, entry)
+                        raise SimulationError(
+                            f"run_until_idle exceeded "
+                            f"max_events={max_events}")
+                    self._batch_budget -= 1
                 event.fired = True
                 queue._live -= 1
                 self._now = entry[0]
@@ -296,4 +395,6 @@ class Simulator:
                     heappush(heap, (time, seq, event))
         finally:
             self._events_processed += fired
+            self._horizon = prev_horizon
+            self._batch_budget = prev_budget
         return fired

@@ -208,3 +208,198 @@ class TestTraces:
 
         with pytest.raises(ConfigError):
             Trace("empty").max_value()
+
+
+class TestSampleBuffer:
+    def test_append_and_read_back(self):
+        from repro.analysis.sampling import SAMPLE_COLUMNS, SampleBuffer
+
+        buffer = SampleBuffer(capacity=2)
+        for i in range(5):  # forces growth past the initial capacity
+            buffer.append(float(i), 1.0 + i, 2.0 + i, 3.0 + i, 4.0 + i)
+        assert len(buffer) == 5
+        assert buffer.row(3) == (3.0, 4.0, 5.0, 6.0, 7.0)
+        assert buffer.column("time") == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert tuple(SAMPLE_COLUMNS)[0] == "time"
+
+    def test_validation(self):
+        from repro.analysis.sampling import SampleBuffer
+
+        with pytest.raises(ConfigError):
+            SampleBuffer(capacity=0)
+        buffer = SampleBuffer()
+        with pytest.raises(ConfigError):
+            buffer.column("nope")
+        with pytest.raises(IndexError):
+            buffer.row(0)
+
+    def test_array_fallback_matches_numpy_path(self, monkeypatch):
+        import repro.analysis.sampling as sampling
+
+        rows = [(0.0, 1.0, 2.0, 3.0, 4.0), (1.5, 0.5, 0.25, 0.125, 0.0)]
+        buffers = []
+        for use_numpy in (True, False):
+            if not use_numpy:
+                monkeypatch.setattr(sampling, "_np", None)
+            buffer = sampling.SampleBuffer(capacity=1)
+            for row in rows:
+                buffer.append(*row)
+            buffers.append([buffer.row(i) for i in range(len(buffer))])
+        assert buffers[0] == buffers[1] == rows
+
+
+class TestSamplerHorizonBoundary:
+    """A tick nominally at t == horizon fires (tick_count/clamp_tick)."""
+
+    def make_sampler(self, interval, **kwargs):
+        sim = Simulator()
+        sampler = SkewSampler(sim, interval,
+                              lambda: {0: {0: 0.0}, 1: {1: 1.0}},
+                              [(0, 1)], **kwargs)
+        return sim, sampler
+
+    def test_exact_intervals_yield_n_plus_one_samples(self):
+        # 0.1 accumulated 3 times drifts to 0.30000000000000004 > 0.3,
+        # so the open-ended repeating form drops the final tick; the
+        # horizon-bounded form clamps it onto the boundary.
+        sim, sampler = self.make_sampler(0.1)
+        sampler.start(horizon=0.3)
+        sim.run(until=0.3)
+        assert sampler.maxima.samples == 4  # N + 1
+
+    def test_legacy_form_exhibits_the_drift_drop(self):
+        # Documents the behavior the horizon parameter exists to fix
+        # (kept for byte-identity of open-ended system runs).
+        sim, sampler = self.make_sampler(0.1)
+        sampler.start()
+        sim.run(until=0.3)
+        assert sampler.maxima.samples == 3  # final tick drifted past
+
+    def test_bounded_ticks_stop_at_horizon(self):
+        sim, sampler = self.make_sampler(0.25, record_series=True)
+        sampler.start(horizon=1.0)
+        sim.run(until=5.0)
+        assert sampler.maxima.samples == 5
+        assert [s.time for s in sampler.series] == \
+            pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_horizon_before_now_rejected(self):
+        sim, sampler = self.make_sampler(0.5)
+        sim.run(until=2.0)
+        with pytest.raises(ConfigError):
+            sampler.start(horizon=1.0)
+
+    def test_exhausted_bounded_sampler_rejects_restart(self):
+        # The bounded form clears its event after the final tick; the
+        # sampler must still refuse a second start() instead of
+        # corrupting the series with a fresh tick train.
+        sim, sampler = self.make_sampler(0.1)
+        sampler.start(horizon=0.3)
+        sim.run(until=0.3)
+        with pytest.raises(ConfigError):
+            sampler.start()
+        assert sampler.maxima.samples == 4
+        # Explicit stop() still allows a deliberate restart.
+        sampler.stop()
+        sampler.start()
+        assert sampler.maxima.samples == 5
+
+    def test_stop_cancels_bounded_ticks(self):
+        sim, sampler = self.make_sampler(0.25)
+        sampler.start(horizon=10.0)
+        sim.run(until=0.5)
+        sampler.stop()
+        sim.run(until=10.0)
+        assert sampler.maxima.samples == 3
+
+
+class TestBufferedSeries:
+    def test_series_matches_eager_snapshots(self):
+        values = {0: {0: 0.0, 1: 1.0}, 1: {2: 4.0}}
+        sim = Simulator()
+        sampler = SkewSampler(sim, 1.0, lambda: values, [(0, 1)],
+                              record_series=True, track_edges=True)
+        sampler.start()
+        sim.run(until=3.0)
+        expected = compute_snapshot(0.0, values, [(0, 1)],
+                                    include_edges=True)
+        assert len(sampler.series) == 4
+        for i, snap in enumerate(sampler.series):
+            assert snap.time == pytest.approx(float(i))
+            assert snap.global_skew == expected.global_skew
+            assert snap.max_intra_cluster == expected.max_intra_cluster
+            assert snap.max_local_cluster == expected.max_local_cluster
+            assert snap.max_local_node == expected.max_local_node
+            assert snap.edge_skews == expected.edge_skews
+
+    def test_accumulate_grouped_matches_snapshot(self):
+        from repro.analysis.metrics import accumulate_grouped
+
+        groups = [(0, [0.0, 2.0]), (1, [5.0]), (2, [])]
+        edges = [(0, 1), (1, 2)]
+        edge_out = {}
+        maxima = {}
+        metrics = accumulate_grouped(groups, edges, edge_maxima=maxima,
+                                     edge_out=edge_out)
+        snap = compute_snapshot(
+            0.0, {0: {0: 0.0, 1: 2.0}, 1: {2: 5.0}}, edges,
+            include_edges=True)
+        assert metrics == (snap.global_skew, snap.max_intra_cluster,
+                           snap.max_local_cluster, snap.max_local_node)
+        assert edge_out == snap.edge_skews
+        assert maxima == snap.edge_skews
+
+
+class TestLogLogFit:
+    def test_hand_computed_exact_power_law(self):
+        import math
+
+        from repro.analysis.metrics import log_log_fit
+
+        # y = 3x exactly: slope 1, intercept ln 3, zero residual.
+        slope, intercept, residual = log_log_fit([1.0, 2.0, 4.0],
+                                                 [3.0, 6.0, 12.0])
+        assert slope == pytest.approx(1.0)
+        assert intercept == pytest.approx(math.log(3.0))
+        assert residual == pytest.approx(0.0, abs=1e-12)
+
+    def test_hand_computed_two_points(self):
+        import math
+
+        from repro.analysis.metrics import log_log_fit
+
+        # Two points define the line exactly: slope = ln(8/2)/ln(4/1).
+        slope, intercept, residual = log_log_fit([1.0, 4.0], [2.0, 8.0])
+        assert slope == pytest.approx(math.log(4.0) / math.log(4.0))
+        assert intercept == pytest.approx(math.log(2.0))
+        assert residual == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_residual(self):
+        import math
+
+        from repro.analysis.metrics import log_log_fit
+
+        # Symmetric deviation in log space: ln y = (0, ln 4, 0) at
+        # ln x = (ln 1, ln 2, ln 4)... computed by hand: with
+        # y = (1, 4, 1), x = (1, 2, 4) the best fit has slope 0 and
+        # intercept mean(ln y) = ln(4)/3.
+        slope, intercept, residual = log_log_fit([1.0, 2.0, 4.0],
+                                                 [1.0, 4.0, 1.0])
+        assert slope == pytest.approx(0.0, abs=1e-12)
+        assert intercept == pytest.approx(math.log(4.0) / 3.0)
+        expected_rms = math.sqrt(
+            (2 * (math.log(4.0) / 3.0) ** 2
+             + (2.0 * math.log(4.0) / 3.0) ** 2) / 3.0)
+        assert residual == pytest.approx(expected_rms)
+
+    def test_validation(self):
+        from repro.analysis.metrics import log_log_fit
+
+        with pytest.raises(ValueError):
+            log_log_fit([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            log_log_fit([1.0, -1.0], [1.0, 2.0])
+        slope, intercept, residual = log_log_fit([2.0, 2.0], [1.0, 3.0])
+        import math
+
+        assert math.isnan(slope) and math.isnan(residual)

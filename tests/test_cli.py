@@ -155,3 +155,58 @@ class TestExecution:
     def test_processes_flag_accepted_everywhere(self, capsys):
         # t08 is a non-simulation experiment; --processes still works.
         assert main(["run", "t08", "--processes", "2"]) == 0
+
+
+class TestBaselineCheck:
+    def results(self, rate):
+        return [{"name": "event_throughput", "events": 1,
+                 "seconds": 1.0, "events_per_second": rate}]
+
+    def test_within_tolerance_passes(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "_baseline_event_throughput",
+                            lambda: 1_000_000.0)
+        assert cli._check_baseline(self.results(950_000.0),
+                                   strict=True) == 0
+        assert "ok" in capsys.readouterr().err
+
+    def test_regression_warns_but_passes_without_strict(
+            self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "_baseline_event_throughput",
+                            lambda: 1_000_000.0)
+        assert cli._check_baseline(self.results(500_000.0),
+                                   strict=False) == 0
+        assert "warning" in capsys.readouterr().err
+
+    def test_regression_fails_with_strict(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "_baseline_event_throughput",
+                            lambda: 1_000_000.0)
+        assert cli._check_baseline(self.results(500_000.0),
+                                   strict=True) == 1
+        assert "warning" in capsys.readouterr().err
+
+    def test_missing_baseline_skips(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "_baseline_event_throughput",
+                            lambda: None)
+        assert cli._check_baseline(self.results(1.0), strict=True) == 0
+        assert "skipping" in capsys.readouterr().err
+
+    def test_baseline_reader_parses_bench_file(self):
+        from repro.cli import _baseline_event_throughput
+
+        # The repo ships BENCH_kernel.json; the reader must find it
+        # relative to the package and return the latest entry's rate.
+        rate = _baseline_event_throughput()
+        assert rate is not None and rate > 0
+
+    def test_parser_accepts_check_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["bench-quick", "--check"])
+        assert args.check is True

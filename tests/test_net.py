@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.errors import NetworkError
+from repro.errors import NetworkError, SimulationError
 from repro.net import (
     BiasedDelay,
     ExtremalDelay,
@@ -195,3 +195,187 @@ class TestMessaging:
         net.send(0, 1, "x")
         sim.run(until=2.0)
         assert net.messages_delivered == 1
+
+
+class TestBatchedDelivery:
+    """The batched fast path must be observationally identical to the
+    legacy one-kernel-event-per-message stream."""
+
+    def build_flood(self, batched, n=8, seed=3):
+        sim = Simulator()
+        rng = random.Random(seed)
+        net = Network(sim, d=1.0, u=0.5,
+                      default_delay_model=UniformDelay(1.0, 0.5, rng),
+                      batched=batched)
+        log = []
+        for i in range(n):
+            def handler(msg, t, i=i):
+                log.append(("recv", i, msg[0], t))
+                if msg[1] > 0:
+                    net.broadcast(i, (i, msg[1] - 1))
+            net.add_node(i, handler)
+        for i in range(n - 1):
+            net.add_link(i, i + 1)
+        return sim, net, log
+
+    def test_flood_matches_legacy_stream(self):
+        # Identical seeds + identical alarm interleavings: the full
+        # (receiver, sender, time) delivery log must match exactly.
+        logs = {}
+        for batched in (True, False):
+            sim, net, log = self.build_flood(batched)
+            for t in (0.5, 1.25, 2.0, 3.75):
+                sim.call_at(t, log.append, ("alarm", t))
+            for i in range(8):
+                net.broadcast(i, (i, 4))
+            sim.run_until_idle()
+            logs[batched] = log
+        assert logs[True] == logs[False]
+        assert logs[True]  # non-trivial
+
+    def test_same_time_ties_keep_send_order(self):
+        # FixedDelay makes every delivery time coincide exactly; the
+        # batched path must deliver in send (seq) order, interleaved
+        # correctly with kernel events at the same timestamp.
+        logs = {}
+        for batched in (True, False):
+            sim, net = make_net(d=1.0, u=0.0, model=FixedDelay(1.0))
+            net.batched = batched
+            log = []
+            for i in range(4):
+                net.add_node(i, lambda m, t, i=i: log.append((i, m, t)))
+            for i in range(3):
+                net.add_link(i, i + 1)
+            net.send(0, 1, "a")
+            sim.call_at(1.0, log.append, "tied alarm")
+            net.send(1, 2, "b")
+            net.send(2, 3, "c")
+            sim.run(until=2.0)
+            logs[batched] = log
+        assert logs[True] == logs[False]
+        # The alarm was scheduled between the sends and lands between
+        # their deliveries at the shared timestamp.
+        assert logs[True][1] == "tied alarm"
+
+    def test_run_horizon_defers_pending(self):
+        sim, net = make_net(d=1.0, u=0.0)
+        received = []
+        net.add_node(0)
+        net.add_node(1, lambda m, t: received.append((m, t)))
+        net.add_link(0, 1)
+        net.send(0, 1, "later")
+        assert net.pending_deliveries == 1
+        sim.run(until=0.5)
+        assert received == []
+        assert net.pending_deliveries == 1
+        sim.run(until=2.0)
+        assert received == [("later", pytest.approx(1.0))]
+        assert net.pending_deliveries == 0
+
+    def test_inflight_survives_link_down(self):
+        sim, net = make_net(d=1.0, u=0.0)
+        received = []
+        net.add_node(0)
+        net.add_node(1, lambda m, t: received.append(m))
+        net.add_link(0, 1)
+        net.send(0, 1, "in flight")
+        net.set_link_active(0, 1, False)
+        sim.run(until=2.0)
+        assert received == ["in flight"]
+        net.send(0, 1, "dropped")
+        assert net.messages_dropped == 1
+        sim.run(until=4.0)
+        assert received == ["in flight"]
+
+    def test_legacy_mode_never_queues(self):
+        sim, net = make_net(d=1.0, u=0.0)
+        net.batched = False
+        net.add_node(0)
+        net.add_node(1, lambda m, t: None)
+        net.add_link(0, 1)
+        net.send(0, 1, "x")
+        assert net.pending_deliveries == 0
+        assert sim.pending_events == 1
+
+    def test_fewer_kernel_events_per_message(self):
+        sim, net, _log = self.build_flood(True)
+        for i in range(8):
+            net.broadcast(i, (i, 4))
+        sim.run_until_idle()
+        assert net.messages_delivered > 0
+        assert sim.events_processed < net.messages_delivered
+
+    def test_runaway_send_loop_hits_max_events(self):
+        # A send-on-delivery cascade must trip run_until_idle's
+        # runaway guard in batched mode too (deliveries count as work
+        # units), not spin forever inside one flush drain.
+        sim, net = make_net(d=1.0, u=0.0)
+        net.add_node(0, lambda m, t: net.send(0, 1, m))
+        net.add_node(1, lambda m, t: net.send(1, 0, m))
+        net.add_link(0, 1)
+        net.send(0, 1, "ping")
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=500)
+        assert net.messages_delivered <= 500
+
+    def test_nested_run_until_idle_drains_past_outer_horizon(self):
+        # A callback inside run(until=1.0) sends a message due later
+        # and then calls run_until_idle(): the nested call must drain
+        # it (legacy semantics) instead of spinning on a wake-up that
+        # can never deliver under the outer horizon.
+        sim, net = make_net(d=1.0, u=0.0)
+        received = []
+        net.add_node(0)
+        net.add_node(1, lambda m, t: received.append((m, t)))
+        net.add_link(0, 1)
+
+        def send_then_drain():
+            net.send(0, 1, "late")
+            sim.run_until_idle(max_events=100)
+
+        sim.call_at(0.5, send_then_drain)
+        sim.run(until=1.0)
+        assert received == [("late", pytest.approx(1.5))]
+
+    def test_step_delivers_one_message_per_call(self):
+        # step()'s single-event contract survives batching: each call
+        # hands over exactly one pending delivery.
+        logs = {}
+        for batched in (True, False):
+            sim, net = make_net(d=1.0, u=0.5, model=None)
+            net.batched = batched
+            log = []
+            for i in range(4):
+                net.add_node(i, lambda m, t, i=i: log.append((i, m, t)))
+            for i in range(3):
+                net.add_link(i, i + 1)
+            net.set_link_delay_model(0, 1, FixedDelay(0.6))
+            net.set_link_delay_model(1, 2, FixedDelay(0.8))
+            net.set_link_delay_model(2, 3, FixedDelay(1.0))
+            net.send(0, 1, "a")
+            net.send(1, 2, "b")
+            net.send(2, 3, "c")
+            assert sim.step() is True
+            logs[batched] = (list(log), sim.now)
+            sim.run_until_idle()
+            assert len(log) == 3
+        assert logs[True] == logs[False]
+        assert logs[True][1] == pytest.approx(0.6)  # one delivery only
+
+    def test_counter_visible_to_handlers_mid_batch(self):
+        # Handlers reading messages_delivered mid-run must see the
+        # same values under both delivery paths.
+        seen = {}
+        for batched in (True, False):
+            sim, net = make_net(d=1.0, u=0.0)
+            net.batched = batched
+            observed = []
+            net.add_node(0)
+            net.add_node(1, lambda m, t: observed.append(
+                net.messages_delivered))
+            net.add_link(0, 1)
+            net.send(0, 1, "x")
+            net.send(0, 1, "y")
+            sim.run_until_idle()
+            seen[batched] = observed
+        assert seen[True] == seen[False] == [1, 2]

@@ -308,3 +308,34 @@ class TestFirstContactCapability:
                   .params(params).rounds(1).seed(1).first_contact()
                   .build())
         assert system.protocol.system.config.dynamic_estimators
+
+
+class TestReannounceCapSurface:
+    def test_capped_protocol_run_reports_hits(self):
+        from repro.topology.schedule import build_schedule
+
+        params = default_params(rho=1e-4, d=1.0, u=0.05, f=1)
+        graph = ClusterGraph.line(4)
+        schedule = build_schedule("adversarial_sweep", graph,
+                                  interval=2 * params.round_length)
+        system = (SystemBuilder("ftgcs").topology(schedule)
+                  .params(params).rounds(14).seed(7).first_contact()
+                  .configure(enable_max_estimate=True,
+                             max_estimate_unit=params.kappa / 4.0,
+                             max_reannounce_levels=1)
+                  .build())
+        result = system.run()
+        # The cut sweep keeps re-upping edges after the announced
+        # level has grown past the cap of 1, so every bring-up is a
+        # capped (undercount-sound) re-announcement.
+        assert result.reannounce_cap_hits > 0
+        assert result.reannounce_cap_hits == \
+            result.detail.reannounce_cap_hits
+
+    def test_static_runs_report_zero(self):
+        params = default_params(rho=1e-4, d=1.0, u=0.05, f=1)
+        system = (SystemBuilder("ftgcs")
+                  .topology(ClusterGraph.line(2)).params(params)
+                  .rounds(3).seed(7).build())
+        result = system.run()
+        assert result.reannounce_cap_hits == 0

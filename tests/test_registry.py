@@ -133,3 +133,85 @@ class TestRunExperiment:
     def test_default_seed_used(self):
         assert run_experiment("t05", quick=True).rows == \
             run_experiment("t05", quick=True, seed=5).rows
+
+
+class TestT14ProtocolGrid:
+    """The full-mode Gradient-TRIX grid: D=32/64 rows, the FTGCS
+    comparison block, and the kappa regression column."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_experiment("t14", quick=True)
+
+    def test_grid_covers_large_diameters(self, table):
+        diameters = {d for d, p in zip(table.column("D"),
+                                       table.column("protocol"))
+                     if p == "gcs"}
+        assert {4, 8, 32, 64} <= diameters
+
+    def test_ftgcs_block_present_on_same_mu_grid(self, table):
+        gcs_mus = {mu for mu, p in zip(table.column("mu"),
+                                       table.column("protocol"))
+                   if p == "gcs"}
+        ftgcs_mus = {mu for mu, p in zip(table.column("mu"),
+                                         table.column("protocol"))
+                     if p == "ftgcs"}
+        assert ftgcs_mus == gcs_mus
+
+    def test_feasible_ftgcs_rows_carry_exact_mu(self, table):
+        from repro.harness.experiments import ftgcs_params_for_mu
+
+        rows = [row for row in table.rows if row[0] == "ftgcs"]
+        assert rows
+        feasible = [row for row in rows if row[3] is not None]
+        infeasible = [row for row in rows if row[3] is None]
+        assert len(feasible) >= 2  # enough points for the fit
+        for row in feasible:
+            params = ftgcs_params_for_mu(row[2])
+            assert params is not None
+            assert params.mu == row[2]  # power-of-two rho keeps mu exact
+            assert params.kappa == row[3]
+        for row in infeasible:
+            assert ftgcs_params_for_mu(row[2]) is None
+
+    def test_regression_column_matches_hand_computed_fit(self, table):
+        from repro.analysis.metrics import log_log_fit
+
+        for group_protocol, group_d in (("gcs", 4), ("gcs", 64),
+                                        ("ftgcs", 4)):
+            rows = [row for row in table.rows
+                    if row[0] == group_protocol and row[1] == group_d]
+            points = [(row[3], row[4]) for row in rows
+                      if row[3] is not None and row[3] > 0
+                      and row[4] > 0]
+            slope, _intercept, residual = log_log_fit(
+                [p[0] for p in points], [p[1] for p in points])
+            for row in rows:
+                if row[3] is None:
+                    # Infeasible rows carry no fit at all.
+                    assert row[7] is None and row[8] is None
+                    continue
+                assert row[7] == slope
+                assert row[8] == residual
+
+    def test_skew_tracks_kappa(self, table):
+        # The headline regression: slope near 1, small residual, for
+        # every diameter group.
+        for row in table.rows:
+            if row[0] != "gcs":
+                continue
+            assert 0.7 <= row[7] <= 1.3
+            assert row[8] < 0.25
+        # Feasible ftgcs rows carry the block's own fit, near slope 1.
+        ftgcs_slopes = {row[7] for row in table.rows
+                        if row[0] == "ftgcs" and row[7] is not None}
+        assert ftgcs_slopes
+        for slope in ftgcs_slopes:
+            assert 0.7 <= slope <= 1.3
+
+    def test_deterministic_and_pool_invariant(self, table):
+        again = run_experiment("t14", quick=True)
+        assert again.rows == table.rows
+        pooled = run_experiment("t14", quick=True, processes=2)
+        assert pooled.rows == table.rows
+        assert pooled.notes == table.notes

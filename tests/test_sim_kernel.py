@@ -278,3 +278,60 @@ class TestHeapCompaction:
         queue = sim._queue
         assert queue.heap_size <= max(COMPACT_MIN_SIZE,
                                       2 * max(len(queue), 1))
+
+
+class TestBatchConsumerApi:
+    """The internal surface the batched network delivery path rides on."""
+
+    def test_alloc_seq_burns_the_sequence(self):
+        sim = Simulator()
+        first = sim.alloc_seq()
+        second = sim.alloc_seq()
+        assert second == first + 1
+        event = sim.call_at(1.0, lambda: None)
+        assert event.seq == second + 1
+
+    def test_call_at_key_orders_by_explicit_seq(self):
+        # An event co-keyed with an earlier-allocated seq fires before
+        # a same-time event scheduled later — the property that keeps
+        # batched deliveries in legacy order among simultaneous events.
+        sim = Simulator()
+        fired = []
+        early_seq = sim.alloc_seq()
+        sim.call_at(1.0, fired.append, "normal")
+        sim.call_at_key(1.0, early_seq, fired.append, "co-keyed")
+        sim.run(until=2.0)
+        assert fired == ["co-keyed", "normal"]
+
+    def test_horizon_exposed_during_run(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(1.0, lambda: seen.append(sim._horizon))
+        sim.run(until=4.0)
+        assert seen == [4.0]
+        import math
+
+        assert sim._horizon == math.inf
+
+    def test_nested_bounded_run_until_idle_keeps_outer_guard(self):
+        # Regression: an inner bounded run_until_idle used to reset
+        # the shared budget to infinity on exit, silently disabling
+        # the outer call's runaway-loop guard.
+        sim = Simulator()
+        count = [0]
+
+        def loop():
+            count[0] += 1
+            if count[0] > 500:  # keeps a regression a failure, not a hang
+                return
+            sim.call_in(1.0, loop)
+            if count[0] == 1:
+                # Inner bounded drain on the same simulator exhausts
+                # its own small budget; the outer budget must survive.
+                with pytest.raises(SimulationError):
+                    sim.run_until_idle(max_events=2)
+
+        sim.call_at(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=50)
+        assert count[0] <= 60  # outer guard tripped, not the 500 fuse

@@ -29,6 +29,13 @@ def params_f0():
     return Parameters.practical(rho=1e-4, d=1.0, u=0.1, f=0)
 
 
+@pytest.fixture(scope="module")
+def params_fast():
+    """Short-round parameters for the dynamic-topology tests."""
+    return Parameters.practical(rho=1e-4, d=1.0, u=0.05, f=1,
+                                eps=0.2, k_stab=1)
+
+
 class TestFaultFree:
     def test_line_converges_within_bounds(self, params):
         system = FtgcsSystem.build(ClusterGraph.line(3), params, seed=1)
@@ -302,3 +309,78 @@ class TestConfigSurface:
         for round_index, (unanimous, gamma) in unanimity.items():
             assert unanimous
             assert gamma == 0
+
+
+class TestBatchedDeliveryEquivalence:
+    def test_batched_flag_changes_nothing_but_event_count(self, params):
+        results = {}
+        for batched in (True, False):
+            config = SystemConfig(record_series=True, track_edges=True,
+                                  batched_delivery=batched)
+            system = FtgcsSystem.build(ClusterGraph.line(3), params,
+                                       seed=11, config=config)
+            results[batched] = system.run_rounds(6)
+        a, b = results[True], results[False]
+        assert a.series == b.series
+        assert a.max_global_skew == b.max_global_skew
+        assert a.max_local_cluster_skew == b.max_local_cluster_skew
+        assert a.max_local_node_skew == b.max_local_node_skew
+        assert a.edge_maxima == b.edge_maxima
+        assert a.messages_sent == b.messages_sent
+        # The batched path is the whole point: far fewer kernel events.
+        assert a.events_processed < b.events_processed
+
+
+class TestReannounceCap:
+    def toggle_edge(self, system, active):
+        for na in system.graph.members(0):
+            for nb in system.graph.members(1):
+                system.network.set_link_active(na, nb, active)
+        system.notify_cluster_edge((0, 1), active)
+
+    def test_capped_run_reports_hits(self, params_fast):
+        config = SystemConfig(
+            enable_max_estimate=True,
+            max_estimate_unit=params_fast.kappa / 4.0,
+            dynamic_estimators=True, max_reannounce_levels=2)
+        system = FtgcsSystem.build(ClusterGraph.line(2), params_fast,
+                                   seed=5, config=config)
+        system.start()
+        # Long enough that every node's announced level far exceeds
+        # the cap of 2 before the outage ends.
+        system.sim.run(20 * params_fast.round_length)
+        self.toggle_edge(system, False)
+        system.sim.run(system.sim.now + 2 * params_fast.round_length)
+        self.toggle_edge(system, True)
+        system.sim.run(system.sim.now + 2 * params_fast.round_length)
+        result = system.result()
+        assert result.reannounce_cap_hits > 0
+        assert result.reannounce_cap_hits == sum(
+            node.stats.reannounce_cap_hits
+            for node in system.honest_nodes())
+
+    def test_uncapped_run_reports_none(self, params_fast):
+        config = SystemConfig(
+            enable_max_estimate=True,
+            max_estimate_unit=params_fast.kappa / 4.0,
+            dynamic_estimators=True, max_reannounce_levels=100_000)
+        system = FtgcsSystem.build(ClusterGraph.line(2), params_fast,
+                                   seed=5, config=config)
+        system.start()
+        system.sim.run(20 * params_fast.round_length)
+        self.toggle_edge(system, False)
+        system.sim.run(system.sim.now + 2 * params_fast.round_length)
+        self.toggle_edge(system, True)
+        system.sim.run(system.sim.now + 2 * params_fast.round_length)
+        result = system.result()
+        assert result.reannounce_cap_hits == 0
+        # The re-announcement itself did happen.
+        assert sum(node.stats.max_reannounce_pulses
+                   for node in system.honest_nodes()) > 0
+
+    def test_cap_must_be_positive(self, params_fast):
+        config = SystemConfig(dynamic_estimators=True,
+                              max_reannounce_levels=0)
+        with pytest.raises(ConfigError):
+            FtgcsSystem.build(ClusterGraph.line(2), params_fast,
+                              seed=5, config=config)
