@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test verify list run bench-quick bench-quick-ci bench bench-record
+.PHONY: test verify list run smoke-t16 bench-quick bench-quick-ci bench bench-record
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,9 +17,15 @@ list:
 	$(PYTHON) -m repro list
 
 # Run one experiment: make run T=t05 [ARGS="--full --processes 4"]
+# Fault-injection smoke: make run T=t16 (the loss x churn robustness
+# grid; quick mode, < 5 s).
 run:
 	@test -n "$(T)" || { echo "usage: make run T=<id> [ARGS=...]"; exit 2; }
 	$(PYTHON) -m repro run $(T) $(ARGS)
+
+# The t16 smoke line by name, for muscle memory.
+smoke-t16:
+	$(PYTHON) -m repro run t16
 
 # Pre-merge smoke check: kernel/substrate microbenchmarks, < 60 s.
 # --check asserts event throughput within 10% of BENCH_kernel.json;

@@ -1,0 +1,25 @@
+"""Benchmark T16: robustness under message loss and node churn."""
+
+from conftest import run_registry
+
+
+def test_t16_robustness(benchmark, show):
+    table = run_registry(benchmark, "t16")
+    show(table)
+    protocols = table.column("protocol")
+    assert set(protocols) == {"ftgcs", "gcs_single", "master_slave"}
+    # The fault-free corner is clean: no losses, crashes, or rejoins.
+    corner = [row for row in table.rows
+              if row[1] == 0.0 and row[2] == 0.0]
+    assert len(corner) == 3
+    assert all(row[5] == 0 and row[7] == 0 for row in corner)
+    # Fault injection actually engaged everywhere else: lossy cells
+    # lose messages, churny cells crash (and rejoin) nodes.
+    lossy = [row for row in table.rows if row[1] > 0.0]
+    churny = [row for row in table.rows if row[2] > 0.0]
+    assert lossy and all(row[5] > 0 for row in lossy)
+    assert churny and sum(row[7] for row in churny) > 0
+    assert churny and sum(row[8] for row in churny) > 0
+    # Skews stay finite — degradation is graceful, not divergent.
+    assert all(0.0 <= value < 50.0
+               for value in table.column("steady local skew"))

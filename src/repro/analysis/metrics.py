@@ -190,6 +190,33 @@ def compute_snapshot(time: float,
                                     include_edges=include_edges)
 
 
+def stabilization_time(samples: "list[tuple[float, float]]",
+                       band: float = 1.2,
+                       tail_fraction: float = 0.3) -> float:
+    """Time by which ``(t, local)`` samples settle into the steady band.
+
+    The steady level is the max local skew over the final
+    ``tail_fraction`` of samples; the stabilization time is the time of
+    the *last* sample exceeding ``band`` times that level (the first
+    sample time when nothing ever exceeds the band — instant
+    stability).  Quantifies recovery after topology events, node
+    crashes, and message loss; ``nan`` on an empty series.
+
+    Pure float arithmetic in input order, so sweep finish steps using
+    it stay bit-identical between serial and pooled runs.
+    """
+    if not samples:
+        return float("nan")
+    tail = samples[int(len(samples) * (1.0 - tail_fraction)):]
+    steady = max(local for _, local in tail)
+    threshold = band * steady
+    settle = samples[0][0]
+    for t, local in samples:
+        if local > threshold:
+            settle = t
+    return settle
+
+
 def log_log_fit(xs: "list[float]", ys: "list[float]"
                 ) -> tuple[float, float, float]:
     """Least-squares power-law fit ``ln y = intercept + slope * ln x``.

@@ -90,12 +90,42 @@ class GcsSingleNode:
         #: neighbor -> (anchor_value, hardware_at_receipt)
         self._estimates: dict[int, tuple[float, float]] = {}
         self._period_index = 1
+        self._crashed = False
+        #: Whether the periodic alarm chain is live (it dies when an
+        #: alarm fires on a crashed node, and rejoin re-arms it).
+        self._armed = False
         self.stats = GcsNodeStats()
 
     def start(self) -> None:
         self._arm()
 
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Go dark: drop incoming messages and let the period alarm
+        chain die at its next firing."""
+        self._crashed = True
+
+    def rejoin(self) -> None:
+        """Come back *with amnesia*: neighbor estimates and mode are
+        gone; the period cadence re-anchors to the (coasted) logical
+        clock and the next broadcast re-seeds the neighbors."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        self._estimates.clear()
+        self.logical.set_gamma(0)
+        if not self._armed:
+            # Re-enter the cadence at the next period boundary the
+            # coasted clock has not yet crossed.
+            self._period_index = int(
+                self.logical.value() / self._params.period) + 1
+            self._arm()
+
     def _arm(self) -> None:
+        self._armed = True
         target = self._period_index * self._params.period
         self.logical.at_value(target, self._on_period, self._period_index)
 
@@ -109,12 +139,17 @@ class GcsSingleNode:
         return value + (self._hardware.value() - hw_at_receipt)
 
     def on_message(self, message, _receive_time: float) -> None:
+        if self._crashed:
+            return
         if isinstance(message, ValueMessage):
             compensated = message.value + self._params.d - self._params.u / 2
             self._estimates[message.sender] = (compensated,
                                                self._hardware.value())
 
     def _on_period(self, index: int) -> None:
+        if self._crashed:
+            self._armed = False
+            return
         self._network.broadcast(self.node_id, ValueMessage(
             sender=self.node_id, value=self.logical.value()))
         estimates = {}
@@ -261,17 +296,38 @@ class GcsSingleSystem:
                 if a not in self.faulty_ids and b not in self.faulty_ids
                 and self.network.link_active(a, b)]
 
+    def crash_node(self, node_id: int) -> None:
+        """Crash one correct node (drops messages, kills its cadence).
+
+        Link deactivation is the caller's job — the protocol adapter
+        owns link state so node and link views cannot disagree.  Liar
+        ids are rejected: the fault model here is churn of *correct*
+        nodes.
+        """
+        if node_id in self.faulty_ids:
+            raise ConfigError(f"cannot crash Byzantine node {node_id}")
+        self.nodes[node_id].crash()
+
+    def rejoin_node(self, node_id: int) -> None:
+        """Rejoin a crashed node with protocol-state amnesia."""
+        if node_id in self.faulty_ids:
+            raise ConfigError(f"cannot rejoin Byzantine node {node_id}")
+        self.nodes[node_id].rejoin()
+
     def max_local_skew(self) -> float:
         """Max |L_a - L_b| over edges between correct nodes, now."""
         worst = 0.0
         for a, b in self.correct_edges():
+            if self.nodes[a].crashed or self.nodes[b].crashed:
+                continue
             skew = abs(self.nodes[a].logical.value()
                        - self.nodes[b].logical.value())
             worst = max(worst, skew)
         return worst
 
     def global_skew(self) -> float:
-        values = [n.logical.value() for n in self.nodes.values()]
+        values = [n.logical.value() for n in self.nodes.values()
+                  if not n.crashed]
         return max(values) - min(values) if values else 0.0
 
     def run(self, until: float, sample_interval: float | None = None

@@ -231,6 +231,37 @@ class FtgcsNode:
         if self.max_estimate is not None:
             self.max_estimate.stop()
 
+    def rejoin(self) -> None:
+        """Come back from :meth:`crash` *with amnesia*.
+
+        The hardware oscillator kept counting through the outage (and
+        with it the uncorrected logical clock, which drifted), but all
+        protocol state is gone: round bookkeeping, estimator values,
+        warm-up status, and max-estimate levels.  Everything restarts
+        through the same first-contact machinery a freshly appearing
+        link uses — the round engine resumes at the round the node's
+        own progress implies (the :meth:`_bring_up` computation),
+        estimators re-seed via ``bring_up`` and must complete a
+        warm-up exchange before re-entering the trigger aggregation
+        (dynamic mode), and gamma resets to the neutral mode.  No-op
+        when not crashed.
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.logical.set_gamma(0)
+        progress = self.logical.value() - self._bases[self.cluster_id]
+        at_round = 1 if progress <= 0 else (
+            self._schedule.rounds_until(progress) + 1)
+        self.core.start(at_round=at_round)
+        for b_cluster in self.estimators:
+            if self._dynamic and not self._link_active.get(b_cluster,
+                                                           True):
+                continue  # stays dormant until first contact
+            self._bring_up(b_cluster)
+        if self.max_estimate is not None:
+            self.max_estimate.start()
+
     @property
     def crashed(self) -> bool:
         return self._crashed

@@ -84,6 +84,9 @@ class BuildContext:
     #: First-contact estimator bring-up (requires the protocol's
     #: ``supports_first_contact`` capability).
     first_contact: bool = False
+    #: Message-loss spec (``{"kind": ..., **kwargs}``; see
+    #: :mod:`repro.net.loss`) or ``None`` for the reliable wire.
+    loss: dict | None = None
     config: dict = field(default_factory=dict)
     payload: dict = field(default_factory=dict)
 
@@ -112,10 +115,26 @@ class ProtocolRunResult:
     series: list = field(default_factory=list)
     edge_maxima: dict[tuple[int, int], float] = field(default_factory=dict)
     messages_sent: int = 0
-    #: Messages dropped by deactivated links (0 on static topologies);
-    #: every adapter's :meth:`SyncProtocol.collect` fills it from its
-    #: network, so dynamic-run message accounting is uniform.
+    #: Total messages dropped, all causes (deactivated links, loss
+    #: model, in-flight quarantine); every adapter's
+    #: :meth:`SyncProtocol.collect` fills it from its network, so
+    #: dynamic-run message accounting is uniform.
     messages_dropped: int = 0
+    #: Drops by a deactivated link specifically (0 on static
+    #: topologies).
+    dropped_link_down: int = 0
+    #: Messages eaten by the attached loss model (0 on a reliable
+    #: wire).
+    messages_lost: int = 0
+    #: Node churn accounting: crash / rejoin-with-amnesia events
+    #: applied during the run (0 without a node-churn schedule).
+    node_crashes: int = 0
+    node_rejoins: int = 0
+    #: Time after which the *local* skew series stays inside its
+    #: steady band (see ``repro.analysis.metrics.stabilization_time``);
+    #: ``inf`` when the run never settles, ``None`` when the protocol
+    #: produced no local-skew series to measure.
+    stabilization_time: float | None = None
     events_processed: int = 0
     #: Max-estimate re-announcements truncated by the configured level
     #: cap (``SystemConfig.max_reannounce_levels``); only the FTGCS
@@ -151,6 +170,11 @@ class SyncProtocol:
     supports_faults: bool = False
     #: Tolerates mid-run edge activation changes (TopologySchedule).
     supports_dynamic_topology: bool = False
+    #: Tolerates whole-node crash/rejoin events
+    #: (:class:`~repro.topology.schedule.NodeChurnSchedule`): the
+    #: protocol implements :meth:`apply_node_event` so a crashed node
+    #: goes dark and a rejoining node re-initializes with amnesia.
+    supports_node_churn: bool = False
     #: Supports first-contact estimator bring-up
     #: (``SystemBuilder.first_contact()``): per-neighbor estimator
     #: state follows the live edge set instead of being frozen at
@@ -166,6 +190,14 @@ class SyncProtocol:
         self.sim = None
         self.network = None
         self.ctx: BuildContext | None = None
+        #: Node-churn accounting, incremented by the generic system as
+        #: it applies schedule node events; adapters copy them into
+        #: :class:`ProtocolRunResult` in :meth:`collect`.
+        self.node_crashes = 0
+        self.node_rejoins = 0
+        #: Network node ids currently down due to node churn; rejoin
+        #: link restoration skips links whose far end is still here.
+        self._crashed_net_nodes: set[int] = set()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -215,6 +247,55 @@ class SyncProtocol:
         for a, b in self.edge_links(*edge):
             self.network.set_link_active(a, b, active)
 
+    def apply_node_event(self, cluster: int, alive: bool,
+                         drop_in_flight: bool = False) -> None:
+        """Apply one node churn event to the live system.
+
+        ``alive=False`` crashes the whole cluster node: every incident
+        link goes down (optionally quarantining in-flight traffic) and
+        the node's volatile state is lost.  ``alive=True`` rejoins it
+        *with amnesia*: links come back and the node re-initializes
+        through its bring-up path.  Protocols declaring
+        ``supports_node_churn`` must override this; the base raises so
+        a capability-flag mismatch can never half-apply churn.
+        """
+        raise ConfigError(
+            f"protocol {self.name!r} does not implement node churn")
+
+    def cluster_nodes(self, cluster: int) -> tuple:
+        """Network node ids realizing topology vertex ``cluster``.
+
+        Cluster-level protocols are one node per vertex (the default);
+        protocols on the augmented node graph override this with the
+        cluster's member set.
+        """
+        return (cluster,)
+
+    def _apply_node_links(self, cluster: int, alive: bool,
+                          drop_in_flight: bool = False) -> None:
+        """Toggle every link incident to a crashing/rejoining vertex.
+
+        Crash downs all incident links (optionally quarantining
+        in-flight messages); rejoin brings them back *except* links
+        whose far end belongs to a vertex that is itself still crashed
+        — those stay dark until that vertex rejoins too.
+        """
+        members = self.cluster_nodes(cluster)
+        if alive:
+            self._crashed_net_nodes.difference_update(members)
+            for node in members:
+                for neighbor in self.network.neighbors(node):
+                    if neighbor in self._crashed_net_nodes:
+                        continue
+                    self.network.set_link_active(node, neighbor, True)
+        else:
+            self._crashed_net_nodes.update(members)
+            for node in members:
+                for neighbor in self.network.neighbors(node):
+                    self.network.set_link_active(
+                        node, neighbor, False,
+                        drop_in_flight=drop_in_flight)
+
     def analysis_system(self):
         """The live object in-worker collectors operate on, or ``None``
         for protocols without collector support."""
@@ -239,12 +320,33 @@ class System:
             raise ConfigError(
                 f"protocol {protocol.name!r} did not set .sim in "
                 f"build_nodes")
+        if ctx.loss:
+            # Uniform loss attachment: every adapter exposes .network,
+            # and the model owns its own derived stream so delay/fault
+            # streams are untouched (opt-out-by-construction).
+            import random as _random
+
+            from repro.net.loss import build_loss_model
+            from repro.sim.rng import derive_seed
+            protocol.network.set_loss_model(build_loss_model(
+                ctx.loss,
+                _random.Random(derive_seed(ctx.seed, "net/loss"))))
         self._started = False
         self._schedule_horizon: float | None = None
         self._schedule_events_applied = 0
+        self._node_events_applied = 0
 
     def _set_edge(self, edge: tuple[int, int], active: bool) -> None:
         self.protocol.apply_edge_event(edge, active)
+
+    def _set_node(self, cluster: int, alive: bool,
+                  drop_in_flight: bool) -> None:
+        self.protocol.apply_node_event(cluster, alive,
+                                       drop_in_flight=drop_in_flight)
+        if alive:
+            self.protocol.node_rejoins += 1
+        else:
+            self.protocol.node_crashes += 1
 
     def _apply_schedule(self, horizon: float) -> None:
         """Schedule edge events up to ``horizon`` (incremental).
@@ -266,14 +368,22 @@ class System:
         if applied is not None and horizon <= applied:
             return
         seed = self.ctx.seed
+        drop = bool(getattr(schedule, "drop_in_flight", False))
         if applied is None:
             for edge in schedule.initial_down(seed):
                 self._set_edge(edge, False)
+            for cluster in schedule.initial_crashed(seed):
+                self._set_node(cluster, False, drop)
         sim = self.protocol.sim
         events = schedule.events(horizon, seed)
         for time, edge, active in events[self._schedule_events_applied:]:
             sim.call_at(time, self._set_edge, edge, active)
         self._schedule_events_applied = len(events)
+        node_events = schedule.node_events(horizon, seed)
+        for time, cluster, alive in node_events[
+                self._node_events_applied:]:
+            sim.call_at(time, self._set_node, cluster, alive, drop)
+        self._node_events_applied = len(node_events)
         self._schedule_horizon = horizon
 
     def start(self, horizon: float | None = None) -> None:
@@ -330,6 +440,7 @@ class SystemBuilder:
         self._strategy_args: tuple = ()
         self._faults_per_cluster: int | None = None
         self._first_contact = False
+        self._loss: dict | None = None
         self._config: dict = {}
         self._payload: dict = {}
 
@@ -381,6 +492,24 @@ class SystemBuilder:
         self._first_contact = bool(enabled)
         return self
 
+    def lossy(self, kind: str = "bernoulli", **kwargs) -> "SystemBuilder":
+        """Attach a message-loss model (fault injection).
+
+        ``kind`` and kwargs follow :func:`repro.net.loss.
+        build_loss_model` — e.g. ``.lossy(rate=0.05)`` for 5%
+        Bernoulli loss, or ``.lossy("burst", p_g2b=0.05, p_b2g=0.3,
+        p_bad=0.8)`` for Gilbert–Elliott bursts.  Validated eagerly so
+        a bad rate fails here, not mid-run.  ``.lossy(None)`` clears.
+        """
+        if kind is None:
+            self._loss = None
+            return self
+        from repro.net.loss import validate_loss_spec
+        spec = {"kind": kind, **kwargs}
+        validate_loss_spec(spec)
+        self._loss = spec
+        return self
+
     def configure(self, **config) -> "SystemBuilder":
         """Merge protocol-family configuration (FTGCS family:
         :class:`~repro.core.system.SystemConfig` kwargs, including
@@ -406,12 +535,17 @@ class SystemBuilder:
             raise ConfigError(
                 f"protocol {protocol.name!r} does not support the "
                 f"named fault-strategy model")
-        if (self._schedule is not None
-                and not self._schedule.is_static
-                and not protocol.supports_dynamic_topology):
-            raise ConfigError(
-                f"protocol {protocol.name!r} does not support dynamic "
-                f"topologies")
+        if self._schedule is not None:
+            if (self._schedule.has_edge_events
+                    and not protocol.supports_dynamic_topology):
+                raise ConfigError(
+                    f"protocol {protocol.name!r} does not support "
+                    f"dynamic topologies")
+            if (self._schedule.has_node_events
+                    and not protocol.supports_node_churn):
+                raise ConfigError(
+                    f"protocol {protocol.name!r} does not support "
+                    f"node churn")
         if self._first_contact and not protocol.supports_first_contact:
             raise ConfigError(
                 f"protocol {protocol.name!r} does not support "
@@ -422,6 +556,7 @@ class SystemBuilder:
             strategy=self._strategy, strategy_args=self._strategy_args,
             faults_per_cluster=self._faults_per_cluster,
             first_contact=self._first_contact,
+            loss=dict(self._loss) if self._loss else None,
             config=dict(self._config), payload=dict(self._payload))
         if protocol.needs_params and ctx.params is None:
             raise ConfigError(

@@ -25,6 +25,7 @@ from repro.analysis.bounds import BoundsReport
 from repro.analysis.metrics import (
     SkewSnapshot,
     pulse_diameters,
+    stabilization_time,
     unanimity_by_round,
 )
 from repro.analysis.sampling import SkewSampler
@@ -161,6 +162,16 @@ class RunResult:
     #: Re-announcements truncated by ``max_reannounce_levels`` (the
     #: undercount stays sound; nonzero means the cap was binding).
     reannounce_cap_hits: int = 0
+    #: Fault-injection accounting (all 0 / None on clean runs):
+    #: messages eaten by the loss model, messages dropped on down
+    #: links, cluster crash / rejoin-with-amnesia events, and the time
+    #: the local-skew series settles into its steady band (``None``
+    #: without a recorded series).
+    messages_lost: int = 0
+    dropped_link_down: int = 0
+    node_crashes: int = 0
+    node_rejoins: int = 0
+    stabilization_time: float | None = None
     series: list[SkewSnapshot] = field(default_factory=list)
     edge_maxima: dict[tuple[int, int], float] = field(default_factory=dict)
 
@@ -258,6 +269,9 @@ class FtgcsSystem:
             cluster_graph.edges, record_series=config.record_series,
             track_edges=config.track_edges)
         self._started = False
+        #: Cluster-level churn events applied to this system.
+        self.node_crashes = 0
+        self.node_rejoins = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -410,15 +424,18 @@ class FtgcsSystem:
     def _build_sample_layout(self) -> None:
         """Precompute the sampling hot path's data layout.
 
-        The correct-node set is fixed at construction time, so the
-        honest-node list, the per-cluster grouping, the bound
+        The honest-node list, the per-cluster grouping, the bound
         ``logical.value`` getters, and the flat per-cluster value
-        buffers are all built exactly once; every sample then only
-        refills the preallocated buffers in stable (cluster, node id)
-        order.
+        buffers are built once at construction — and rebuilt only on a
+        node churn event (:meth:`crash_cluster` /
+        :meth:`rejoin_cluster`), so crashed nodes leave the skew
+        measurement while they are down.  Static runs build exactly
+        once; every sample then only refills the preallocated buffers
+        in stable (cluster, node id) order.
         """
         self._honest = [node for node_id, node in sorted(self.nodes.items())
-                        if node_id not in self.faulty_ids]
+                        if node_id not in self.faulty_ids
+                        and not node.crashed]
         by_cluster: dict[int, list[FtgcsNode]] = {}
         for node in self._honest:
             by_cluster.setdefault(node.cluster_id, []).append(node)
@@ -453,6 +470,44 @@ class FtgcsSystem:
                 node.set_cluster_link(b, active)
             elif node.cluster_id == b:
                 node.set_cluster_link(a, active)
+
+    # ------------------------------------------------------------------
+    # Node churn (crash-and-rejoin fault injection)
+    # ------------------------------------------------------------------
+
+    def crash_cluster(self, cluster: int) -> None:
+        """Crash every correct member node of ``cluster``.
+
+        Each member's engines stop (:meth:`FtgcsNode.crash`) and the
+        crashed nodes leave the skew measurement until they rejoin.
+        Link deactivation is the caller's job (the protocol adapter
+        downs all incident links, optionally quarantining in-flight
+        traffic) so that link state and node state cannot disagree.
+        Byzantine members have no engine state to stop — their links
+        going dark silences them for the outage.
+        """
+        for node_id in self.graph.members(cluster):
+            node = self.nodes.get(node_id)
+            if node is not None and not node.crashed:
+                node.crash()
+        self.node_crashes += 1
+        self._build_sample_layout()
+
+    def rejoin_cluster(self, cluster: int) -> None:
+        """Rejoin ``cluster``'s crashed members with amnesia.
+
+        Members restart through :meth:`FtgcsNode.rejoin` — round
+        engine re-entered at the round their own (drifted) progress
+        implies, estimators re-seeded via the first-contact bring-up
+        path — and re-enter the skew measurement immediately, so the
+        recovery transient is visible in the sampled series.
+        """
+        for node_id in self.graph.members(cluster):
+            node = self.nodes.get(node_id)
+            if node is not None and node.crashed:
+                node.rejoin()
+        self.node_rejoins += 1
+        self._build_sample_layout()
 
     # ------------------------------------------------------------------
     # Running
@@ -578,6 +633,14 @@ class FtgcsSystem:
                                   for n in honest),
             reannounce_cap_hits=sum(n.stats.reannounce_cap_hits
                                     for n in honest),
+            messages_lost=self.network.dropped_loss,
+            dropped_link_down=self.network.dropped_link_down,
+            node_crashes=self.node_crashes,
+            node_rejoins=self.node_rejoins,
+            stabilization_time=(stabilization_time(
+                [(s.time, s.max_local_cluster)
+                 for s in self.sampler.series])
+                if self.sampler.series else None),
             series=self.sampler.series,
             edge_maxima=dict(self.sampler.maxima.edge_maxima))
 

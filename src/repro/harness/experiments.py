@@ -734,25 +734,15 @@ def _fast_gcs_params(mu: float = 0.05, period: float = 2.0) -> GcsParams:
 
 def _stabilization_time(samples, band: float = 1.2,
                         tail_fraction: float = 0.3) -> float:
-    """Time by which ``(t, local)`` samples settle into the steady band.
+    """Shim over :func:`repro.analysis.metrics.stabilization_time`.
 
-    The steady level is the max local skew over the final
-    ``tail_fraction`` of samples; the stabilization time is the time of
-    the *last* sample exceeding ``band`` times that level (the first
-    sample time when nothing ever exceeds the band — instant
-    stability).  Used by the adversarial-schedule rows to quantify
-    recovery after topology events.
+    The metric was born here (T13's adversarial-schedule rows) and now
+    lives in the analysis layer, where protocol adapters also use it;
+    this name stays so existing callers and notes are unchanged.
     """
-    if not samples:
-        return float("nan")
-    tail = samples[int(len(samples) * (1.0 - tail_fraction)):]
-    steady = max(local for _, local in tail)
-    threshold = band * steady
-    settle = samples[0][0]
-    for t, local in samples:
-        if local > threshold:
-            settle = t
-    return settle
+    from repro.analysis.metrics import stabilization_time
+    return stabilization_time(samples, band=band,
+                              tail_fraction=tail_fraction)
 
 
 @REGISTRY.experiment(
@@ -1070,6 +1060,138 @@ def t15_plan(quick: bool, seed: int) -> ExperimentPlan:
 
 
 # ----------------------------------------------------------------------
+# T16 — Robustness: message loss x node churn (deployment-grade faults)
+# ----------------------------------------------------------------------
+
+@REGISTRY.experiment(
+    "t16",
+    title="T16  Robustness: skew vs message loss and node churn",
+    claim="Under deployment-grade fault injection — Bernoulli message "
+          "loss on every link and whole-node crash-and-rejoin churn "
+          "(rejoin with protocol-state amnesia through the bring-up "
+          "path) — every faulted cell degrades relative to the "
+          "fault-free corner and FTGCS re-enters its steady band "
+          "after each churn wave.  FTGCS skew peaks at *moderate* "
+          "loss: heavy loss starves estimates low and the triggers "
+          "fail slow (the sound direction), trading clock progress "
+          "for gradient.  The zero/zero corner is bit-identical to "
+          "the fault-free tables.",
+    columns=["protocol", "loss", "churn", "steady local skew",
+             "stabilized by", "lost", "link-down", "crashes", "rejoins"],
+    default_seed=16)
+def t16_plan(quick: bool, seed: int) -> ExperimentPlan:
+    params = fast_dynamics_params(f=1)
+    gcs_params = _fast_gcs_params()
+    loss_rates = (0.0, 0.05, 0.2) if quick else (0.0, 0.02, 0.05,
+                                                 0.1, 0.2)
+    churn_rates = (0.0, 0.1) if quick else (0.0, 0.05, 0.15)
+    rounds = 12 if quick else 30
+    ms_rounds = 15 if quick else 40
+    reps = 2 if quick else 4
+    interval = 2.0 * params.round_length
+    gcs_horizon = 600.0 if quick else 1500.0
+    gcs_interval = 50.0
+    rejoin = 0.8
+
+    def churned(scenario, crash, churn_interval, protect=()):
+        if crash == 0.0:
+            # No schedule at all: the fault-free corner runs the
+            # exact static code path (byte-identity, not just zero
+            # counters).
+            return scenario
+        return scenario.churn_nodes(interval=churn_interval,
+                                    crash=crash, rejoin=rejoin,
+                                    protect=protect)
+
+    grid = [(loss, churn) for loss in loss_rates
+            for churn in churn_rates]
+    specs = []
+    for loss, churn in grid:
+        for rep in range(reps):
+            specs.append(
+                churned(Scenario.line(4).params(params).rounds(rounds)
+                        .lossy(rate=loss), churn, interval)
+                .tag("ftgcs", loss, churn, rep).build())
+        for rep in range(reps):
+            specs.append(
+                churned(Scenario.line(4).protocol("gcs_single")
+                        .payload(params=gcs_params, until=gcs_horizon)
+                        .lossy(rate=loss), churn, gcs_interval)
+                .tag("gcs_single", loss, churn, rep).build())
+        # Master-slave: churn is link silencing only (no bring-up
+        # path to lose state through); the root is protected so the
+        # tree still has a master to chase.
+        for rep in range(reps):
+            specs.append(
+                churned(Scenario.line(4).protocol("master_slave")
+                        .params(params).rounds(ms_rounds)
+                        .payload(record_series=True)
+                        .lossy(rate=loss), churn, interval,
+                        protect=(0,))
+                .tag("master_slave", loss, churn, rep).build())
+
+    def steady_local(result) -> float:
+        """Steady-band local skew: max over the final 30% of samples
+        (the level the run settles to under *sustained* faults)."""
+        series = result.series
+        if not series:
+            return result.max_local_skew
+        if isinstance(series[0], tuple):  # gcs: (t, local, global)
+            locals_ = [s[1] for s in series]
+        else:  # SkewSnapshot list
+            locals_ = [s.max_local_cluster for s in series]
+        return max(locals_[int(len(locals_) * 0.7):])
+
+    def finish(cells, table: Table) -> Table:
+        per_point = 3 * reps
+        for (loss, churn), index in zip(
+                grid, range(0, len(cells), per_point)):
+            point = cells[index:index + per_point]
+            for offset in range(0, per_point, reps):
+                group = point[offset:offset + reps]
+                results = [cell.result for cell in group]
+                settles = [r.stabilization_time for r in results
+                           if r.stabilization_time is not None]
+                table.add_row(
+                    group[0].key[0], loss, churn,
+                    sum(steady_local(r) for r in results) / reps,
+                    (sum(settles) / len(settles) if settles
+                     else float("nan")),
+                    sum(r.messages_lost for r in results),
+                    sum(r.dropped_link_down for r in results),
+                    sum(r.node_crashes for r in results),
+                    sum(r.node_rejoins for r in results))
+        table.add_note(
+            f"loss: i.i.d. Bernoulli per message from a dedicated "
+            f"seed stream (delay draws untouched); churn: every "
+            f"interval (ftgcs/ms: {interval:.3g}, gcs: "
+            f"{gcs_interval:.3g}) each alive node crashes with the "
+            f"churn probability and each crashed one rejoins with "
+            f"p={rejoin:g} — whole node dark, state lost, rejoin "
+            f"through the amnesiac bring-up path")
+        table.add_note(
+            "master_slave churn silences links only (its root is "
+            "protected); the three algorithms run their own parameter "
+            "scales, so compare trends down a column, not across "
+            "algorithms")
+        table.add_note(
+            f"'stabilized by' = time of the last local-skew sample "
+            f"above 1.2x the steady (final-30%) level; 'lost' counts "
+            f"random-loss drops, 'link-down' drops on dark links; "
+            f"skew/stabilization are means over {reps} seeds, "
+            f"counters are totals")
+        table.add_note(
+            "FTGCS skew is not monotone in loss: moderate loss "
+            "maximizes asymmetric estimate staleness, while heavy "
+            "loss starves estimates low so triggers fail slow — the "
+            "skew tightens but the clocks visibly lag real time "
+            "(progress, not gradient, is what heavy loss costs)")
+        return table
+
+    return ExperimentPlan(specs=specs, finish=finish)
+
+
+# ----------------------------------------------------------------------
 # Backward-compatible wrappers
 # ----------------------------------------------------------------------
 
@@ -1208,6 +1330,15 @@ def t15_t_interval(quick: bool = True, seed: int = 15,
                           processes=processes)
 
 
+def t16_robustness(quick: bool = True, seed: int = 16,
+                   processes: int | None = None) -> Table:
+    """Robustness sweep: local skew, stabilization time, and loss/churn
+    accounting for FTGCS vs the GCS and master-slave baselines over a
+    message-loss-rate x node-churn-rate grid."""
+    return run_experiment("t16", quick=quick, seed=seed,
+                          processes=processes)
+
+
 #: All experiments, for "run everything" entry points.
 ALL_EXPERIMENTS = {
     "t01": t01_local_skew_vs_diameter,
@@ -1225,6 +1356,7 @@ ALL_EXPERIMENTS = {
     "t13": t13_dynamic_networks,
     "t14": t14_parameter_grid,
     "t15": t15_t_interval,
+    "t16": t16_robustness,
 }
 
 

@@ -32,7 +32,9 @@ from repro.harness.sweep import (
     STRATEGIES,
     ScenarioSpec,
 )
-from repro.topology.schedule import SCHEDULES
+from repro.net.loss import validate_loss_spec
+from repro.topology.cluster_graph import ClusterGraph
+from repro.topology.schedule import SCHEDULES, build_schedule
 
 #: Built-in kinds that never read ``spec.schedule`` — pairing them
 #: with ``.dynamic(...)`` is a misconfiguration caught at build time.
@@ -129,6 +131,29 @@ class Scenario:
         ``supports_first_contact`` (checked at :meth:`build`)."""
         return self._with(first_contact=bool(enabled))
 
+    def lossy(self, kind: str = "bernoulli", **kwargs) -> "Scenario":
+        """Attach a random message-loss model to the network, e.g.
+        ``.lossy(rate=0.05)`` (Bernoulli) or ``.lossy("burst",
+        p_g2b=0.02, p_b2g=0.3, p_bad=0.9)`` (Gilbert–Elliott).  The
+        spec is validated at :meth:`build`; loss draws come from a
+        dedicated seed stream, so delay sequences are untouched and a
+        zero-rate model stays bit-identical to no model."""
+        return self._with(loss={"kind": kind, **kwargs})
+
+    def churn_nodes(self, interval: float, crash: float,
+                    rejoin: float = 0.5, protect: tuple = (),
+                    drop_in_flight: bool = True) -> "Scenario":
+        """Crash-and-rejoin node churn: sugar for
+        ``.dynamic("node_churn", ...)``.  Every ``interval`` each
+        alive unprotected vertex crashes with probability ``crash``
+        (whole node down: links dark, state lost) and each crashed one
+        rejoins with probability ``rejoin`` through the protocol's
+        amnesiac bring-up path.  The protocol must declare
+        ``supports_node_churn`` (checked at :meth:`build`)."""
+        return self.dynamic("node_churn", interval=interval, crash=crash,
+                            rejoin=rejoin, protect=tuple(protect),
+                            drop_in_flight=drop_in_flight)
+
     def params(self, params: Parameters) -> "Scenario":
         """Attach the full FTGCS parameter set."""
         return self._with(params=params)
@@ -215,11 +240,24 @@ class Scenario:
                 name = protocol or "ftgcs"
             elif kind in _LEGACY_PROTOCOL_KINDS:
                 name = kind
-            if (name is not None
-                    and not get_protocol(name).supports_dynamic_topology):
-                raise ConfigError(
-                    f"protocol {name!r} does not support dynamic "
-                    f"topologies")
+            if name is not None:
+                # Capability check by what the schedule class actually
+                # emits: edge events need supports_dynamic_topology,
+                # node events supports_node_churn (a node-churn-only
+                # schedule is legal on e.g. master_slave, which cannot
+                # track per-edge estimator state).
+                cls = SCHEDULES[schedule]
+                proto = get_protocol(name)
+                from repro.topology.schedule import TopologySchedule
+                if (cls.events is not TopologySchedule.events
+                        and not proto.supports_dynamic_topology):
+                    raise ConfigError(
+                        f"protocol {name!r} does not support dynamic "
+                        f"topologies")
+                if (cls.node_events is not TopologySchedule.node_events
+                        and not proto.supports_node_churn):
+                    raise ConfigError(
+                        f"protocol {name!r} does not support node churn")
         if fields.get("first_contact"):
             if kind in _SCHEDULE_BLIND_KINDS:
                 raise ConfigError(
@@ -235,6 +273,25 @@ class Scenario:
                 raise ConfigError(
                     f"protocol {name!r} does not support first-contact "
                     f"estimator bring-up")
+        loss = fields.get("loss")
+        if loss:
+            if kind in _SCHEDULE_BLIND_KINDS or kind == "augment_counts":
+                raise ConfigError(
+                    f"cell kind {kind!r} has no network; .lossy(...) "
+                    f"needs a protocol cell")
+            validate_loss_spec(loss)
+        if schedule == "node_churn":
+            # Churn-arg typos should fail where the grid is written,
+            # not inside a pool worker: construct the schedule against
+            # the cell's own graph (cheap — no simulation).
+            graph_name = fields.get("graph")
+            if graph_name:
+                graph_factory = getattr(ClusterGraph, graph_name, None)
+                if graph_factory is not None:
+                    build_schedule(
+                        "node_churn",
+                        graph_factory(*fields.get("graph_args", ())),
+                        **fields.get("schedule_args", {}))
         strategy = fields.get("strategy")
         if strategy is not None and strategy not in STRATEGIES:
             raise ConfigError(f"unknown strategy {strategy!r}; known: "

@@ -161,6 +161,12 @@ class ScenarioSpec:
         For ``"protocol"`` cells: enable first-contact estimator
         bring-up (``SystemBuilder.first_contact``); the protocol must
         declare ``supports_first_contact``.
+    loss:
+        For ``"protocol"`` cells: a message-loss spec
+        (``{"kind": "bernoulli"|"burst", ...}``, see
+        :func:`repro.net.loss.build_loss_model`) attached to the
+        network via ``SystemBuilder.lossy``.  Empty dict: no loss
+        model at all (bit-identical to the historical path).
     payload:
         Kind- or protocol-specific picklable knobs (e.g. the
         master-slave ``jump`` flag, the Monte Carlo
@@ -186,6 +192,7 @@ class ScenarioSpec:
     schedule: str = "static"
     schedule_args: dict = field(default_factory=dict)
     first_contact: bool = False
+    loss: dict = field(default_factory=dict)
     payload: dict = field(default_factory=dict)
     collect: tuple = ()
 
@@ -302,6 +309,8 @@ def _run_protocol_cell(spec: ScenarioSpec) -> SweepCellResult:
     builder.rounds(spec.rounds).seed(spec.seed)
     if spec.first_contact:
         builder.first_contact(True)
+    if spec.loss:
+        builder.lossy(**spec.loss)
     if spec.strategy is not None:
         builder.faults(spec.strategy, *spec.strategy_args,
                        per_cluster=spec.faults_per_cluster)

@@ -18,6 +18,24 @@ Models provided:
   other, the classic configuration that maximizes one-round estimation
   error.
 * :class:`PolicyDelay` — arbitrary callable, for adversarial schedules.
+
+Out-of-model delays (fault injection)
+-------------------------------------
+Two models deliberately step *outside* the paper's envelope to measure
+graceful degradation (they set the class attribute
+``in_model = False``, which tells the network to skip envelope
+validation and only require non-negative draws):
+
+* :class:`ParetoDelay` — heavy-tailed delays ``(d - U) + Pareto``.
+  The documented out-of-model policy: with ``policy="clamp"`` every
+  sample is clamped into ``[d-U, d]`` (in-model marginal with a point
+  mass at ``d``; useful as a sanity anchor), with ``policy="exceed"``
+  (the default) samples beyond ``d`` are delivered late, exactly as
+  drawn — late messages are *stale but not reordered against physics*,
+  and the protocol under test must absorb them.
+* :class:`AsymmetricDelay` — composes two models, one per direction,
+  so one direction of a link can be heavy-tailed while the other stays
+  uniform (asymmetric routes, half-duplex contention).
 """
 
 from __future__ import annotations
@@ -31,6 +49,12 @@ from repro.errors import NetworkError
 
 class DelayModel(ABC):
     """Draws the delay for one message on one directed link."""
+
+    #: True when every draw is guaranteed to lie in ``[d - U, d]``;
+    #: the network validates such draws against the envelope.  Models
+    #: that inject out-of-model delays (fault injection) set this
+    #: False, and the network then only requires non-negative draws.
+    in_model: bool = True
 
     @abstractmethod
     def draw(self, sender: int, receiver: int, now: float) -> float:
@@ -110,3 +134,77 @@ class PolicyDelay(DelayModel):
 
     def draw(self, sender: int, receiver: int, now: float) -> float:
         return self._policy(sender, receiver, now)
+
+
+class ParetoDelay(DelayModel):
+    """Heavy-tailed delay: ``(d - U) + U * (Pareto(alpha) - 1)``.
+
+    The Pareto variate has scale 1 and shape ``alpha``, so the minimum
+    delay is exactly ``d - U`` and the *median* stays near the uniform
+    model's range, but the tail decays polynomially — occasional
+    samples land far beyond ``d``.  Out-of-model policy for those
+    samples (the explicit knob this class exists for):
+
+    ``policy="exceed"`` (default)
+        Deliver late, exactly as drawn.  The run leaves the paper's
+        model; skew bounds are no longer guaranteed and the measured
+        degradation is the experiment's subject.
+    ``policy="clamp"``
+        Clamp into ``[d - U, d]``.  In-model marginal with a point
+        mass at ``d``; the sanity anchor for A/B runs.
+
+    Smaller ``alpha`` means heavier tails (``alpha <= 1`` has infinite
+    mean — legal here, brutal on the protocol).
+    """
+
+    in_model = False
+
+    def __init__(self, d: float, u: float, alpha: float,
+                 rng: random.Random, policy: str = "exceed") -> None:
+        if d <= 0:
+            raise NetworkError(f"d must be positive: {d!r}")
+        if not 0 < u <= d:
+            raise NetworkError(f"need 0 < U <= d: U={u!r}, d={d!r}")
+        if alpha <= 0:
+            raise NetworkError(f"alpha must be positive: {alpha!r}")
+        if policy not in ("exceed", "clamp"):
+            raise NetworkError(
+                f"policy must be 'exceed' or 'clamp': {policy!r}")
+        self._d = d
+        self._u = u
+        self._alpha = alpha
+        self._rng = rng
+        self._clamp = policy == "clamp"
+        # Clamped draws are in-model by construction; declare it so
+        # the network keeps validating them.
+        if self._clamp:
+            self.in_model = True
+
+    def draw(self, sender: int, receiver: int, now: float) -> float:
+        # Inverse-CDF Pareto with scale 1: x = (1 - U)^(-1/alpha).
+        x = (1.0 - self._rng.random()) ** (-1.0 / self._alpha)
+        delay = (self._d - self._u) + self._u * (x - 1.0)
+        if self._clamp and delay > self._d:
+            return self._d
+        return delay
+
+
+class AsymmetricDelay(DelayModel):
+    """Direction-split composite: ``forward`` when ``sender <
+    receiver``, else ``backward``.
+
+    Each direction delegates to its own full :class:`DelayModel`, so
+    e.g. one direction can be :class:`ParetoDelay` while the other is
+    :class:`UniformDelay`.  The composite is in-model only if both
+    halves are.
+    """
+
+    def __init__(self, forward: DelayModel,
+                 backward: DelayModel) -> None:
+        self._forward = forward
+        self._backward = backward
+        self.in_model = forward.in_model and backward.in_model
+
+    def draw(self, sender: int, receiver: int, now: float) -> float:
+        model = self._forward if sender < receiver else self._backward
+        return model.draw(sender, receiver, now)

@@ -1,0 +1,186 @@
+"""Message-loss models (out-of-model fault injection).
+
+The paper's model has perfectly reliable links: every message sent over
+an active link arrives within ``[d - U, d]``.  Deployed networks do
+not.  A :class:`LossModel` decides, per message, whether the wire eats
+it — *before* any delay is drawn, so attaching a loss model never
+perturbs the delay streams (opt-out-by-construction: a run without a
+loss model, or with :class:`NoLoss`, is byte-identical to a run built
+before this module existed).
+
+Models provided:
+
+* :class:`NoLoss` — never drops; the explicit "reliable wire" object.
+* :class:`BernoulliLoss` — i.i.d. per-message drop with probability
+  ``rate``, one shared seeded stream (draw order is the deterministic
+  send order, so runs replay exactly).
+* :class:`BurstLoss` — Gilbert–Elliott two-state chain per *directed*
+  link: a ``good`` state dropping with probability ``p_good`` and a
+  ``bad`` state dropping with probability ``p_bad``, with per-message
+  transition probabilities ``p_g2b`` / ``p_b2g``.  Models correlated
+  (bursty) loss — interference, congested queues — that i.i.d. loss
+  cannot.
+
+:func:`build_loss_model` maps the picklable spec dict carried by
+:class:`~repro.harness.sweep.ScenarioSpec` onto a model instance;
+:func:`validate_loss_spec` performs the same argument checks eagerly
+(``Scenario.build()`` calls it so a bad rate fails at build time, not
+mid-sweep inside a pool worker).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigError, NetworkError
+
+
+class LossModel(ABC):
+    """Decides, per message on one directed link, whether to drop it."""
+
+    @abstractmethod
+    def drop(self, sender: int, receiver: int, now: float) -> bool:
+        """True if the message sent now on ``sender -> receiver`` is
+        lost in transit."""
+
+
+class NoLoss(LossModel):
+    """Never drops a message (the paper's reliable-link model)."""
+
+    def drop(self, sender: int, receiver: int, now: float) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """I.i.d. per-message loss with probability ``rate``.
+
+    All links share one stream; because honest send order is itself
+    deterministic, the per-link drop pattern replays exactly for a
+    fixed seed.  ``rate=0.0`` never draws from the stream at all, so a
+    zero-rate model is measurement-identical to :class:`NoLoss`.
+    """
+
+    def __init__(self, rate: float, rng: random.Random) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise NetworkError(
+                f"loss rate must be in [0, 1): {rate!r}")
+        self._rate = rate
+        self._rng = rng
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    def drop(self, sender: int, receiver: int, now: float) -> bool:
+        if self._rate == 0.0:
+            return False
+        return self._rng.random() < self._rate
+
+
+class BurstLoss(LossModel):
+    """Gilbert–Elliott bursty loss, one two-state chain per directed
+    link.
+
+    Each message first advances the link's chain (``good -> bad`` with
+    probability ``p_g2b``, ``bad -> good`` with ``p_b2g``), then drops
+    with the new state's loss probability (``p_good`` resp. ``p_bad``).
+    Chains start in ``good``.  State is keyed by the directed pair, so
+    forward and backward traffic on one physical link burst
+    independently — matching directional interference.
+    """
+
+    def __init__(self, p_g2b: float, p_b2g: float,
+                 p_bad: float, rng: random.Random,
+                 p_good: float = 0.0) -> None:
+        for name, p in (("p_g2b", p_g2b), ("p_b2g", p_b2g),
+                        ("p_good", p_good)):
+            if not 0.0 <= p <= 1.0:
+                raise NetworkError(
+                    f"{name} must be in [0, 1]: {p!r}")
+        if not 0.0 <= p_bad <= 1.0:
+            # 1.0 is legal: the bad state is transient (it exits with
+            # p_b2g), so total in-burst loss cannot silence a link
+            # forever the way a Bernoulli rate of 1.0 would.
+            raise NetworkError(
+                f"p_bad must be in [0, 1]: {p_bad!r}")
+        self._p_g2b = p_g2b
+        self._p_b2g = p_b2g
+        self._p_good = p_good
+        self._p_bad = p_bad
+        self._rng = rng
+        #: Directed pair -> True while the link is in the bad state.
+        self._bad: dict[tuple[int, int], bool] = {}
+
+    def drop(self, sender: int, receiver: int, now: float) -> bool:
+        key = (sender, receiver)
+        bad = self._bad.get(key, False)
+        rng = self._rng
+        if bad:
+            if rng.random() < self._p_b2g:
+                bad = False
+        else:
+            if rng.random() < self._p_g2b:
+                bad = True
+        self._bad[key] = bad
+        p = self._p_bad if bad else self._p_good
+        if p == 0.0:
+            return False
+        return rng.random() < p
+
+
+#: Loss-spec kinds accepted by :func:`build_loss_model`.
+LOSS_KINDS = ("bernoulli", "burst")
+
+
+def validate_loss_spec(spec: dict) -> None:
+    """Eagerly validate a loss-spec dict (raises :class:`ConfigError`).
+
+    The spec shape is ``{"kind": ..., **kwargs}`` with kinds
+    ``"bernoulli"`` (kwarg ``rate``) and ``"burst"`` (kwargs ``p_g2b``,
+    ``p_b2g``, ``p_bad``, optional ``p_good``).  Called by
+    ``Scenario.build()`` so malformed specs fail before any sweep cell
+    is dispatched.
+    """
+    if not isinstance(spec, dict):
+        raise ConfigError(f"loss spec must be a dict: {spec!r}")
+    kind = spec.get("kind")
+    if kind not in LOSS_KINDS:
+        raise ConfigError(
+            f"unknown loss kind {kind!r}; known: {list(LOSS_KINDS)}")
+    try:
+        # Building against a throwaway RNG runs the constructors'
+        # argument checks without consuming any real stream.
+        build_loss_model(spec, random.Random(0))
+    except NetworkError as exc:
+        raise ConfigError(f"bad loss spec {spec!r}: {exc}") from exc
+    except TypeError as exc:
+        raise ConfigError(f"bad loss spec {spec!r}: {exc}") from exc
+
+
+def build_loss_model(spec: dict, rng: random.Random) -> LossModel:
+    """Instantiate the loss model described by ``spec``.
+
+    ``rng`` must be a dedicated stream (the builders derive it as
+    ``derive_seed(seed, "net/loss")``) so loss draws never perturb
+    delay or fault streams.
+    """
+    kind = spec.get("kind")
+    kwargs = {k: v for k, v in spec.items() if k != "kind"}
+    if kind == "bernoulli":
+        return BernoulliLoss(rng=rng, **kwargs)
+    if kind == "burst":
+        return BurstLoss(rng=rng, **kwargs)
+    raise ConfigError(
+        f"unknown loss kind {kind!r}; known: {list(LOSS_KINDS)}")
+
+
+__all__ = [
+    "LOSS_KINDS",
+    "BernoulliLoss",
+    "BurstLoss",
+    "LossModel",
+    "NoLoss",
+    "build_loss_model",
+    "validate_loss_spec",
+]

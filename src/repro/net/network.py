@@ -25,8 +25,31 @@ wire: a down link silently carries nothing (sends are dropped,
 broadcasts skip it) while the structural link set — and therefore
 :meth:`neighbors` — is unchanged.  Messages already in flight when a
 link goes down still deliver (the packet left the sender while the
-link was up).  Static runs never populate the inactive set, so the
-hot paths stay byte-identical to the static-only implementation.
+link was up), unless the deactivation asked for in-flight quarantine
+(``set_link_active(..., drop_in_flight=True)`` — the crashed-node
+semantics, where queued deliveries die with the node).  Static runs
+never populate the inactive set, so the hot paths stay byte-identical
+to the static-only implementation.
+
+Fault injection (lossy links, out-of-model delays)
+--------------------------------------------------
+A :class:`~repro.net.loss.LossModel` attached via
+:meth:`Network.set_loss_model` may eat messages on otherwise-active
+links.  The loss decision happens *before* the delay draw, from the
+loss model's own seeded stream, so attaching (or detaching) a loss
+model never perturbs delay streams — a run without one is
+byte-identical to a run built before loss existed.  Drops are
+accounted by cause: ``dropped_link_down`` (deactivated link),
+``dropped_loss`` (loss model), ``dropped_in_flight`` (quarantined by a
+``drop_in_flight`` deactivation); the legacy ``messages_dropped`` name
+remains as their sum.
+
+Delay models declaring ``in_model = False`` (e.g.
+:class:`~repro.net.delays.ParetoDelay` with the ``"exceed"`` policy)
+bypass the ``[d - U, d]`` envelope check — only non-negativity is
+enforced — so experiments can measure degradation under heavy-tailed
+delays.  See :mod:`repro.net.delays` for the documented out-of-model
+policy.
 
 Batched delivery (the default fast path)
 ----------------------------------------
@@ -54,11 +77,12 @@ family).
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable
 
 from repro.errors import NetworkError
 from repro.net.delays import DelayModel, UniformDelay
+from repro.net.loss import LossModel
 from repro.sim.kernel import Simulator
 
 #: Numeric slack when validating drawn delays against [d-U, d].
@@ -107,10 +131,11 @@ class Network:
         #: with one falsy test.
         self._inactive: set[tuple[int, int]] = set()
         self.batched = bool(batched)
-        #: Pending ``(time, seq, receiver, message)`` deliveries
-        #: (batched mode); ``seq`` comes from the kernel's counter so
-        #: ordering against kernel events matches the legacy stream.
-        self._pending: list[tuple[float, int, int, Any]] = []
+        #: Pending ``(time, seq, receiver, message, sender)``
+        #: deliveries (batched mode); ``seq`` comes from the kernel's
+        #: counter so ordering against kernel events matches the
+        #: legacy stream.
+        self._pending: list[tuple[float, int, int, Any, int]] = []
         #: ``(time, seq)`` of the earliest armed flush event, or
         #: ``None``.  Invariant: whenever ``_pending`` is non-empty
         #: (and no drain is active), a flush is armed at a key <= the
@@ -123,9 +148,15 @@ class Network:
         #: with this exact object so the drain can recognize (and
         #: absorb) this network's own events by identity.
         self._flush_cb = self._flush
+        #: Message-loss model on active links, or ``None`` (reliable
+        #: wire).  ``None`` keeps the hot paths on one falsy test.
+        self._loss: LossModel | None = None
         self.messages_sent = 0
         self.messages_delivered = 0
-        self.messages_dropped = 0
+        #: Drops by cause; ``messages_dropped`` (property) is the sum.
+        self.dropped_link_down = 0
+        self.dropped_loss = 0
+        self.dropped_in_flight = 0
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -138,6 +169,25 @@ class Network:
     @property
     def u(self) -> float:
         return self._u
+
+    @property
+    def messages_dropped(self) -> int:
+        """Total drops, all causes (the pre-split legacy counter)."""
+        return (self.dropped_link_down + self.dropped_loss
+                + self.dropped_in_flight)
+
+    def set_loss_model(self, model: LossModel | None) -> None:
+        """Attach (or clear) the message-loss model.
+
+        The model applies to every active link; it is consulted before
+        the delay draw, so it must own a dedicated RNG stream (the
+        builders derive ``"net/loss"``) to keep delay streams
+        untouched.
+        """
+        if model is not None and not isinstance(model, LossModel):
+            raise NetworkError(
+                f"loss model must be a LossModel: {model!r}")
+        self._loss = model
 
     def add_node(self, node_id: int,
                  handler: Handler | None = None) -> None:
@@ -196,13 +246,21 @@ class Network:
     def has_link(self, a: int, b: int) -> bool:
         return b in self._adjacency.get(a, ())
 
-    def set_link_active(self, a: int, b: int, active: bool) -> None:
+    def set_link_active(self, a: int, b: int, active: bool,
+                        drop_in_flight: bool = False) -> None:
         """Activate or deactivate the existing link ``{a, b}``.
 
         Deactivation is a *transmission* state, not a structural one:
         the link (and delay model) stays registered, but sends are
         dropped and broadcasts skip it until re-activation.
         Idempotent in both directions.
+
+        By default messages already in flight still deliver (the
+        packet left the sender while the link was up).
+        ``drop_in_flight=True`` additionally quarantines every queued
+        delivery on the link (both directions) — the crashed-node
+        semantics, where the receiver's queue dies with it.  Counted
+        in ``dropped_in_flight``.
         """
         if b not in self._adjacency.get(a, ()):
             raise NetworkError(f"no such link: {{{a!r}, {b!r}}}")
@@ -212,6 +270,41 @@ class Network:
         else:
             self._inactive.add((a, b))
             self._inactive.add((b, a))
+            if drop_in_flight:
+                self._quarantine_in_flight(((a, b), (b, a)))
+
+    def _quarantine_in_flight(
+            self, pairs: tuple[tuple[int, int], ...]) -> None:
+        """Drop queued deliveries traversing the directed ``pairs``.
+
+        Batched mode filters the delivery heap; legacy mode lazily
+        cancels the matching per-message kernel events.  Neither path
+        perturbs sequence allocation, so the surviving deliveries keep
+        their exact legacy ordering.
+        """
+        dropped = 0
+        directed = set(pairs)
+        if self._pending:
+            kept = [entry for entry in self._pending
+                    if (entry[4], entry[2]) not in directed]
+            dropped += len(self._pending) - len(kept)
+            if dropped:
+                heapify(kept)
+                self._pending = kept
+        # Legacy per-message events (and any scheduled before a
+        # batched-mode switch): cancel without reordering survivors.
+        # NB: ``==``, not ``is`` — every ``self._deliver`` access makes
+        # a fresh bound-method object; they compare equal, never
+        # identical.
+        deliver = self._deliver
+        for _, _, event in self._sim._queue._heap:
+            if (event.callback == deliver and not event.cancelled
+                    and not event.fired):
+                args = event.args
+                if len(args) >= 3 and (args[2], args[0]) in directed:
+                    self._sim.cancel(event)
+                    dropped += 1
+        self.dropped_in_flight += dropped
 
     def link_active(self, a: int, b: int) -> bool:
         """Whether the existing link ``{a, b}`` currently carries
@@ -245,26 +338,43 @@ class Network:
                 f"delay {delay!r} outside envelope [{self._d - self._u!r}, "
                 f"{self._d!r}]")
 
+    def _validate_drawn(self, model: DelayModel, delay: float) -> None:
+        """Envelope-check a model draw; out-of-model models (fault
+        injection) only need non-negativity."""
+        if model.in_model:
+            self._validate_delay(delay)
+        elif delay < 0:
+            raise NetworkError(
+                f"delay must be non-negative: {delay!r}")
+
     def send(self, sender: int, receiver: int, message: Any) -> None:
         """Unicast ``message`` with a model-drawn delay.
 
         A deactivated link drops the message silently (counted in
-        ``messages_dropped``): the sender cannot observe a down link.
+        ``dropped_link_down``): the sender cannot observe a down link.
+        An attached loss model may also eat it (``dropped_loss``) —
+        decided before the delay draw, so the delay stream is
+        loss-independent.
         """
         if receiver not in self._adjacency.get(sender, ()):
             raise NetworkError(
                 f"{sender!r} is not adjacent to {receiver!r}")
         if self._inactive and (sender, receiver) in self._inactive:
-            self.messages_dropped += 1
+            self.dropped_link_down += 1
             return
-        delay = self._model_for(sender, receiver).draw(
-            sender, receiver, self._sim.now)
-        self._validate_delay(delay)
+        if self._loss is not None and self._loss.drop(
+                sender, receiver, self._sim.now):
+            self.dropped_loss += 1
+            return
+        model = self._model_for(sender, receiver)
+        delay = model.draw(sender, receiver, self._sim.now)
+        self._validate_drawn(model, delay)
         self.messages_sent += 1
         if self.batched:
-            self._schedule_delivery(delay, receiver, message)
+            self._schedule_delivery(delay, receiver, message, sender)
         else:
-            self._sim.call_in(delay, self._deliver, receiver, message)
+            self._sim.call_in(delay, self._deliver, receiver, message,
+                              sender)
 
     def send_with_delay(self, sender: int, receiver: int, message: Any,
                         delay: float) -> None:
@@ -272,20 +382,26 @@ class Network:
 
         The delay must still lie in ``[d - U, d]``: Byzantine nodes
         control *when* and *what* they send, but physics still applies
-        to the wire.
+        to the wire — including an attached loss model, which eats
+        Byzantine traffic with the same probability as honest traffic.
         """
         if receiver not in self._adjacency.get(sender, ()):
             raise NetworkError(
                 f"{sender!r} is not adjacent to {receiver!r}")
         if self._inactive and (sender, receiver) in self._inactive:
-            self.messages_dropped += 1
+            self.dropped_link_down += 1
+            return
+        if self._loss is not None and self._loss.drop(
+                sender, receiver, self._sim.now):
+            self.dropped_loss += 1
             return
         self._validate_delay(delay)
         self.messages_sent += 1
         if self.batched:
-            self._schedule_delivery(delay, receiver, message)
+            self._schedule_delivery(delay, receiver, message, sender)
         else:
-            self._sim.call_in(delay, self._deliver, receiver, message)
+            self._sim.call_in(delay, self._deliver, receiver, message,
+                              sender)
 
     def broadcast(self, sender: int, message: Any) -> int:
         """Send ``message`` to every neighbor; returns the copy count.
@@ -300,20 +416,25 @@ class Network:
             raise NetworkError(f"unknown node: {sender!r}")
         now = self._sim.now
         inactive = self._inactive
+        loss = self._loss
         batched = self.batched
         copies = 0
         for receiver in neighbors:
             if inactive and (sender, receiver) in inactive:
-                self.messages_dropped += 1
+                self.dropped_link_down += 1
                 continue
-            delay = self._model_for(sender, receiver).draw(
-                sender, receiver, now)
-            self._validate_delay(delay)
+            if loss is not None and loss.drop(sender, receiver, now):
+                self.dropped_loss += 1
+                continue
+            model = self._model_for(sender, receiver)
+            delay = model.draw(sender, receiver, now)
+            self._validate_drawn(model, delay)
             self.messages_sent += 1
             if batched:
-                self._schedule_delivery(delay, receiver, message)
+                self._schedule_delivery(delay, receiver, message, sender)
             else:
-                self._sim.call_in(delay, self._deliver, receiver, message)
+                self._sim.call_in(delay, self._deliver, receiver,
+                                  message, sender)
             copies += 1
         return copies
 
@@ -328,14 +449,16 @@ class Network:
         return len(self._pending)
 
     def _schedule_delivery(self, delay: float, receiver: int,
-                           message: Any) -> None:
+                           message: Any, sender: int) -> None:
         """Queue one delivery on the batched path.
 
         The entry takes the kernel sequence number the legacy
         per-message event would have consumed, so ordering against
         every other kernel event is unchanged; a flush wake-up is
         (re)armed whenever this entry becomes the earliest pending
-        delivery.
+        delivery.  ``sender`` rides along (heap keys are the first two
+        elements, so ordering is untouched) purely for in-flight
+        quarantine bookkeeping.
         """
         sim = self._sim
         now = sim._now
@@ -348,7 +471,7 @@ class Network:
         queue = sim._queue
         seq = queue._seq
         queue._seq = seq + 1
-        heappush(self._pending, (time, seq, receiver, message))
+        heappush(self._pending, (time, seq, receiver, message, sender))
         if self._draining:
             # The active drain re-checks the pending head every step
             # and re-arms once at its end; arming here would only
@@ -450,8 +573,13 @@ class Network:
                     sim.call_at_key(head[0], head[1], self._flush_cb,
                                     head[0], head[1])
 
-    def _deliver(self, receiver: int, message: Any) -> None:
-        """Legacy per-message kernel-event delivery (``batched=False``)."""
+    def _deliver(self, receiver: int, message: Any,
+                 sender: int | None = None) -> None:
+        """Legacy per-message kernel-event delivery (``batched=False``).
+
+        ``sender`` is carried in the event args only so in-flight
+        quarantine can identify the link; delivery ignores it.
+        """
         handler = self._handlers.get(receiver)
         self.messages_delivered += 1
         if handler is not None:

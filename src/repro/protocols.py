@@ -17,25 +17,38 @@ per-algorithm paths — the property the experiment tables rely on.
 
 Capability summary:
 
-============== ======== ========= ============= ======= =========
-protocol       faults   dynamic   first-contact graph   params in
-============== ======== ========= ============= ======= =========
-ftgcs          yes      yes       yes           yes     ``.params``
-lynch_welch    yes      no        no            no      ``.params``
-master_slave   no       no        no            yes     ``.params``
-gcs_single     liars*   yes       no            yes     ``payload["params"]``
-srikanth_toueg silent*  no        no            no      ``payload["params"]``
-============== ======== ========= ============= ======= =========
+============== ======== ========= ============= ====== ======= =========
+protocol       faults   dynamic   first-contact churn  graph   params in
+============== ======== ========= ============= ====== ======= =========
+ftgcs          yes      yes       yes           yes    yes     ``.params``
+lynch_welch    yes      no        no            no     no      ``.params``
+master_slave   no       no        no            links  yes     ``.params``
+gcs_single     liars*   yes       no            yes    yes     ``payload["params"]``
+srikanth_toueg silent*  no        no            no     no      ``payload["params"]``
+============== ======== ========= ============= ====== ======= =========
 
 ``*`` — these baselines model faults through protocol-specific payload
 knobs (``liars``, ``silent_faults``) rather than the named-strategy
 model, so their ``supports_faults`` flag is ``False``.
+
+``churn = links`` — master–slave applies node churn as link silencing
+only (a crashed slave stops hearing its master and coasts; its
+estimator state survives the outage).  The full crash-with-amnesia
+model needs a protocol bring-up path, which only ``ftgcs`` (the PR 4
+first-contact machinery) and ``gcs_single`` (estimate amnesia plus
+cadence re-anchor) implement.
+
+Every adapter also reports the fault-injection counters —
+``messages_lost`` (random loss), ``dropped_link_down``,
+``node_crashes``/``node_rejoins``, and ``stabilization_time`` where a
+local-skew series exists — via :func:`_fault_counters`.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
 
+from repro.analysis.metrics import stabilization_time
 from repro.baselines.gcs_single import GcsSingleSystem
 from repro.baselines.lynch_welch import LynchWelchSystem
 from repro.baselines.master_slave import MasterSlaveSystem
@@ -50,6 +63,17 @@ from repro.core.system import FtgcsSystem, SystemConfig
 from repro.errors import ConfigError
 from repro.faults.placement import place_everywhere
 from repro.faults.strategies import STRATEGIES
+
+
+def _fault_counters(protocol: SyncProtocol) -> dict:
+    """The fault-injection fields shared by every adapter's result."""
+    network = protocol.network
+    return {
+        "messages_lost": network.dropped_loss,
+        "dropped_link_down": network.dropped_link_down,
+        "node_crashes": protocol.node_crashes,
+        "node_rejoins": protocol.node_rejoins,
+    }
 
 
 def _strategy_factory(name: str, args: tuple):
@@ -101,6 +125,7 @@ class FtgcsProtocol(SyncProtocol):
     supports_faults = True
     supports_dynamic_topology = True
     supports_first_contact = True
+    supports_node_churn = True
 
     system_class = FtgcsSystem
 
@@ -151,6 +176,8 @@ class FtgcsProtocol(SyncProtocol):
             messages_dropped=self.network.messages_dropped,
             events_processed=result.events_processed,
             reannounce_cap_hits=result.reannounce_cap_hits,
+            stabilization_time=result.stabilization_time,
+            **_fault_counters(self),
             detail=result)
 
     def edge_links(self, a: int, b: int) -> tuple:
@@ -158,12 +185,29 @@ class FtgcsProtocol(SyncProtocol):
         return tuple((na, nb) for na in graph.members(a)
                      for nb in graph.members(b))
 
+    def cluster_nodes(self, cluster: int) -> tuple:
+        return self.system.graph.members(cluster)
+
     def apply_edge_event(self, edge, active) -> None:
         # Links first, then the first-contact notification, so nodes
         # reacting to the event (max-pulse re-announcement) see the
         # link in its new state.
         super().apply_edge_event(edge, active)
         self.system.notify_cluster_edge(edge, active)
+
+    def apply_node_event(self, cluster, alive,
+                         drop_in_flight: bool = False) -> None:
+        # Crash: links down first so the dying cluster's final pulses
+        # cannot leak out, then the engine-level crash (state loss).
+        # Rejoin: links up first so the bring-up path can immediately
+        # hear live neighbors, then the amnesiac restart.
+        if alive:
+            self._apply_node_links(cluster, True)
+            self.system.rejoin_cluster(cluster)
+        else:
+            self._apply_node_links(cluster, False,
+                                   drop_in_flight=drop_in_flight)
+            self.system.crash_cluster(cluster)
 
     def analysis_system(self) -> FtgcsSystem:
         return self.system
@@ -183,6 +227,7 @@ class LynchWelchProtocol(FtgcsProtocol):
     needs_graph = False
     supports_dynamic_topology = False
     supports_first_contact = False  # single cluster: no estimators
+    supports_node_churn = False  # crashing the only cluster ends the run
 
     system_class = LynchWelchSystem
 
@@ -208,9 +253,17 @@ class MasterSlaveProtocol(SyncProtocol):
     kwargs): ``rounds`` (default ``ctx.rounds``), ``root``,
     ``chase_threshold``, ``rate_model``, ``flip_period_rounds``,
     ``cluster_offsets``, ``jump``, ``record_series``, ``track_edges``.
+
+    Node churn is applied as *link silencing only*: a "crashed" slave
+    keeps its clock and estimator state and simply stops hearing (and
+    being heard); on rejoin it resumes chasing from wherever its coasted
+    clock drifted to.  This is the weaker churn model — master–slave has
+    no bring-up path to lose state through — and is documented as such
+    in the capability table.
     """
 
     name = "master_slave"
+    supports_node_churn = True
 
     def build_nodes(self, ctx: BuildContext) -> None:
         payload = dict(ctx.payload)
@@ -232,21 +285,34 @@ class MasterSlaveProtocol(SyncProtocol):
 
     def collect(self) -> ProtocolRunResult:
         maxima = self.system.sampler.maxima
+        series = self.system.sampler.series
         return ProtocolRunResult(
             protocol=self.name, seed=self.ctx.seed,
             max_global_skew=maxima.global_skew,
             max_local_skew=maxima.local_cluster,
-            series=self.system.sampler.series,
+            series=series,
             edge_maxima=dict(maxima.edge_maxima),
             messages_sent=self.network.messages_sent,
             messages_dropped=self.network.messages_dropped,
             events_processed=self.sim.events_processed,
+            stabilization_time=(stabilization_time(
+                [(s.time, s.max_local_cluster) for s in series])
+                if series else None),
+            **_fault_counters(self),
             detail=maxima)
 
     def edge_links(self, a: int, b: int) -> tuple:
         aug = self.system.aug
         return tuple((na, nb) for na in aug.members(a)
                      for nb in aug.members(b))
+
+    def cluster_nodes(self, cluster: int) -> tuple:
+        return self.system.aug.members(cluster)
+
+    def apply_node_event(self, cluster, alive,
+                         drop_in_flight: bool = False) -> None:
+        self._apply_node_links(cluster, alive,
+                               drop_in_flight=drop_in_flight)
 
 
 @register_protocol
@@ -262,6 +328,7 @@ class GcsSingleProtocol(SyncProtocol):
 
     name = "gcs_single"
     supports_dynamic_topology = True
+    supports_node_churn = True
     needs_params = False
 
     def build_nodes(self, ctx: BuildContext) -> None:
@@ -298,7 +365,22 @@ class GcsSingleProtocol(SyncProtocol):
             messages_sent=self.network.messages_sent,
             messages_dropped=self.network.messages_dropped,
             events_processed=self.sim.events_processed,
+            stabilization_time=(stabilization_time(
+                [(t, local) for t, local, _ in samples])
+                if samples else None),
+            **_fault_counters(self),
             detail=samples)
+
+    def apply_node_event(self, cluster, alive,
+                         drop_in_flight: bool = False) -> None:
+        # One node per vertex: the default cluster_nodes mapping holds.
+        if alive:
+            self._apply_node_links(cluster, True)
+            self.system.rejoin_node(cluster)
+        else:
+            self._apply_node_links(cluster, False,
+                                   drop_in_flight=drop_in_flight)
+            self.system.crash_node(cluster)
 
 
 @register_protocol
@@ -347,6 +429,7 @@ class SrikanthTouegProtocol(SyncProtocol):
             messages_sent=self.network.messages_sent,
             messages_dropped=self.network.messages_dropped,
             events_processed=self.sim.events_processed,
+            **_fault_counters(self),
             detail=self.skew)
 
 

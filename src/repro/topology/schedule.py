@@ -87,8 +87,20 @@ class TopologySchedule:
 
     @property
     def is_static(self) -> bool:
-        """Whether the edge set never changes (fast path: no events)."""
-        return type(self).events is TopologySchedule.events
+        """Whether the topology never changes (fast path: no edge *or*
+        node events)."""
+        return not (self.has_edge_events or self.has_node_events)
+
+    @property
+    def has_edge_events(self) -> bool:
+        """Whether the schedule can emit edge activation events
+        (override-identity check, like the historical ``is_static``)."""
+        return type(self).events is not TopologySchedule.events
+
+    @property
+    def has_node_events(self) -> bool:
+        """Whether the schedule can emit node crash/rejoin events."""
+        return type(self).node_events is not TopologySchedule.node_events
 
     def initial_down(self, seed: int) -> list[tuple[int, int]]:
         """Edges inactive at time zero (default: none)."""
@@ -100,6 +112,21 @@ class TopologySchedule:
 
         The same ``(horizon, seed)`` always yields the same list, on
         any machine and in any process.
+        """
+        return []
+
+    def initial_crashed(self, seed: int) -> list[int]:
+        """Clusters crashed at time zero (default: none)."""
+        return []
+
+    def node_events(self, horizon: float, seed: int
+                    ) -> list[tuple[float, int, bool]]:
+        """Deterministic node churn events up to ``horizon``.
+
+        Each event is ``(time, cluster, alive)``: ``alive=False``
+        crashes the whole cluster node (all incident links down, state
+        lost), ``alive=True`` rejoins it with amnesia.  Same
+        determinism contract as :meth:`events`.
         """
         return []
 
@@ -411,6 +438,84 @@ class AdversarialSweepSchedule(TopologySchedule):
         return events
 
 
+class NodeChurnSchedule(TopologySchedule):
+    """Whole-node crash-and-rejoin churn (fail-recover, not fail-stop).
+
+    Every ``interval``, each unprotected cluster node advances a
+    two-state Markov chain: an alive node crashes for the next
+    interval with probability ``crash``; a crashed node rejoins with
+    probability ``rejoin``.  A crash downs **all** incident links at
+    once and loses the node's volatile state; a rejoin brings the node
+    back *with amnesia* — it must re-acquire estimates through the
+    first-contact bring-up path, which is what separates node churn
+    from mere link flaps.
+
+    One draw per node per tick, in canonical id order, regardless of
+    state — so the random stream (keyed ``"topology/node_churn"``,
+    disjoint from every edge-churn/delay/loss stream) is independent
+    of history and the event list replays exactly.
+
+    ``protect`` names cluster ids that never crash (e.g. the reference
+    cluster of a skew measurement, or a master–slave root).
+    ``drop_in_flight`` (default True) selects the crashed-node
+    in-flight semantics: messages queued to or from a crashing node
+    are quarantined rather than delivered.
+    """
+
+    name = "node_churn"
+
+    def __init__(self, graph: ClusterGraph, interval: float,
+                 crash: float, rejoin: float = 0.5,
+                 protect: Iterable[int] = (),
+                 drop_in_flight: bool = True) -> None:
+        super().__init__(graph)
+        if interval <= 0:
+            raise ConfigError(
+                f"node churn interval must be positive: {interval!r}")
+        if not 0.0 <= crash <= 1.0:
+            raise ConfigError(
+                f"crash must be a probability: {crash!r}")
+        if not 0.0 < rejoin <= 1.0:
+            raise ConfigError(
+                f"rejoin must be a probability in (0, 1] (a node that "
+                f"can never rejoin is a permanent fault — model it "
+                f"with the fault layer instead): {rejoin!r}")
+        self.interval = float(interval)
+        self.crash = float(crash)
+        self.rejoin = float(rejoin)
+        self.protect = frozenset(int(c) for c in protect)
+        self.drop_in_flight = bool(drop_in_flight)
+        for cluster in self.protect:
+            if not 0 <= cluster < graph.num_clusters:
+                raise TopologyError(
+                    f"protected cluster {cluster!r} is not in the base "
+                    f"graph (num_clusters={graph.num_clusters})")
+
+    def node_events(self, horizon: float, seed: int):
+        rng = random.Random(derive_seed(seed, f"topology/{self.name}"))
+        churnable = [c for c in range(self.graph.num_clusters)
+                     if c not in self.protect]
+        events = []
+        crashed: set[int] = set()
+        t = 0.0
+        for _ in range(tick_count(self.interval, horizon)):
+            t += self.interval
+            tick = clamp_tick(t, horizon)
+            # One draw per churnable node per tick; the threshold
+            # depends on the node's current state (Markov chain), the
+            # draw count does not.
+            for cluster in churnable:
+                r = rng.random()
+                if cluster in crashed:
+                    if r < self.rejoin:
+                        crashed.discard(cluster)
+                        events.append((tick, cluster, True))
+                elif r < self.crash:
+                    crashed.add(cluster)
+                    events.append((tick, cluster, False))
+        return events
+
+
 #: ``name -> factory(graph, **kwargs)`` for picklable-spec addressing.
 SCHEDULES: dict[str, Callable[..., TopologySchedule]] = {
     "static": TopologySchedule,
@@ -418,6 +523,7 @@ SCHEDULES: dict[str, Callable[..., TopologySchedule]] = {
     "rewire": RewireSchedule,
     "t_interval": TIntervalSchedule,
     "adversarial_sweep": AdversarialSweepSchedule,
+    "node_churn": NodeChurnSchedule,
 }
 
 
@@ -447,6 +553,7 @@ __all__ = [
     "SCHEDULES",
     "AdversarialSweepSchedule",
     "EdgeChurnSchedule",
+    "NodeChurnSchedule",
     "RewireSchedule",
     "TIntervalSchedule",
     "TopologySchedule",

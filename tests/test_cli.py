@@ -11,16 +11,16 @@ class TestList:
     def test_list_subcommand(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        assert "t01" in out and "t15" in out
+        assert "t01" in out and "t16" in out
 
     def test_legacy_list_flag(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
-        assert "t01" in out and "t15" in out
+        assert "t01" in out and "t16" in out
 
     def test_listing_mentions_all_experiments(self):
         text = list_experiments()
-        for i in range(1, 16):
+        for i in range(1, 17):
             assert f"t{i:02d}" in text
 
     def test_bench_quick_listed(self):
@@ -30,7 +30,7 @@ class TestList:
         assert main(["list", "--format", "json"]) == 0
         entries = json.loads(capsys.readouterr().out)
         assert [e["id"] for e in entries] == [f"t{i:02d}"
-                                              for i in range(1, 16)]
+                                              for i in range(1, 17)]
         assert all(e["claim"] for e in entries)
 
 

@@ -287,6 +287,39 @@ class TestMessagesDropped:
             assert (result.messages_dropped
                     == system.protocol.network.messages_dropped)
 
+    def test_link_down_split_matches_legacy_sum(self):
+        """messages_dropped = dropped_link_down + dropped_loss +
+        dropped_in_flight; edge churn alone populates only the
+        link-down bucket."""
+        params = default_params(f=1)
+        schedule = EdgeChurnSchedule(ClusterGraph.line(3),
+                                     interval=params.round_length,
+                                     churn=0.5)
+        system = (SystemBuilder("ftgcs").topology(schedule)
+                  .params(params).rounds(4).seed(2).build())
+        result = system.run()
+        net = system.protocol.network
+        assert result.dropped_link_down > 0
+        assert result.messages_lost == 0
+        assert (net.messages_dropped == net.dropped_link_down
+                + net.dropped_loss + net.dropped_in_flight)
+        assert result.dropped_link_down == net.dropped_link_down
+
+    def test_seeded_lossy_run_loses_messages(self):
+        """Satellite regression: a seeded lossy run reports a nonzero
+        messages_lost through the uniform result surface."""
+        params = default_params(f=1)
+        system = (SystemBuilder("ftgcs")
+                  .topology(ClusterGraph.line(2)).params(params)
+                  .rounds(3).seed(5)
+                  .lossy(kind="bernoulli", rate=0.1).build())
+        result = system.run()
+        assert result.messages_lost > 0
+        assert result.messages_lost == \
+            system.protocol.network.dropped_loss
+        # Loss participates in the legacy aggregate too.
+        assert result.messages_dropped >= result.messages_lost
+
 
 class TestFirstContactCapability:
     def test_flags(self):
