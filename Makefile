@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test verify list run smoke-t16 bench-quick bench-quick-ci bench bench-record
+.PHONY: test verify list run serve smoke-t16 smoke-serve bench-quick bench-quick-ci bench bench-record
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +26,17 @@ run:
 # The t16 smoke line by name, for muscle memory.
 smoke-t16:
 	$(PYTHON) -m repro run t16
+
+# The simulation service: make serve [ARGS="--port 9000 --scenarios examples/scenarios"]
+serve:
+	$(PYTHON) -m repro serve $(ARGS)
+
+# End-to-end serving-layer check (CI runs this): boot a real server,
+# submit t01 quick over HTTP, assert the served bytes match direct
+# run_experiment output, then resubmit and assert zero executed cells
+# (everything from the content-addressed cache).
+smoke-serve:
+	$(PYTHON) benchmarks/smoke_serve.py
 
 # Pre-merge smoke check: kernel/substrate microbenchmarks, < 60 s.
 # --check asserts event throughput within 10% of BENCH_kernel.json;

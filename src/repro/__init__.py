@@ -97,12 +97,25 @@ try:  # The declarative experiment API (see API.md).
         Table,
         run_experiment,
         run_scenario,
+        spec_hash,
     )
 
     __all__ += [
         "REGISTRY", "ExperimentRegistry", "Scenario", "ScenarioSpec",
         "SweepCellResult", "SweepRunner", "Table", "run_experiment",
-        "run_scenario",
+        "run_scenario", "spec_hash",
     ]
+except ImportError:  # pragma: no cover - during bootstrap only
+    pass
+
+try:  # The simulation service (see repro.service.app for the REST
+    # surface; the library half needs no Flask).
+    from repro.service import (  # noqa: F401
+        JobManager,
+        ResultStore,
+        ScenarioLibrary,
+    )
+
+    __all__ += ["JobManager", "ResultStore", "ScenarioLibrary"]
 except ImportError:  # pragma: no cover - during bootstrap only
     pass

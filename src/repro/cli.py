@@ -7,9 +7,12 @@ Usage::
     python -m repro run --all --processes 4    # everything, in a pool
     python -m repro run t05 --seed 99          # override the seed
     python -m repro run t08 --format json      # machine-readable output
+    python -m repro run t01 --save out.json    # write the table to a file
     python -m repro list                       # what's available
     python -m repro show t09                   # metadata + grid sizes
     python -m repro bench-quick                # pre-merge smoke (<60 s)
+    python -m repro serve --port 8765          # the HTTP simulation service
+    python -m repro cache stats                # result-cache maintenance
 
 Experiment ids are the T-identifiers of DESIGN.md section 3
 (``t01`` … ``t15``); every one of them executes through
@@ -26,6 +29,14 @@ merging).
 Output formats: ``table`` (aligned text, the default), ``json`` (one
 JSON array of table objects), ``csv`` (header + raw rows per table).
 Machine formats keep stdout pure — progress lines go to stderr.
+``--save PATH`` additionally writes the finished tables to a file,
+picking ``Table.to_json`` or ``Table.to_csv`` by extension (``.json``
+/ ``.csv``; anything else errors out before any experiment runs).
+
+``serve`` starts the HTTP simulation service (async job manager +
+content-addressed result cache over the sweep engine; see
+:mod:`repro.service.app`); ``cache stats`` / ``cache clear`` maintain
+the on-disk result store it serves from.
 """
 
 from __future__ import annotations
@@ -38,8 +49,11 @@ from typing import Sequence
 from repro.harness.registry import REGISTRY, run_experiment
 
 #: Subcommand names (the legacy shim treats anything else as `run` ids).
-COMMANDS = ("run", "list", "show", "bench-quick")
+COMMANDS = ("run", "list", "show", "bench-quick", "serve", "cache")
 BENCH_QUICK = "bench-quick"
+
+#: Extensions `run --save` understands, mapped to the Table writer.
+SAVE_FORMATS = (".json", ".csv")
 
 #: Registry experiment smoke-run by ``bench-quick`` (sweep-backed and
 #: fast, so the registry -> sweep -> table path is covered pre-merge).
@@ -83,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--format", choices=("table", "json", "csv"), default="table",
         help="output format (default: table)")
+    run_p.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="also write the finished table(s) to PATH; the "
+             "extension picks the writer (.json: a JSON array of "
+             "table objects, .csv: concatenated CSV)")
 
     list_p = sub.add_parser(
         "list", help="list registered experiments")
@@ -110,6 +129,41 @@ def build_parser() -> argparse.ArgumentParser:
              f"{int(BASELINE_TOLERANCE * 100)}%% below the latest "
              "BENCH_kernel.json baseline (always printed as a "
              "warning otherwise)")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="HTTP simulation service: async jobs + content-addressed "
+             "result cache over the sweep engine")
+    serve_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address")
+    serve_p.add_argument(
+        "--port", type=int, default=8765, metavar="N",
+        help="listen port (default: 8765)")
+    serve_p.add_argument(
+        "--processes", type=int, default=None, metavar="N",
+        help="warm-pool worker processes per job batch "
+             "(default: REPRO_SWEEP_PROCESSES or serial)")
+    serve_p.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="concurrent job-consumer threads (default: 1)")
+    serve_p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory "
+             "(default: REPRO_CACHE_DIR or ~/.cache/repro/results)")
+    serve_p.add_argument(
+        "--scenarios", default=None, metavar="DIR",
+        help="scenario library directory served at GET /scenarios")
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache")
+    cache_p.add_argument(
+        "action", choices=("stats", "clear"),
+        help="'stats' prints entry count and bytes; 'clear' removes "
+             "every entry")
+    cache_p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory "
+             "(default: REPRO_CACHE_DIR or ~/.cache/repro/results)")
 
     return parser
 
@@ -179,6 +233,27 @@ def _cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _save_tables(tables, path: str) -> None:
+    """Write finished tables to ``path`` via the ``Table`` writers.
+
+    ``.json`` holds a JSON array of table objects (matching the
+    ``--format json`` stdout shape); ``.csv`` concatenates each
+    table's ``to_csv`` form.  The extension is validated *before* any
+    experiment runs (see ``_cmd_run``).
+    """
+    import json as json_
+    from pathlib import Path
+
+    target = Path(path)
+    if target.suffix == ".json":
+        text = json_.dumps([table.to_dict(json_safe=True)
+                            for table in tables], indent=2,
+                           allow_nan=False) + "\n"
+    else:
+        text = "".join(table.to_csv() for table in tables)
+    target.write_text(text, encoding="utf-8")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     ids = [id.lower() for id in args.ids]
     if args.all:
@@ -193,6 +268,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
               file=sys.stderr)
         print(list_experiments(), file=sys.stderr)
         return 2
+    if args.save is not None:
+        from pathlib import Path
+
+        suffix = Path(args.save).suffix.lower()
+        if suffix not in SAVE_FORMATS:
+            # Fail before running anything: a minutes-long sweep must
+            # not end in an unwritable result.
+            print(f"error: --save needs a {' or '.join(SAVE_FORMATS)} "
+                  f"extension, got {args.save!r}", file=sys.stderr)
+            return 2
 
     machine = args.format in ("json", "csv")
     status = sys.stderr if machine else sys.stdout
@@ -217,6 +302,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # to_csv() is newline-terminated; plain concatenation keeps
         # the stream free of blank records for csv readers.
         print("".join(table.to_csv() for table in tables), end="")
+    if args.save is not None:
+        _save_tables(tables, args.save)
+        print(f"[saved {len(tables)} table(s) to {args.save}]",
+              file=status)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover
+    from repro.service.app import serve
+
+    serve(host=args.host, port=args.port, cache_dir=args.cache_dir,
+          scenario_dir=args.scenarios, processes=args.processes,
+          workers=args.workers)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.service.store import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached result(s) from {store.root}")
+        return 0
+    stats = store.stats()
+    print(f"cache root: {stats['root']}")
+    print(f"entries:    {stats['entries']}")
+    print(f"bytes:      {stats['bytes']}")
     return 0
 
 
@@ -324,9 +437,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                                check=args.check)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "serve":  # pragma: no cover - blocking server
+        return _cmd_serve(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     parser.print_usage()
-    print("error: give a subcommand (run, list, show, bench-quick)",
-          file=sys.stderr)
+    print("error: give a subcommand (run, list, show, bench-quick, "
+          "serve, cache)", file=sys.stderr)
     return 2
 
 

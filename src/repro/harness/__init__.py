@@ -39,6 +39,11 @@ from repro.harness.runner import (
     step_offsets,
 )
 from repro.harness.scenario import Scenario
+from repro.harness.serialize import (
+    canonical_json,
+    content_hash,
+    register_serializable,
+)
 from repro.harness.sweep import (
     CELL_KINDS,
     COLLECTORS,
@@ -48,7 +53,9 @@ from repro.harness.sweep import (
     SweepRunner,
     default_processes,
     register_cell_kind,
+    resolve_cell_seeds,
     run_cell,
+    spec_hash,
 )
 from repro.harness.tables import Table
 
@@ -86,7 +93,13 @@ __all__ = [
     "SweepRunner",
     "default_processes",
     "register_cell_kind",
+    "resolve_cell_seeds",
     "run_cell",
+    # serialization (the simulation service rides on these)
+    "canonical_json",
+    "content_hash",
+    "register_serializable",
+    "spec_hash",
     # output
     "Table",
 ]

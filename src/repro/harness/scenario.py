@@ -26,6 +26,7 @@ from __future__ import annotations
 from repro.core.params import Parameters
 from repro.core.protocol import get_protocol, protocol_names
 from repro.errors import ConfigError
+from repro.harness import serialize
 from repro.harness.sweep import (
     CELL_KINDS,
     COLLECTORS,
@@ -203,6 +204,37 @@ class Scenario:
     def tag(self, *key) -> "Scenario":
         """Set the cell's free-form coordinates (``result.key``)."""
         return self._with(key=tuple(key))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe plain-data form of the builder's *set* fields.
+
+        Only fields a chained method actually set appear (a fresh
+        ``Scenario.line(3)`` serializes to two keys), so the dict reads
+        like the chain that built it.  Values go through the canonical
+        tagged codec of :mod:`repro.harness.serialize`;
+        :meth:`from_dict` restores a builder whose :meth:`build` output
+        is bit-identical to the original's.
+        """
+        return {name: serialize.encode(value)
+                for name, value in self._fields.items()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        """Rebuild a builder from :meth:`to_dict` output (or
+        hand-written plain data; field names are validated against
+        :class:`~repro.harness.sweep.ScenarioSpec`)."""
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"Scenario.from_dict needs a dict: {data!r}")
+        # The builder's field namespace IS the spec's; reuse its
+        # decoding (tuple coercion, params type check, unknown-key
+        # rejection), then keep only the keys that were present.
+        spec = ScenarioSpec.from_dict(data)
+        return cls(**{name: getattr(spec, name) for name in data})
 
     # ------------------------------------------------------------------
     # Compilation

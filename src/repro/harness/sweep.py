@@ -88,7 +88,7 @@ import math
 import multiprocessing
 import os
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable, Sequence
 
 from repro.core.params import Parameters
@@ -101,6 +101,7 @@ from repro.core.system import FtgcsSystem, RunResult
 from repro.core.triggers import evaluate
 from repro.errors import ConfigError
 from repro.faults.strategies import STRATEGIES
+from repro.harness import serialize
 from repro.harness.runner import steady_state_skews
 from repro.sim.rng import derive_seed
 from repro.topology.cluster_graph import ClusterGraph
@@ -196,6 +197,84 @@ class ScenarioSpec:
     payload: dict = field(default_factory=dict)
     collect: tuple = ()
 
+    #: Spec fields that are tuples in the dataclass but commonly arrive
+    #: as lists from hand-authored JSON/YAML (scenario library files,
+    #: ``POST /jobs`` bodies); :meth:`from_dict` coerces them.
+    _TUPLE_FIELDS = ("graph_args", "strategy_args", "key", "collect")
+
+    def to_dict(self) -> dict:
+        """JSON-safe plain-data form of the spec.
+
+        Every field is encoded with the canonical tagged codec of
+        :mod:`repro.harness.serialize` (tuples, dataclass parameter
+        sets, and non-finite floats all survive), so the result can go
+        through ``json.dumps``/``json.loads`` and :meth:`from_dict`
+        and come back *bit-identical* — the round trip the simulation
+        service relies on.
+        """
+        return {f.name: serialize.encode(getattr(self, f.name))
+                for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written
+        plain data: list-valued tuple fields are coerced, unknown keys
+        rejected by name)."""
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"ScenarioSpec.from_dict needs a dict: {data!r}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown ScenarioSpec field(s) {unknown}; known: "
+                f"{sorted(known)}")
+        decoded = {key: serialize.decode(value)
+                   for key, value in data.items()}
+        for name in cls._TUPLE_FIELDS:
+            value = decoded.get(name)
+            if isinstance(value, list):
+                decoded[name] = tuple(value)
+        params = decoded.get("params")
+        if params is not None and not isinstance(params, Parameters):
+            raise ConfigError(
+                f"spec params must decode to Parameters, got "
+                f"{type(params).__name__}")
+        return cls(**decoded)
+
+
+def spec_hash(spec: ScenarioSpec) -> str:
+    """Canonical BLAKE2b content hash of a spec — the result-cache key.
+
+    Computed over the canonical JSON of the *whole* spec (sorted keys,
+    tagged values), so it is stable across processes and Python
+    versions, and any field change — including the resolved seed —
+    changes the key.  Specs must have a resolved (non-``None``) seed:
+    an unresolved spec does not name one deterministic simulation, so
+    hashing it would alias distinct cells.
+    """
+    if spec.seed is None:
+        raise ConfigError(
+            "spec_hash needs a resolved seed (use resolve_cell_seeds "
+            "or SweepRunner.run's derivation first)")
+    return serialize.content_hash(spec)
+
+
+def resolve_cell_seeds(specs: Sequence[ScenarioSpec],
+                       base_seed: int = 0) -> list[ScenarioSpec]:
+    """Resolve ``seed=None`` cells to their deterministic per-cell
+    seeds — exactly the derivation :meth:`SweepRunner.run` applies
+    before dispatch (``derive_seed(base_seed, f"cell/{index}")``).
+
+    Exposed so cache layers can compute content hashes for a grid
+    *without* running it and be certain the hashes match what an
+    actual sweep of the same grid would produce.
+    """
+    return [
+        spec if spec.seed is not None else replace(
+            spec, seed=derive_seed(base_seed, f"cell/{index}"))
+        for index, spec in enumerate(specs)]
+
 
 @dataclass
 class SweepCellResult:
@@ -231,6 +310,12 @@ class SweepCellResult:
                 f"cell {self.key!r} is not an FTGCS-family run; "
                 f"steady_state_skews needs a RunResult")
         return steady_state_skews(result.series, tail_fraction)
+
+
+# Both sides of the service boundary: specs travel in job submissions,
+# cell results in the content-addressed store.
+serialize.register_serializable(ScenarioSpec)
+serialize.register_serializable(SweepCellResult)
 
 
 # ----------------------------------------------------------------------
@@ -549,10 +634,7 @@ class SweepRunner:
         dispatch, so the serial and parallel paths are bit-identical.
         Worker exceptions propagate to the caller.
         """
-        resolved = [
-            spec if spec.seed is not None else replace(
-                spec, seed=derive_seed(base_seed, f"cell/{index}"))
-            for index, spec in enumerate(specs)]
+        resolved = resolve_cell_seeds(specs, base_seed)
         if self.processes <= 1 or len(resolved) <= 1:
             return [run_cell(spec) for spec in resolved]
         methods = multiprocessing.get_all_start_methods()
@@ -572,6 +654,8 @@ __all__ = [
     "SweepRunner",
     "default_processes",
     "register_cell_kind",
+    "resolve_cell_seeds",
     "run_cell",
+    "spec_hash",
     "steady_state_skews",
 ]

@@ -1,0 +1,43 @@
+"""Simulation service: jobs, caching, and HTTP serving for the sweep
+engine.
+
+The library half works without Flask:
+
+>>> from repro.service import JobManager, ResultStore
+>>> manager = JobManager(store=ResultStore("/tmp/repro-cache"))
+>>> job = manager.submit_experiment("t01", quick=True)
+>>> manager.wait(job.id).table.format()            # doctest: +SKIP
+
+The HTTP half (:func:`create_app` / ``python -m repro serve``) wraps
+the same manager behind REST endpoints; see
+:mod:`repro.service.app` for the route table and the determinism
+guarantee (served results are byte-identical to direct
+``run_experiment`` output, and identical resubmissions complete from
+the content-addressed cache with zero executed cells).
+"""
+
+from repro.service.jobs import JOB_STATES, Job, JobManager
+from repro.service.library import LibraryScenario, ScenarioLibrary
+from repro.service.store import ResultStore, default_cache_dir
+
+__all__ = [
+    "JOB_STATES",
+    "Job",
+    "JobManager",
+    "LibraryScenario",
+    "ResultStore",
+    "ScenarioLibrary",
+    "create_app",
+    "default_cache_dir",
+    "serve",
+]
+
+
+def __getattr__(name):
+    # Flask-dependent pieces load lazily so `repro.service` imports
+    # cleanly on Flask-less installs.
+    if name in ("create_app", "serve"):
+        from repro.service import app
+
+        return getattr(app, name)
+    raise AttributeError(name)

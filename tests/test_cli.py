@@ -210,3 +210,76 @@ class TestBaselineCheck:
         parser = build_parser()
         args = parser.parse_args(["bench-quick", "--check"])
         assert args.check is True
+
+
+class TestSave:
+    def test_save_json(self, capsys, tmp_path):
+        target = tmp_path / "out.json"
+        assert main(["run", "t08", "--save", str(target)]) == 0
+        assert f"[saved 1 table(s) to {target}]" \
+            in capsys.readouterr().out
+        tables = json.loads(target.read_text())
+        assert len(tables) == 1
+        assert tables[0]["title"].startswith("T8")
+        assert tables[0]["rows"]
+
+    def test_save_csv_multi_table(self, capsys, tmp_path):
+        target = tmp_path / "out.csv"
+        assert main(["run", "t08", "t08", "--save", str(target)]) == 0
+        text = target.read_text()
+        assert sum(1 for line in text.splitlines()
+                   if line.startswith("graph,")) == 2
+        assert "" not in text.splitlines()  # no blank records
+
+    def test_save_matches_stdout_json(self, capsys, tmp_path):
+        target = tmp_path / "out.json"
+        assert main(["run", "t08", "--format", "json",
+                     "--save", str(target)]) == 0
+        stdout_tables = json.loads(capsys.readouterr().out)
+        assert json.loads(target.read_text()) == stdout_tables
+
+    def test_unknown_extension_fails_before_running(self, capsys,
+                                                    tmp_path):
+        target = tmp_path / "out.txt"
+        assert main(["run", "t08", "--save", str(target)]) == 2
+        captured = capsys.readouterr()
+        assert "--save needs a .json or .csv extension" in captured.err
+        assert "finished in" not in captured.out  # nothing ran
+        assert not target.exists()
+
+
+class TestCacheCli:
+    def test_stats_empty(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    0" in out
+        assert str(tmp_path / "cache") in out
+
+    def test_clear_reports_removed(self, capsys, tmp_path,
+                                   monkeypatch):
+        from repro.core.params import Parameters
+        from repro.harness.scenario import Scenario
+        from repro.harness.sweep import run_cell
+        from repro.service import ResultStore
+
+        cache = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+        params = Parameters.practical(rho=1e-4, d=1.0, u=0.1, f=1)
+        spec = (Scenario.line(3).params(params).rounds(2).seed(1)
+                .build())
+        ResultStore(cache).put(spec, run_cell(spec))
+        assert main(["cache", "stats"]) == 0
+        assert "entries:    1" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 cached result(s)" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries:    0" in capsys.readouterr().out
+
+    def test_cache_dir_flag_overrides_env(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        explicit = tmp_path / "explicit"
+        assert main(["cache", "stats", "--cache-dir",
+                     str(explicit)]) == 0
+        assert str(explicit) in capsys.readouterr().out

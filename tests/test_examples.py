@@ -45,6 +45,8 @@ class TestExamples:
         assert "quick grid: 9 cells" in out
         assert "custom sweep: all bounds hold" in out
         assert "VIOLATION" not in out
+        assert "service resubmit: 0 executed / 3 cached" in out
+        assert "bytes identical: True" in out
 
     def test_baseline_comparison(self, capsys):
         out = run_example("baseline_comparison.py", capsys)

@@ -1,0 +1,496 @@
+"""The simulation service: result store, job manager, scenario
+library, and the REST layer.
+
+The acceptance criteria of the serving layer are tested end-to-end
+here through ``app.test_client()`` (no sockets):
+
+- served ``format=json`` results are **byte-identical** to direct
+  ``run_experiment`` output for t01, t14 (quick), and t16 (quick);
+- resubmitting an identical job completes from the content-addressed
+  cache with ``executed_cells == 0``.
+"""
+
+import json
+import logging
+import textwrap
+
+import pytest
+
+from repro.core.params import Parameters
+from repro.errors import ConfigError
+from repro.harness.registry import run_experiment
+from repro.harness.scenario import Scenario
+from repro.harness.sweep import (
+    ScenarioSpec,
+    resolve_cell_seeds,
+    run_cell,
+    spec_hash,
+)
+from repro.service import JobManager, ResultStore, ScenarioLibrary
+from repro.service.app import create_app
+from repro.service.library import LibraryScenario
+
+PARAMS = Parameters.practical(rho=1e-4, d=1.0, u=0.1, f=1)
+
+
+def small_spec(seed=5, rounds=3):
+    return (Scenario.line(3).params(PARAMS).rounds(rounds).seed(seed)
+            .build())
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+@pytest.fixture
+def manager(store):
+    mgr = JobManager(store=store, processes=1)
+    yield mgr
+    mgr.shutdown()
+
+
+@pytest.fixture
+def idle_manager(store):
+    """A manager whose workers are already gone: submitted jobs stay
+    ``queued`` forever — deterministic not-done states for tests."""
+    mgr = JobManager(store=store, processes=1)
+    mgr.shutdown()
+    return mgr
+
+
+@pytest.fixture
+def scenario_dir(tmp_path):
+    root = tmp_path / "scenarios"
+    root.mkdir()
+    return root
+
+
+@pytest.fixture
+def client(manager, scenario_dir):
+    app = create_app(manager=manager,
+                     library=ScenarioLibrary(scenario_dir))
+    app.config["TESTING"] = True
+    return app.test_client()
+
+
+def finish(client, job_id, timeout=120.0):
+    manager = client.application.config["REPRO_MANAGER"]
+    manager.wait(job_id, timeout=timeout)
+    return client.get(f"/jobs/{job_id}").get_json()
+
+
+class TestResultStore:
+    def test_put_get_roundtrip_is_bit_identical(self, store):
+        spec = small_spec()
+        cell = run_cell(spec)
+        store.put(spec, cell)
+        cached = store.get(spec)
+        assert cached is not None
+        assert cached.key == cell.key
+        assert cached.seed == cell.seed
+        assert cached.result.max_global_skew \
+            == cell.result.max_global_skew
+        assert store.hits == 1
+
+    def test_absent_entry_is_a_miss(self, store):
+        assert store.get(small_spec()) is None
+        assert store.misses == 1 and store.corrupt == 0
+
+    def test_truncated_entry_is_a_miss_with_warning(self, store,
+                                                    caplog):
+        spec = small_spec()
+        path = store.put(spec, run_cell(spec))
+        path.write_text(path.read_text()[: 40])  # simulate torn write
+        with caplog.at_level(logging.WARNING, "repro.service.store"):
+            assert store.get(spec) is None
+        assert store.corrupt == 1
+        assert "corrupt cache entry" in caplog.text
+        # Recompute + put overwrites the bad entry; hits work again.
+        store.put(spec, run_cell(spec))
+        assert store.get(spec) is not None
+
+    def test_wrong_hash_entry_is_a_miss(self, store):
+        spec = small_spec()
+        path = store.put(spec, run_cell(spec))
+        entry = json.loads(path.read_text())
+        entry["spec_hash"] = "0" * 40
+        path.write_text(json.dumps(entry))
+        assert store.get(spec) is None
+        assert store.corrupt == 1
+
+    def test_non_cell_payload_is_a_miss(self, store):
+        spec = small_spec()
+        path = store.put(spec, run_cell(spec))
+        entry = json.loads(path.read_text())
+        entry["cell"] = {"not": "a cell"}
+        path.write_text(json.dumps(entry))
+        assert store.get(spec) is None
+
+    def test_stats_and_clear(self, store):
+        assert store.stats()["entries"] == 0
+        for seed in (1, 2):
+            spec = small_spec(seed=seed)
+            store.put(spec, run_cell(spec))
+        stats = store.stats()
+        assert stats["entries"] == 2 and stats["bytes"] > 0
+        assert store.clear() == 2
+        assert store.stats()["entries"] == 0
+
+    def test_entries_shard_by_hash_prefix(self, store):
+        spec = small_spec()
+        path = store.put(spec, run_cell(spec))
+        key = spec_hash(spec)
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.json"
+
+
+class TestJobManager:
+    def test_experiment_job_runs_to_done(self, manager):
+        job = manager.submit_experiment("t01", quick=True)
+        assert job.state in ("queued", "running", "done")
+        manager.wait(job.id, timeout=120)
+        assert job.state == "done"
+        assert job.table is not None
+        assert job.executed_cells == job.total_cells > 0
+        assert job.cached_cells == 0
+        assert job.table.to_json() \
+            == run_experiment("t01", quick=True).to_json()
+
+    def test_resubmission_is_all_cache_hits(self, manager):
+        first = manager.submit_experiment("t01", quick=True)
+        manager.wait(first.id, timeout=120)
+        again = manager.submit_experiment("t01", quick=True)
+        manager.wait(again.id, timeout=120)
+        assert again.state == "done"
+        assert again.executed_cells == 0
+        assert again.cached_cells == again.total_cells > 0
+        assert again.table.to_json() == first.table.to_json()
+
+    def test_unknown_experiment_fails_eagerly(self, manager):
+        with pytest.raises(ConfigError, match="unknown experiment"):
+            manager.submit_experiment("t99")
+
+    def test_grid_job(self, manager):
+        specs = [small_spec(seed=None, rounds=r) for r in (2, 3)]
+        job = manager.submit_grid(specs, base_seed=7)
+        manager.wait(job.id, timeout=120)
+        assert job.state == "done"
+        assert job.total_cells == 2
+        # The grid rode SweepRunner's seed derivation.
+        resolved = resolve_cell_seeds(specs, 7)
+        assert [cell.seed for cell in job.cells] \
+            == [spec.seed for spec in resolved]
+        assert job.table.columns[0] == "cell"
+
+    def test_grid_rejects_empty_and_non_specs(self, manager):
+        with pytest.raises(ConfigError, match="at least one"):
+            manager.submit_grid([])
+        with pytest.raises(ConfigError, match="ScenarioSpec"):
+            manager.submit_grid([{"graph": "line"}])
+
+    def test_broken_cell_marks_job_failed(self, manager):
+        bad = ScenarioSpec.from_dict({"graph": "line"})  # missing n
+        job = manager.submit_grid([bad])
+        manager.wait(job.id, timeout=120)
+        assert job.state == "failed"
+        assert "TypeError" in job.error
+        assert job.table is None
+
+    def test_cancel_and_shutdown(self, idle_manager):
+        job = idle_manager.submit_experiment("t01")
+        assert job.state == "queued"
+        assert idle_manager.cancel(job.id) is True
+        idle_manager.shutdown()  # sweeps queued jobs to cancelled
+        assert job.state == "cancelled"
+        assert idle_manager.cancel(job.id) is False
+
+    def test_wait_timeout(self, idle_manager):
+        job = idle_manager.submit_experiment("t01")
+        with pytest.raises(TimeoutError):
+            idle_manager.wait(job.id, timeout=0.05)
+
+    def test_unknown_job_id(self, manager):
+        with pytest.raises(ConfigError, match="unknown job"):
+            manager.get("job-9999")
+
+    def test_workers_must_be_positive(self, store):
+        with pytest.raises(ConfigError, match="workers"):
+            JobManager(store=store, workers=0)
+
+    def test_jobs_listed_in_submission_order(self, idle_manager):
+        a = idle_manager.submit_experiment("t01")
+        b = idle_manager.submit_experiment("t02")
+        assert [job.id for job in idle_manager.jobs()] == [a.id, b.id]
+
+
+@pytest.mark.slow
+class TestServedByteIdentity:
+    """The acceptance criteria, per experiment."""
+
+    @pytest.mark.parametrize("experiment_id", ["t01", "t14", "t16"])
+    def test_served_result_matches_direct_run(self, client,
+                                              experiment_id):
+        direct = run_experiment(experiment_id, quick=True).to_json()
+
+        cold = client.post("/jobs",
+                           json={"experiment": experiment_id,
+                                 "quick": True})
+        assert cold.status_code == 202
+        snapshot = finish(client, cold.get_json()["id"])
+        assert snapshot["state"] == "done"
+        progress = snapshot["progress"]
+        assert progress["executed_cells"] == progress["total_cells"] > 0
+        assert progress["cached_cells"] == 0
+        served = client.get(
+            f"/jobs/{snapshot['id']}/result?format=json")
+        assert served.status_code == 200
+        assert served.data == direct.encode("utf-8")
+
+        # Identical resubmission: zero simulator cells executed.
+        warm = client.post("/jobs",
+                           json={"experiment": experiment_id,
+                                 "quick": True})
+        snapshot = finish(client, warm.get_json()["id"])
+        assert snapshot["state"] == "done"
+        progress = snapshot["progress"]
+        assert progress["executed_cells"] == 0
+        assert progress["cached_cells"] == progress["total_cells"] > 0
+        served = client.get(
+            f"/jobs/{snapshot['id']}/result?format=json")
+        assert served.data == direct.encode("utf-8")
+
+
+class TestRestApi:
+    def test_health(self, client):
+        body = client.get("/health").get_json()
+        assert body["status"] == "ok"
+        assert body["experiments"] == 16
+
+    def test_experiments_listing(self, client):
+        body = client.get("/experiments").get_json()
+        ids = [entry["id"] for entry in body["experiments"]]
+        assert ids == [f"t{i:02d}" for i in range(1, 17)]
+        assert all(entry["claim"] for entry in body["experiments"])
+
+    def test_result_formats(self, client):
+        job = client.post("/jobs", json={"experiment": "t01"})
+        job_id = job.get_json()["id"]
+        finish(client, job_id)
+        table = client.get(f"/jobs/{job_id}/result")
+        assert table.mimetype == "text/plain"
+        assert table.get_data(as_text=True).endswith("\n")
+        csv = client.get(f"/jobs/{job_id}/result?format=csv")
+        assert csv.mimetype == "text/csv"
+        assert "," in csv.get_data(as_text=True)
+        bad = client.get(f"/jobs/{job_id}/result?format=xml")
+        assert bad.status_code == 400
+        assert "unknown format" in bad.get_json()["error"]
+
+    def test_cells_endpoint_roundtrips(self, client):
+        from repro.harness import serialize
+        from repro.harness.sweep import SweepCellResult
+
+        job = client.post("/jobs", json={"experiment": "t01"})
+        job_id = job.get_json()["id"]
+        finish(client, job_id)
+        body = client.get(f"/jobs/{job_id}/cells").get_json()
+        cells = [serialize.decode(cell) for cell in body["cells"]]
+        assert cells and all(isinstance(cell, SweepCellResult)
+                             for cell in cells)
+
+    def test_grid_submission_via_cells_body(self, client):
+        cells = [small_spec(seed=None).to_dict() for _ in range(2)]
+        job = client.post("/jobs", json={"cells": cells,
+                                         "base_seed": 3,
+                                         "label": "adhoc"})
+        assert job.status_code == 202
+        assert job.get_json()["label"] == "adhoc"
+        snapshot = finish(client, job.get_json()["id"])
+        assert snapshot["state"] == "done"
+        assert snapshot["progress"]["total_cells"] == 2
+
+    def test_bad_submissions_are_400(self, client):
+        no_source = client.post("/jobs", json={"quick": True})
+        assert no_source.status_code == 400
+        assert "exactly one" in no_source.get_json()["error"]
+        two_sources = client.post(
+            "/jobs", json={"experiment": "t01", "cells": []})
+        assert two_sources.status_code == 400
+        not_a_dict = client.post("/jobs", json=[1, 2])
+        assert not_a_dict.status_code == 400
+        unknown = client.post("/jobs", json={"experiment": "t99"})
+        assert unknown.status_code == 400
+        assert "unknown experiment" in unknown.get_json()["error"]
+        bad_cells = client.post("/jobs", json={"cells": "nope"})
+        assert bad_cells.status_code == 400
+
+    def test_unknown_job_is_404(self, client):
+        assert client.get("/jobs/job-9999").status_code == 404
+        assert client.get("/jobs/job-9999/result").status_code == 404
+        assert client.delete("/jobs/job-9999").status_code == 404
+
+    def test_result_before_done_is_409(self, scenario_dir,
+                                       idle_manager):
+        app = create_app(manager=idle_manager)
+        stuck = app.test_client()
+        job = stuck.post("/jobs", json={"experiment": "t01"})
+        job_id = job.get_json()["id"]
+        result = stuck.get(f"/jobs/{job_id}/result")
+        assert result.status_code == 409
+        assert result.get_json()["state"] == "queued"
+        assert stuck.get(f"/jobs/{job_id}/cells").status_code == 409
+        cancel = stuck.delete(f"/jobs/{job_id}")
+        assert cancel.get_json()["cancelled"] is True
+
+    def test_failed_job_result_is_500(self, client):
+        bad_cell = {"graph": "line"}  # missing the node count
+        job = client.post("/jobs", json={"cells": [bad_cell]})
+        snapshot = finish(client, job.get_json()["id"])
+        assert snapshot["state"] == "failed"
+        result = client.get(f"/jobs/{snapshot['id']}/result")
+        assert result.status_code == 500
+        assert "TypeError" in result.get_json()["error"]
+
+    def test_jobs_listing(self, client):
+        client.post("/jobs", json={"experiment": "t01"})
+        body = client.get("/jobs").get_json()
+        assert len(body["jobs"]) == 1
+        assert body["jobs"][0]["kind"] == "experiment"
+
+    def test_cache_endpoints(self, client):
+        job = client.post("/jobs", json={"experiment": "t01"})
+        finish(client, job.get_json()["id"])
+        stats = client.get("/cache/stats").get_json()
+        assert stats["entries"] > 0
+        cleared = client.post("/cache/clear").get_json()
+        assert cleared["removed"] == stats["entries"]
+        assert client.get("/cache/stats").get_json()["entries"] == 0
+
+
+class TestScenarioLibrary:
+    def write(self, root, name, text):
+        (root / name).write_text(textwrap.dedent(text))
+
+    def test_experiment_scenario_yaml(self, scenario_dir):
+        self.write(scenario_dir, "t01_quick.yaml", """\
+            title: T1 quick
+            experiment: t01
+            quick: true
+            seed: 3
+        """)
+        library = ScenarioLibrary(scenario_dir)
+        assert library.names() == ["t01_quick"]
+        entry = library.load("t01_quick")
+        assert isinstance(entry, LibraryScenario)
+        assert entry.experiment == "t01"
+        assert entry.quick is True and entry.seed == 3
+        assert entry.describe()["experiment"] == "t01"
+
+    def test_grid_scenario_with_preset_shorthand(self, scenario_dir):
+        self.write(scenario_dir, "grid.yaml", """\
+            title: small grid
+            base_seed: 7
+            cells:
+              - graph: line
+                graph_args: [3]
+                rounds: 3
+                params: {preset: practical, rho: 1.0e-4, d: 1.0,
+                         u: 0.1, f: 1}
+                key: [D, 2]
+        """)
+        entry = ScenarioLibrary(scenario_dir).load("grid")
+        assert entry.base_seed == 7
+        assert len(entry.specs) == 1
+        spec = entry.specs[0]
+        assert spec.params == PARAMS
+        assert spec.key == ("D", 2)
+        assert entry.describe()["cells"] == 1
+
+    def test_json_scenario(self, scenario_dir):
+        (scenario_dir / "direct.json").write_text(json.dumps(
+            {"experiment": "t02", "quick": True}))
+        entry = ScenarioLibrary(scenario_dir).load("direct")
+        assert entry.experiment == "t02"
+        assert entry.title == "direct"  # defaults to the name
+
+    def test_unknown_scenario_name(self, scenario_dir):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            ScenarioLibrary(scenario_dir).load("nope")
+
+    def test_both_sources_rejected(self, scenario_dir):
+        self.write(scenario_dir, "both.yaml", """\
+            experiment: t01
+            cells: []
+        """)
+        with pytest.raises(ConfigError, match="exactly one"):
+            ScenarioLibrary(scenario_dir).load("both")
+
+    def test_unknown_keys_rejected(self, scenario_dir):
+        self.write(scenario_dir, "extra.yaml", """\
+            experiment: t01
+            sneed: 3
+        """)
+        with pytest.raises(ConfigError, match="unknown key"):
+            ScenarioLibrary(scenario_dir).load("extra")
+
+    def test_bad_cell_names_file_and_index(self, scenario_dir):
+        self.write(scenario_dir, "typo.yaml", """\
+            cells:
+              - graph: line
+                graph_args: [3]
+                wat: true
+        """)
+        with pytest.raises(ConfigError,
+                           match=r"typo\.yaml: cell 0"):
+            ScenarioLibrary(scenario_dir).load("typo")
+
+    def test_unknown_preset_rejected(self, scenario_dir):
+        self.write(scenario_dir, "preset.yaml", """\
+            cells:
+              - graph: line
+                graph_args: [3]
+                params: {preset: warp}
+        """)
+        with pytest.raises(ConfigError, match="unknown params preset"):
+            ScenarioLibrary(scenario_dir).load("preset")
+
+    def test_describe_all_survives_broken_files(self, scenario_dir):
+        self.write(scenario_dir, "good.yaml", "experiment: t01\n")
+        self.write(scenario_dir, "broken.yaml", "cells: 3\n")
+        entries = ScenarioLibrary(scenario_dir).describe_all()
+        by_name = {entry["name"]: entry for entry in entries}
+        assert "error" in by_name["broken"]
+        assert by_name["good"]["experiment"] == "t01"
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        library = ScenarioLibrary(tmp_path / "nope")
+        assert library.names() == []
+        assert library.describe_all() == []
+
+    def test_scenarios_endpoint_and_submission(self, client,
+                                               scenario_dir):
+        self.write(scenario_dir, "t01_quick.yaml", """\
+            title: T1 quick
+            experiment: t01
+        """)
+        listing = client.get("/scenarios").get_json()
+        assert [s["name"] for s in listing["scenarios"]] \
+            == ["t01_quick"]
+        job = client.post("/jobs", json={"scenario": "t01_quick"})
+        assert job.status_code == 202
+        assert job.get_json()["label"] == "T1 quick"
+        snapshot = finish(client, job.get_json()["id"])
+        assert snapshot["state"] == "done"
+
+    def test_unknown_scenario_submission_is_400(self, client):
+        response = client.post("/jobs", json={"scenario": "nope"})
+        assert response.status_code == 400
+
+    def test_no_library_submission_is_400(self, idle_manager):
+        app = create_app(manager=idle_manager)
+        response = app.test_client().post(
+            "/jobs", json={"scenario": "x"})
+        assert response.status_code == 400
+        assert "no scenario library" \
+            in response.get_json()["error"]
