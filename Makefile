@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test verify list run serve smoke-t16 smoke-serve bench-quick bench-quick-ci bench bench-record
+.PHONY: test verify list run serve smoke-t16 smoke-serve smoke-vec bench-quick bench-quick-ci bench bench-record
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -9,8 +9,9 @@ test:
 # What CI runs (.github/workflows/ci.yml): tier-1 tests + the
 # pre-merge smoke check in its non-strict form (the throughput
 # comparison against BENCH_kernel.json is hardware-sensitive, so only
-# the explicit `make bench-quick` gate hard-fails on it).
-verify: test bench-quick-ci
+# the explicit `make bench-quick` gate hard-fails on it) + the
+# cross-engine equivalence matrix.
+verify: test bench-quick-ci smoke-vec
 
 # List every registered experiment (the T1-T12 registry).
 list:
@@ -37,6 +38,12 @@ serve:
 # (everything from the content-addressed cache).
 smoke-serve:
 	$(PYTHON) benchmarks/smoke_serve.py
+
+# Cross-engine equivalence matrix (CI runs this): every vectorized
+# protocol cell on both engines — bit-equal where the math permits,
+# documented tolerance otherwise.  About a second.
+smoke-vec:
+	$(PYTHON) benchmarks/smoke_vec.py
 
 # Pre-merge smoke check: kernel/substrate microbenchmarks, < 60 s.
 # --check asserts event throughput within 10% of BENCH_kernel.json;

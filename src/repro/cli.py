@@ -15,7 +15,7 @@ Usage::
     python -m repro cache stats                # result-cache maintenance
 
 Experiment ids are the T-identifiers of DESIGN.md section 3
-(``t01`` … ``t15``); every one of them executes through
+(``t01`` … ``t17``); every one of them executes through
 :func:`~repro.harness.registry.run_experiment` and the parallel sweep
 engine, so ``--processes`` applies everywhere.  The bare legacy forms
 (``python -m repro t07``, ``python -m repro --list``) still work and
@@ -46,6 +46,7 @@ import sys
 import time
 from typing import Sequence
 
+from repro.errors import ConfigError
 from repro.harness.registry import REGISTRY, run_experiment
 
 #: Subcommand names (the legacy shim treats anything else as `run` ids).
@@ -75,7 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run experiments through the registry")
     run_p.add_argument(
         "ids", nargs="*", metavar="tNN",
-        help="experiment ids (t01..t15); see 'list'")
+        help="experiment ids (t01..t17); see 'list'")
     run_p.add_argument(
         "--all", action="store_true",
         help="run every experiment in order")
@@ -94,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--seed", type=int, default=None, metavar="S",
         help="override the experiment's registered seed")
+    run_p.add_argument(
+        "--engine", choices=("event", "vectorized"), default=None,
+        help="override the execution backend of every protocol cell "
+             "(vectorized: the numpy round engine; the protocols must "
+             "support it)")
     run_p.add_argument(
         "--format", choices=("table", "json", "csv"), default="table",
         help="output format (default: table)")
@@ -284,8 +290,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     tables = []
     for id in ids:
         started = time.perf_counter()
-        table = run_experiment(id, quick=not args.full,
-                               processes=args.processes, seed=args.seed)
+        try:
+            table = run_experiment(id, quick=not args.full,
+                                   processes=args.processes,
+                                   seed=args.seed, engine=args.engine)
+        except ConfigError as error:
+            # Eager build-time rejections (e.g. --engine vectorized on
+            # a plan with event-only cells) are user errors, not bugs.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         elapsed = time.perf_counter() - started
         tables.append(table)
         if not machine:

@@ -60,6 +60,14 @@ from repro.errors import ConfigError
 from repro.topology.cluster_graph import ClusterGraph
 from repro.topology.schedule import TopologySchedule
 
+#: Execution backends a system can compile to.  ``"event"`` is the
+#: discrete-event kernel (full per-message fidelity, every capability);
+#: ``"vectorized"`` is the numpy struct-of-arrays round engine
+#: (:mod:`repro.engine_vec`) for protocols advertising
+#: ``supports_vectorized`` — static topologies, no fault strategies or
+#: loss models, but million-node scale.
+ENGINES = ("event", "vectorized")
+
 
 @dataclass(frozen=True)
 class BuildContext:
@@ -180,6 +188,11 @@ class SyncProtocol:
     #: state follows the live edge set instead of being frozen at
     #: build time from the union graph.
     supports_first_contact: bool = False
+    #: Has a vectorized round model registered in
+    #: :data:`repro.engine_vec.protocols.VEC_PROTOCOLS`, so
+    #: ``SystemBuilder.engine("vectorized")`` can compile it to the
+    #: struct-of-arrays engine.
+    supports_vectorized: bool = False
     #: Requires a cluster graph (clique-only protocols set False).
     needs_graph: bool = True
     #: Requires ``BuildContext.params`` (protocols whose parameters
@@ -431,6 +444,7 @@ class SystemBuilder:
                 f"protocol must be a name, SyncProtocol subclass, or "
                 f"instance: {protocol!r}")
         self._protocol = protocol
+        self._engine = "event"
         self._graph: ClusterGraph | None = None
         self._schedule: TopologySchedule | None = None
         self._params = None
@@ -459,6 +473,21 @@ class SystemBuilder:
             raise ConfigError(
                 f"topology must be a ClusterGraph or TopologySchedule: "
                 f"{graph!r}")
+        return self
+
+    def engine(self, name: str) -> "SystemBuilder":
+        """Select the execution backend (one of :data:`ENGINES`).
+
+        ``"event"`` (the default) builds the discrete-event
+        :class:`System`; ``"vectorized"`` compiles the composition to
+        the numpy round engine (:mod:`repro.engine_vec`) — requires
+        the protocol's ``supports_vectorized`` capability and a
+        static, strategy-free, loss-free composition.
+        """
+        if name not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {name!r}; known: {list(ENGINES)}")
+        self._engine = name
         return self
 
     def params(self, params) -> "SystemBuilder":
@@ -524,9 +553,35 @@ class SystemBuilder:
 
     # -- compilation ----------------------------------------------------
 
-    def build(self) -> System:
-        """Validate capabilities and construct the generic system."""
+    def build(self) -> "System":
+        """Validate capabilities and construct the system.
+
+        Returns the event-engine :class:`System`, or (after
+        ``.engine("vectorized")``) the duck-compatible
+        :class:`~repro.engine_vec.engine.VecSystem`.
+        """
         protocol = self._protocol
+        if self._engine == "vectorized":
+            if not protocol.supports_vectorized:
+                raise ConfigError(
+                    f"protocol {protocol.name!r} has no vectorized "
+                    f"port (supports_vectorized is False)")
+            if self._strategy is not None:
+                raise ConfigError(
+                    "the vectorized engine does not support the named "
+                    "fault-strategy model; use the event engine")
+            if self._schedule is not None and not self._schedule.is_static:
+                raise ConfigError(
+                    "the vectorized engine runs static topologies "
+                    "only; use the event engine for schedules")
+            if self._first_contact:
+                raise ConfigError(
+                    "the vectorized engine does not support "
+                    "first-contact bring-up; use the event engine")
+            if self._loss:
+                raise ConfigError(
+                    "the vectorized engine does not support loss "
+                    "models; use the event engine")
         if protocol.needs_graph and self._graph is None:
             raise ConfigError(
                 f"protocol {protocol.name!r} needs a topology; call "
@@ -562,6 +617,15 @@ class SystemBuilder:
             raise ConfigError(
                 f"protocol {protocol.name!r} needs params; call "
                 f".params(...)")
+        if self._engine == "vectorized":
+            try:
+                from repro.engine_vec.engine import build_vec_system
+            except ImportError as exc:
+                raise ConfigError(
+                    "the vectorized engine requires numpy, which is "
+                    "not importable here; install it or use the "
+                    "event engine") from exc
+            return build_vec_system(protocol.name, ctx)
         return System(protocol, ctx)
 
 
@@ -627,6 +691,7 @@ def protocol_names() -> list[str]:
 
 
 __all__ = [
+    "ENGINES",
     "PROTOCOLS",
     "BuildContext",
     "ProtocolRunResult",

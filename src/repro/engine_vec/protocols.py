@@ -1,0 +1,425 @@
+"""Vectorized round models of the round-structured protocols.
+
+Each class here is the struct-of-arrays counterpart of one event-path
+adapter in :mod:`repro.protocols`, registered in
+:data:`VEC_PROTOCOLS` under the same protocol name.  A model consumes
+the same :class:`~repro.core.protocol.BuildContext` the event engine
+would (graph, params, rounds, seed, payload) and returns the same
+:class:`~repro.core.protocol.ProtocolRunResult` shape; randomness
+comes from :class:`~repro.engine_vec.engine.VecStreams`.
+
+Equivalence contracts (enforced by
+:mod:`repro.engine_vec.equivalence`, documented in API.md):
+
+``srikanth_toueg`` / ``gcs_single``
+    *Exact* on degenerate deterministic cells (``rho = 0``, ``u = 0``:
+    every clock agrees forever, both engines report exactly ``0.0``),
+    *tolerance* otherwise.  The tolerance covers the two engines'
+    different measurement instants: the event kernel samples on a
+    fixed wall-clock grid while the round model probes at round
+    boundaries, so headline skews agree up to one sampling interval of
+    drift plus the per-message jitter width (see
+    ``st_tolerance``/``gcs_tolerance`` in the equivalence module).
+``lynch_welch``
+    Tolerance: the event path runs the full FTGCS intra-cluster
+    machinery while the round model is the classic trimmed
+    approximate-agreement recursion, so skews are compared against the
+    shared analytic envelope ``params.intra_skew_bound()``.
+``ftgcs``
+    Envelope only: the vectorized port is the *cluster-round skeleton*
+    (one state per cluster, trigger-driven mode selection, estimate
+    error drawn within ``±E``), so both engines are held to the
+    analytic bounds ``global_skew_bound(D)`` /
+    ``local_skew_bound(...)`` rather than to each other.
+
+Scale notes: per-round cost is O(slots) for the graph protocols and
+O(n^2) for the cliques; the graph models run 1e5–1e6-node topologies
+at interactive rates (experiment t17 measures rounds/s).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.metrics import stabilization_time
+from repro.core.protocol import BuildContext, ProtocolRunResult
+from repro.engine_vec.csr import CSRAdjacency
+from repro.engine_vec.engine import VecStreams, fast_trigger_mask
+from repro.errors import ConfigError
+
+
+def _reject_unknown(mapping: dict, allowed: tuple, what: str,
+                    name: str) -> None:
+    unknown = sorted(set(mapping) - set(allowed))
+    if unknown:
+        raise ConfigError(
+            f"{name} on the vectorized engine does not accept {what} "
+            f"key(s) {unknown}; supported: {sorted(allowed)}")
+
+
+def _spread(values: np.ndarray) -> float:
+    if values.size == 0:
+        return 0.0
+    return float(values.max() - values.min())
+
+
+class VecRoundModel:
+    """Shared plumbing: context, streams, result assembly."""
+
+    name = ""
+
+    def __init__(self, ctx: BuildContext) -> None:
+        self.ctx = ctx
+        self.streams = VecStreams(ctx.seed, self.name)
+
+    def _result(self, *, max_global: float, max_local: float,
+                series: list, messages_sent: int, rounds: int,
+                nodes: int, detail_extra: dict | None = None,
+                with_stabilization: bool = True) -> ProtocolRunResult:
+        detail = {"engine": "vectorized", "rounds": rounds,
+                  "nodes": nodes}
+        if detail_extra:
+            detail.update(detail_extra)
+        stab = None
+        if with_stabilization and series:
+            stab = stabilization_time(
+                [(t, local) for t, local, _ in series])
+        return ProtocolRunResult(
+            protocol=self.name, seed=self.ctx.seed,
+            max_global_skew=max_global, max_local_skew=max_local,
+            series=series, messages_sent=messages_sent,
+            events_processed=rounds, stabilization_time=stab,
+            detail=detail)
+
+
+class VecGcsSingle(VecRoundModel):
+    """Plain GCS, one vectorized step per broadcast period.
+
+    Per round: per-slot neighbor estimates ``L[j] ± u/2`` (one uniform
+    draw per directed slot from the ``delays`` stream), FT trigger via
+    CSR segment max/min, then every clock advances one nominal period
+    at ``rate * (1 + mu * gamma)``.  Payload mirrors the event
+    adapter minus the Byzantine ``liars`` knob (per-victim phantom
+    streams are inherently per-message; the event engine keeps that
+    workload).
+    """
+
+    name = "gcs_single"
+
+    _PAYLOAD = ("params", "until", "rate_spread", "sample_interval",
+                "batched_delivery")
+
+    def __init__(self, ctx: BuildContext) -> None:
+        super().__init__(ctx)
+        payload = dict(ctx.payload)
+        if payload.get("liars"):
+            raise ConfigError(
+                "gcs_single liars are not supported on the vectorized "
+                "engine (per-victim phantom messages are per-message "
+                "state); use the event engine")
+        payload.pop("liars", None)
+        _reject_unknown(payload, self._PAYLOAD, "payload", self.name)
+        try:
+            self.params = payload["params"]
+            until = payload["until"]
+        except KeyError as missing:
+            raise ConfigError(
+                f"gcs_single needs payload[{missing.args[0]!r}]"
+            ) from None
+        if ctx.graph is None:
+            raise ConfigError("gcs_single needs a topology")
+        if ctx.config:
+            _reject_unknown(ctx.config, (), "config", self.name)
+        self.rate_spread = bool(payload.get("rate_spread", True))
+        self.rounds = int(math.floor(
+            until / self.params.period + 1e-9))
+        self.csr = CSRAdjacency(ctx.graph)
+
+    def run(self) -> ProtocolRunResult:
+        p = self.params
+        csr = self.csr
+        n = csr.num_nodes
+        ids = np.arange(n)
+        if self.rate_spread:
+            rate = 1.0 + p.rho * (ids % 2)
+        else:
+            rate = np.ones(n)
+        clocks = np.zeros(n)
+        delays = self.streams.stream("delays")
+        series: list[tuple[float, float, float]] = []
+        max_local = max_global = 0.0
+        slots = csr.num_slots
+        for r in range(1, self.rounds + 1):
+            estimates = csr.gather(clocks)
+            if p.u > 0.0 and slots:
+                estimates = estimates + delays.uniform(
+                    -p.u / 2.0, p.u / 2.0, slots)
+            up = csr.segment_max(estimates) - clocks
+            down = clocks - csr.segment_min(estimates)
+            gamma = fast_trigger_mask(up, down, p.kappa,
+                                      p.slack).astype(np.float64)
+            clocks = clocks + rate * (1.0 + p.mu * gamma) * p.period
+            local = csr.edge_skew(clocks)
+            global_ = _spread(clocks)
+            series.append((r * p.period, local, global_))
+            max_local = max(max_local, local)
+            max_global = max(max_global, global_)
+        return self._result(
+            max_global=max_global, max_local=max_local, series=series,
+            messages_sent=self.rounds * slots, rounds=self.rounds,
+            nodes=n)
+
+
+class VecSrikanthToueg(VecRoundModel):
+    """Propose-and-pull on a clique, one vectorized resync per round.
+
+    Round ``r``: naive propose times from each correct clock's
+    ``r * period`` boundary, one uniform ``[d - u, d]`` delay draw per
+    ordered correct pair, the ``f + 1`` pull rule as a (few-step)
+    fixed point over propose times, accept at the ``(n - f)``-th
+    earliest proposal, clocks reset to ``r * period + d``.  Skew is
+    probed just before the first accept (worst accumulated drift) and
+    just after the last (resync quality), plus a final probe at the
+    event adapter's ``(rounds + 1) * period`` horizon.
+    """
+
+    name = "srikanth_toueg"
+
+    _PAYLOAD = ("params", "rounds", "silent_faults", "rate_spread",
+                "sample_interval")
+    #: Pull-rule fixed-point cap; relays only cascade when propose
+    #: spreads exceed message delays, which a handful of sweeps covers.
+    _MAX_RELAY_ITER = 4
+
+    def __init__(self, ctx: BuildContext) -> None:
+        super().__init__(ctx)
+        payload = dict(ctx.payload)
+        _reject_unknown(payload, self._PAYLOAD, "payload", self.name)
+        try:
+            self.params = payload["params"]
+        except KeyError:
+            raise ConfigError(
+                "srikanth_toueg needs payload['params']") from None
+        if ctx.config:
+            _reject_unknown(ctx.config, (), "config", self.name)
+        self.rounds = int(payload.get("rounds", ctx.rounds))
+        self.silent_faults = int(payload.get("silent_faults", 0))
+        if self.silent_faults > self.params.f:
+            raise ConfigError(
+                f"{self.silent_faults} silent faults exceed "
+                f"f={self.params.f}")
+        self.rate_spread = bool(payload.get("rate_spread", True))
+
+    def run(self) -> ProtocolRunResult:
+        p = self.params
+        n, f = p.n, p.f
+        correct = np.arange(self.silent_faults, n)
+        count = correct.size
+        if self.rate_spread:
+            rate = 1.0 + p.rho * (correct / max(n - 1, 1))
+        else:
+            rate = np.ones(count)
+        offset = np.zeros(count)
+        delays = self.streams.stream("delays")
+        max_skew = 0.0
+        # The event adapter's horizon is (rounds + 1) * period, which
+        # executes the round-(rounds + 1) resync just before the end;
+        # mirror that so steady-state maxima cover the same window.
+        total_rounds = self.rounds + 1
+        for r in range(1, total_rounds + 1):
+            boundary = r * p.period
+            naive = (boundary - offset) / rate
+            if p.u > 0.0:
+                delay = delays.uniform(p.d - p.u, p.d,
+                                       size=(count, count))
+            else:
+                delay = np.full((count, count), p.d)
+            propose = naive
+            if count - 1 >= f + 1:
+                for _ in range(self._MAX_RELAY_ITER):
+                    arrivals = propose[:, None] + delay
+                    np.fill_diagonal(arrivals, np.inf)
+                    kth = np.partition(arrivals, f, axis=0)[f]
+                    pulled = np.minimum(naive, kth)
+                    if np.array_equal(pulled, propose):
+                        break
+                    propose = pulled
+            arrivals = propose[:, None] + delay
+            # A node's own proposal counts toward its quorum at its
+            # propose time (it never receives its own broadcast).
+            np.fill_diagonal(arrivals, 0.0)
+            arrivals[np.arange(count),
+                     np.arange(count)] = propose
+            quorum = n - f
+            accept = np.partition(arrivals, quorum - 1,
+                                  axis=0)[quorum - 1]
+            # Probe 1: just before the first accept, on old offsets —
+            # the largest drift accumulated since the last resync.
+            t_pre = float(accept.min())
+            max_skew = max(max_skew, _spread(rate * t_pre + offset))
+            offset = boundary + p.d - rate * accept
+            # Probe 2: just after the last accept, on new offsets.
+            t_post = float(accept.max())
+            max_skew = max(max_skew, _spread(rate * t_post + offset))
+        horizon = (total_rounds + 1) * p.period
+        max_skew = max(max_skew, _spread(rate * horizon + offset))
+        return self._result(
+            max_global=max_skew, max_local=max_skew, series=[],
+            messages_sent=total_rounds * count * (n - 1),
+            rounds=total_rounds, nodes=n,
+            detail_extra={"max_skew": max_skew,
+                          "silent_faults": self.silent_faults},
+            with_stabilization=False)
+
+
+class VecLynchWelch(VecRoundModel):
+    """Classic Lynch–Welch on one clique: trimmed approximate
+    agreement over pulse times, one vectorized step per pulse round.
+
+    Node ``i``'s round: observe every peer's pulse through a
+    ``[d - u, d]`` delay draw, midpoint-compensate, trim the ``f``
+    lowest and highest offset estimates, correct the next pulse by the
+    midpoint of the survivors.  The event path runs the full FTGCS
+    intra-cluster machinery instead, so equivalence is an
+    envelope/tolerance contract on ``params.intra_skew_bound()``.
+    """
+
+    name = "lynch_welch"
+
+    _CONFIG = ("init_jitter",)
+
+    def __init__(self, ctx: BuildContext) -> None:
+        super().__init__(ctx)
+        if ctx.payload:
+            _reject_unknown(ctx.payload, (), "payload", self.name)
+        if ctx.params is None:
+            raise ConfigError("lynch_welch needs params")
+        _reject_unknown(dict(ctx.config), self._CONFIG, "config",
+                        self.name)
+        self.params = ctx.params
+        self.rounds = int(ctx.rounds)
+        init_jitter = ctx.config.get("init_jitter")
+        self.init_jitter = (self.params.cap_e / 4.0
+                            if init_jitter is None else init_jitter)
+
+    def run(self) -> ProtocolRunResult:
+        p = self.params
+        k, f = p.cluster_size, p.f
+        rate = 1.0 + p.rho * (np.arange(k) / max(k - 1, 1))
+        if self.init_jitter > 0.0:
+            pulses = self.streams.stream("init").uniform(
+                0.0, self.init_jitter, k)
+        else:
+            pulses = np.zeros(k)
+        delays = self.streams.stream("delays")
+        series: list[tuple[float, float, float]] = []
+        spread = _spread(pulses)
+        max_skew = spread
+        series.append((0.0, spread, spread))
+        for r in range(1, self.rounds + 1):
+            delay = delays.uniform(p.d - p.u, p.d, size=(k, k))
+            # offsets[i, j]: i's midpoint-compensated estimate of
+            # how far j's pulse leads/lags its own.
+            offsets = (pulses[None, :] + delay.T
+                       - pulses[:, None] - (p.d - p.u / 2.0))
+            np.fill_diagonal(offsets, 0.0)
+            trimmed = np.sort(offsets, axis=1)[:, f:k - f]
+            correction = (trimmed[:, 0] + trimmed[:, -1]) / 2.0
+            pulses = pulses + (p.round_length + correction) / rate
+            spread = _spread(pulses)
+            series.append((r * p.round_length, spread, spread))
+            max_skew = max(max_skew, spread)
+        return self._result(
+            max_global=max_skew, max_local=max_skew, series=series,
+            messages_sent=self.rounds * k * (k - 1),
+            rounds=self.rounds, nodes=k)
+
+
+class VecFtgcs(VecRoundModel):
+    """The FTGCS *cluster-round skeleton*: one state per cluster.
+
+    Each cluster is reduced to its (already intra-synchronized)
+    cluster clock; per round it estimates neighbor clusters within the
+    steady-state error ``±E``, evaluates the FT trigger, and advances
+    at ``rate * (1 + mu * gamma)``.  This abstracts away the
+    intra-cluster Lynch–Welch layer — the reason its equivalence
+    contract is envelope-only (both engines inside the analytic
+    bounds), not value-vs-value.
+    """
+
+    name = "ftgcs"
+
+    _CONFIG = ("cluster_offsets",)
+
+    def __init__(self, ctx: BuildContext) -> None:
+        super().__init__(ctx)
+        if ctx.payload:
+            _reject_unknown(ctx.payload, (), "payload", self.name)
+        if ctx.params is None:
+            raise ConfigError("ftgcs needs params")
+        if ctx.graph is None:
+            raise ConfigError("ftgcs needs a topology")
+        _reject_unknown(dict(ctx.config), self._CONFIG, "config",
+                        self.name)
+        self.params = ctx.params
+        self.rounds = int(ctx.rounds)
+        self.cluster_offsets = ctx.config.get("cluster_offsets")
+        self.csr = CSRAdjacency(ctx.graph)
+
+    def run(self) -> ProtocolRunResult:
+        p = self.params
+        csr = self.csr
+        n = csr.num_nodes
+        rate = 1.0 + p.rho * (np.arange(n) % 2)
+        clocks = np.zeros(n)
+        if self.cluster_offsets is not None:
+            clocks = clocks + np.asarray(self.cluster_offsets,
+                                         dtype=np.float64)
+        estimates_rng = self.streams.stream("estimates")
+        series: list[tuple[float, float, float]] = []
+        max_local = max_global = 0.0
+        slots = csr.num_slots
+        for r in range(1, self.rounds + 1):
+            estimates = csr.gather(clocks)
+            if p.cap_e > 0.0 and slots:
+                estimates = estimates + estimates_rng.uniform(
+                    -p.cap_e, p.cap_e, slots)
+            up = csr.segment_max(estimates) - clocks
+            down = clocks - csr.segment_min(estimates)
+            gamma = fast_trigger_mask(
+                up, down, p.kappa, p.delta_trigger).astype(np.float64)
+            clocks = clocks + rate * (1.0 + p.mu * gamma) \
+                * p.round_length
+            local = csr.edge_skew(clocks)
+            global_ = _spread(clocks)
+            series.append((r * p.round_length, local, global_))
+            max_local = max(max_local, local)
+            max_global = max(max_global, global_)
+        return self._result(
+            max_global=max_global, max_local=max_local, series=series,
+            messages_sent=self.rounds * slots, rounds=self.rounds,
+            nodes=n)
+
+
+#: Protocol name -> vectorized round model; the vectorized engine's
+#: registry (lookup happens in
+#: :func:`repro.engine_vec.engine.build_vec_system`).  Names match
+#: :data:`repro.core.protocol.PROTOCOLS`; an adapter advertising
+#: ``supports_vectorized`` must have an entry here.
+VEC_PROTOCOLS: dict[str, type[VecRoundModel]] = {
+    VecGcsSingle.name: VecGcsSingle,
+    VecSrikanthToueg.name: VecSrikanthToueg,
+    VecLynchWelch.name: VecLynchWelch,
+    VecFtgcs.name: VecFtgcs,
+}
+
+
+__all__ = [
+    "VEC_PROTOCOLS",
+    "VecFtgcs",
+    "VecGcsSingle",
+    "VecLynchWelch",
+    "VecSrikanthToueg",
+]

@@ -5,8 +5,9 @@ finishes well under a minute) and ``benchmarks/record_baseline.py``
 (dumps the numbers to ``BENCH_kernel.json`` so the perf trajectory is
 tracked PR over PR).  The workloads mirror ``benchmarks/bench_kernel.py``
 — event dispatch, alarm inversion under rate changes, a full system
-round — plus a small sweep-grid measurement comparing the serial path
-against a worker pool.
+round — plus the vectorized round engine's rounds/second on a 2e4-node
+caterpillar and a small sweep-grid measurement comparing the serial
+path against a worker pool.
 
 Timing uses best-of-``repeats`` wall clock: simulations are
 deterministic, so the minimum is the least-noise estimate.
@@ -178,6 +179,43 @@ def bench_delivery_batching(diameter: int = 64, ttl: int = 6,
             "speedup": legacy_best / batched_best}
 
 
+def bench_vectorized_rounds(nodes: int = 20_000, rounds: int = 50,
+                            repeats: int = 3) -> dict:
+    """Vectorized round engine: GCS rounds/second on a caterpillar.
+
+    The struct-of-arrays backend's headline number — one numpy kernel
+    step per synchronous round over every node at once.  A caterpillar
+    graph keeps the node count high (``~nodes``) at a fixed spine
+    length, matching the t17 scale cells.  Skipped (``seconds = None``)
+    when numpy is unavailable.
+    """
+    try:
+        from repro.baselines.gcs_single import GcsParams
+        from repro.harness.scenario import Scenario
+        import numpy  # noqa: F401
+    except ImportError:
+        return {"name": "vectorized_rounds", "nodes": nodes,
+                "rounds": rounds, "seconds": None,
+                "rounds_per_second": None}
+
+    params = GcsParams(rho=1e-3, d=1.0, u=0.01, mu=0.01, period=10.0,
+                       kappa=0.3, slack=0.1)
+    length = 100
+    width = max(2, nodes // length)
+    spec = (Scenario.on("caterpillar", length, width)
+            .protocol("gcs_single").engine("vectorized")
+            .payload(params=params, until=rounds * params.period)
+            .seed(23).build())
+
+    def run() -> None:
+        SweepRunner(processes=1).run([spec], base_seed=23)
+
+    best = _best_of(run, repeats)
+    return {"name": "vectorized_rounds", "nodes": length * width,
+            "rounds": rounds, "seconds": best,
+            "rounds_per_second": rounds / best}
+
+
 def bench_sweep(cells: int = 8, rounds: int = 20,
                 processes: int | None = None) -> dict:
     """A small scenario grid: serial wall clock vs a worker pool.
@@ -234,6 +272,7 @@ def run_all_micro(quick: bool = True,
         bench_alarm_inversion(rate_changes=2_000 * scale),
         bench_delivery_batching(ttl=6 if quick else 10),
         bench_system_rounds(rounds=4 * scale),
+        bench_vectorized_rounds(nodes=20_000 * scale),
         bench_sweep(cells=4 * scale, rounds=15, processes=processes),
     ]
 
@@ -256,6 +295,15 @@ def microbench_table(results: list[dict]) -> Table:
                 f"({r['messages']} msgs)", r["seconds"],
                 r["speedup"], "batched/legacy speedup "
                 f"({r['messages_per_second']:,.0f} msg/s)")
+        elif r["name"] == "vectorized_rounds":
+            if r["seconds"] is None:
+                table.add_row("vectorized rounds", float("nan"),
+                              float("nan"), "skipped (numpy missing)")
+            else:
+                table.add_row(
+                    f"vectorized n={r['nodes']} "
+                    f"({r['rounds']} rounds)", r["seconds"],
+                    r["rounds_per_second"], "rounds/s")
         elif "events_per_second" in r:
             table.add_row(r["name"], r["seconds"],
                           r["events_per_second"], "events/s")

@@ -137,7 +137,8 @@ class ExperimentRegistry:
 
     def run(self, id: str, *, quick: bool = True,
             processes: int | None = None,
-            seed: int | None = None) -> Table:
+            seed: int | None = None,
+            engine: str | None = None) -> Table:
         """Plan, sweep, and finish one experiment's table.
 
         ``processes`` resolves through
@@ -145,16 +146,33 @@ class ExperimentRegistry:
         ``REPRO_SWEEP_PROCESSES`` > serial); the output is identical
         for any worker count.  ``seed`` defaults to the experiment's
         registered seed — the one the published tables use.
+        ``engine`` overrides the execution backend of every *protocol*
+        cell in the plan (non-protocol kinds — ``failure_mc`` etc. —
+        are left alone); the named protocols must all support it, or
+        the sweep fails eagerly in the builder.
         """
         experiment = self.get(id)
         if seed is None:
             seed = experiment.default_seed
         plan = experiment.plan(quick=quick, seed=seed)
-        cells = SweepRunner(processes).run(plan.specs, base_seed=seed)
+        specs = plan.specs
+        if engine is not None:
+            from dataclasses import replace
+
+            from repro.core.protocol import ENGINES
+            if engine not in ENGINES:
+                raise ConfigError(f"unknown engine {engine!r}; known: "
+                                  f"{list(ENGINES)}")
+            protocol_kinds = {"protocol", "ftgcs", "master_slave",
+                              "gcs_single", "srikanth_toueg"}
+            specs = [replace(spec, engine=engine)
+                     if spec.kind in protocol_kinds else spec
+                     for spec in specs]
+        cells = SweepRunner(processes).run(specs, base_seed=seed)
         return plan.finish(cells, experiment.make_table())
 
 
-#: The process-wide registry holding T1–T14 (and any extensions).
+#: The process-wide registry holding T1–T17 (and any extensions).
 REGISTRY = ExperimentRegistry()
 
 _builtin_loaded = False
@@ -170,7 +188,7 @@ def _load_builtin_experiments() -> None:
     global _builtin_loaded
     if _builtin_loaded:
         return
-    import repro.harness.experiments  # noqa: F401  (registers T1-T14)
+    import repro.harness.experiments  # noqa: F401  (registers T1-T17)
 
     # Only after the import succeeds: a partial failure must re-raise
     # on the next call, not leave a silently truncated registry.
@@ -179,9 +197,11 @@ def _load_builtin_experiments() -> None:
 
 def run_experiment(id: str, *, quick: bool = True,
                    processes: int | None = None,
-                   seed: int | None = None) -> Table:
+                   seed: int | None = None,
+                   engine: str | None = None) -> Table:
     """Run one registered experiment (see :meth:`ExperimentRegistry.run`)."""
-    return REGISTRY.run(id, quick=quick, processes=processes, seed=seed)
+    return REGISTRY.run(id, quick=quick, processes=processes, seed=seed,
+                        engine=engine)
 
 
 __all__ = [

@@ -24,7 +24,7 @@ the worker, where the system is actually constructed.
 from __future__ import annotations
 
 from repro.core.params import Parameters
-from repro.core.protocol import get_protocol, protocol_names
+from repro.core.protocol import ENGINES, get_protocol, protocol_names
 from repro.errors import ConfigError
 from repro.harness import serialize
 from repro.harness.sweep import (
@@ -154,6 +154,23 @@ class Scenario:
         return self.dynamic("node_churn", interval=interval, crash=crash,
                             rejoin=rejoin, protect=tuple(protect),
                             drop_in_flight=drop_in_flight)
+
+    def engine(self, name: str) -> "Scenario":
+        """Select the execution backend
+        (:data:`~repro.core.protocol.ENGINES`): ``"event"`` — the
+        default — or ``"vectorized"`` for the numpy round engine.
+        The protocol must declare ``supports_vectorized`` (checked at
+        :meth:`build`)."""
+        if name not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {name!r}; known: {list(ENGINES)}")
+        return self._with(engine=name)
+
+    def timed(self, enabled: bool = True) -> "Scenario":
+        """Also measure in-worker wall-clock time
+        (``extras["timing"]``).  Opt-in: timing readings are not
+        deterministic, so determinism checks must ignore them."""
+        return self._with(timing=bool(enabled))
 
     def params(self, params: Parameters) -> "Scenario":
         """Attach the full FTGCS parameter set."""
@@ -324,6 +341,25 @@ class Scenario:
                         "node_churn",
                         graph_factory(*fields.get("graph_args", ())),
                         **fields.get("schedule_args", {}))
+        engine = fields.get("engine")
+        if engine is not None and engine not in ENGINES:
+            raise ConfigError(f"unknown engine {engine!r}; known: "
+                              f"{list(ENGINES)}")
+        if engine not in (None, "event"):
+            if kind in _SCHEDULE_BLIND_KINDS:
+                raise ConfigError(
+                    f"cell kind {kind!r} ignores engines; "
+                    f".engine(...) needs a protocol cell")
+            name = None
+            if kind == "protocol":
+                name = protocol or "ftgcs"
+            elif kind in _LEGACY_PROTOCOL_KINDS:
+                name = kind
+            if (name is not None
+                    and not get_protocol(name).supports_vectorized):
+                raise ConfigError(
+                    f"protocol {name!r} has no vectorized port "
+                    f"(supports_vectorized is False)")
         strategy = fields.get("strategy")
         if strategy is not None and strategy not in STRATEGIES:
             raise ConfigError(f"unknown strategy {strategy!r}; known: "

@@ -88,6 +88,7 @@ import math
 import multiprocessing
 import os
 import random
+import time
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable, Sequence
 
@@ -168,6 +169,21 @@ class ScenarioSpec:
         :func:`repro.net.loss.build_loss_model`) attached to the
         network via ``SystemBuilder.lossy``.  Empty dict: no loss
         model at all (bit-identical to the historical path).
+    engine:
+        For ``"protocol"`` cells: the execution backend
+        (:data:`repro.core.protocol.ENGINES` — ``"event"``, the
+        default, or ``"vectorized"`` for protocols with a
+        struct-of-arrays round model).  Part of the spec content, so
+        the service's content-addressed result cache keys the two
+        engines' results separately.
+    timing:
+        For ``"protocol"`` cells: also measure the run's wall-clock
+        time in-worker; lands in ``extras["timing"]`` as
+        ``{"wall_seconds": ...}`` (plus ``rounds_per_second`` when the
+        result reports its round count).  Opt-in because wall-clock
+        readings are *not* deterministic — determinism checks must
+        ignore them (the simulation results themselves stay
+        bit-reproducible).
     payload:
         Kind- or protocol-specific picklable knobs (e.g. the
         master-slave ``jump`` flag, the Monte Carlo
@@ -194,6 +210,8 @@ class ScenarioSpec:
     schedule_args: dict = field(default_factory=dict)
     first_contact: bool = False
     loss: dict = field(default_factory=dict)
+    engine: str = "event"
+    timing: bool = False
     payload: dict = field(default_factory=dict)
     collect: tuple = ()
 
@@ -392,6 +410,8 @@ def _run_protocol_cell(spec: ScenarioSpec) -> SweepCellResult:
     if spec.params is not None:
         builder.params(spec.params)
     builder.rounds(spec.rounds).seed(spec.seed)
+    if spec.engine:
+        builder.engine(spec.engine)
     if spec.first_contact:
         builder.first_contact(True)
     if spec.loss:
@@ -405,9 +425,21 @@ def _run_protocol_cell(spec: ScenarioSpec) -> SweepCellResult:
         builder.payload(**spec.payload)
 
     system = builder.build()
-    result = system.run()
-
     extras = {}
+    if spec.timing:
+        start = time.perf_counter()
+        result = system.run()
+        wall = time.perf_counter() - start
+        timing = {"wall_seconds": wall}
+        detail = getattr(result, "detail", None)
+        rounds = (detail.get("rounds")
+                  if isinstance(detail, dict) else None)
+        if rounds and wall > 0.0:
+            timing["rounds_per_second"] = rounds / wall
+        extras["timing"] = timing
+    else:
+        result = system.run()
+
     target = system.protocol.analysis_system()
     needs_target = spec.collect or spec.collect_pulse_diameters
     if needs_target and target is None:

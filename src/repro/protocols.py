@@ -17,15 +17,15 @@ per-algorithm paths — the property the experiment tables rely on.
 
 Capability summary:
 
-============== ======== ========= ============= ====== ======= =========
-protocol       faults   dynamic   first-contact churn  graph   params in
-============== ======== ========= ============= ====== ======= =========
-ftgcs          yes      yes       yes           yes    yes     ``.params``
-lynch_welch    yes      no        no            no     no      ``.params``
-master_slave   no       no        no            links  yes     ``.params``
-gcs_single     liars*   yes       no            yes    yes     ``payload["params"]``
-srikanth_toueg silent*  no        no            no     no      ``payload["params"]``
-============== ======== ========= ============= ====== ======= =========
+============== ======== ========= ============= ====== ========== ======= =========
+protocol       faults   dynamic   first-contact churn  vectorized graph   params in
+============== ======== ========= ============= ====== ========== ======= =========
+ftgcs          yes      yes       yes           yes    yes        yes     ``.params``
+lynch_welch    yes      no        no            no     yes        no      ``.params``
+master_slave   no       no        no            links  no         yes     ``.params``
+gcs_single     liars*   yes       no            yes    yes        yes     ``payload["params"]``
+srikanth_toueg silent*  no        no            no     yes        no      ``payload["params"]``
+============== ======== ========= ============= ====== ========== ======= =========
 
 ``*`` — these baselines model faults through protocol-specific payload
 knobs (``liars``, ``silent_faults``) rather than the named-strategy
@@ -37,6 +37,14 @@ estimator state survives the outage).  The full crash-with-amnesia
 model needs a protocol bring-up path, which only ``ftgcs`` (the PR 4
 first-contact machinery) and ``gcs_single`` (estimate amnesia plus
 cadence re-anchor) implement.
+
+``vectorized = yes`` — the protocol has a struct-of-arrays round model
+in :mod:`repro.engine_vec.protocols`, selectable via
+``SystemBuilder.engine("vectorized")`` (static topologies only; the
+engines' equivalence contract is documented and enforced by
+:mod:`repro.engine_vec.equivalence`).  Master–slave stays event-only:
+its tree-slaved chase logic is estimator-cascade-ordered, not
+round-structured.
 
 Every adapter also reports the fault-injection counters —
 ``messages_lost`` (random loss), ``dropped_link_down``,
@@ -126,6 +134,7 @@ class FtgcsProtocol(SyncProtocol):
     supports_dynamic_topology = True
     supports_first_contact = True
     supports_node_churn = True
+    supports_vectorized = True
 
     system_class = FtgcsSystem
 
@@ -228,6 +237,7 @@ class LynchWelchProtocol(FtgcsProtocol):
     supports_dynamic_topology = False
     supports_first_contact = False  # single cluster: no estimators
     supports_node_churn = False  # crashing the only cluster ends the run
+    supports_vectorized = True  # classic trimmed approximate agreement
 
     system_class = LynchWelchSystem
 
@@ -329,6 +339,7 @@ class GcsSingleProtocol(SyncProtocol):
     name = "gcs_single"
     supports_dynamic_topology = True
     supports_node_churn = True
+    supports_vectorized = True
     needs_params = False
 
     def build_nodes(self, ctx: BuildContext) -> None:
@@ -397,6 +408,7 @@ class SrikanthTouegProtocol(SyncProtocol):
     name = "srikanth_toueg"
     needs_graph = False
     needs_params = False
+    supports_vectorized = True
 
     def build_nodes(self, ctx: BuildContext) -> None:
         payload = dict(ctx.payload)

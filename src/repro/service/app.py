@@ -3,6 +3,9 @@
 Routes (all JSON unless noted):
 
 ====================================  =================================
+``GET  /openapi.json``                the OpenAPI 3 description of
+                                      this surface
+                                      (:mod:`repro.service.openapi`)
 ``GET  /health``                      liveness + cache/queue summary
 ``GET  /experiments``                 registry metadata (id, title,
                                       claim, columns, default seed)
@@ -99,6 +102,11 @@ def create_app(cache_dir=None, scenario_dir=None, processes=None,
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    @app.get("/openapi.json")
+    def openapi():
+        from repro.service.openapi import openapi_document
+        return openapi_document()
 
     @app.get("/health")
     def health():

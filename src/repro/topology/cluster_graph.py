@@ -69,6 +69,14 @@ class ClusterGraph:
         return cls(num, edges, name=f"tree(b={branching},h={height})")
 
     @classmethod
+    def caterpillar(cls, length: int, width: int) -> "ClusterGraph":
+        """Spine path of ``length`` hubs, ``width - 1`` leaves each:
+        ``length * width`` vertices with diameter ``length + 1`` (for
+        ``width >= 2``) — vertex count and diameter decoupled."""
+        return cls(length * width, g.caterpillar_edges(length, width),
+                   name=f"caterpillar({length}x{width})")
+
+    @classmethod
     def hypercube(cls, dim: int) -> "ClusterGraph":
         return cls(1 << dim, g.hypercube_edges(dim),
                    name=f"hypercube({dim})")

@@ -167,6 +167,29 @@ def balanced_tree_edges(branching: int, height: int) -> list[tuple[int, int]]:
     return edges
 
 
+def caterpillar_edges(length: int, width: int) -> list[tuple[int, int]]:
+    """Caterpillar: a spine path of ``length`` hubs, each carrying
+    ``width - 1`` leaves; ``length * width`` vertices total.
+
+    Hub ``i`` has id ``i * width``; its leaves occupy the rest of the
+    block ``[i * width, (i + 1) * width)``.  The hop diameter is
+    ``length + 1`` for ``width >= 2`` (leaf -> spine -> ... -> leaf)
+    and ``length - 1`` for ``width == 1`` (a plain path) — the shape
+    that decouples vertex count from diameter, so scale sweeps can fix
+    ``D`` while pushing ``n`` to 1e5-1e6.
+    """
+    if length < 1 or width < 1:
+        raise TopologyError("caterpillar dimensions must be positive")
+    edges: list[tuple[int, int]] = []
+    for i in range(length):
+        hub = i * width
+        if i + 1 < length:
+            edges.append((hub, hub + width))
+        for leaf in range(hub + 1, hub + width):
+            edges.append((hub, leaf))
+    return edges
+
+
 def hypercube_edges(dim: int) -> list[tuple[int, int]]:
     """``dim``-dimensional hypercube on ``2**dim`` vertices."""
     if dim < 1:

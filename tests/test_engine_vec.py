@@ -1,0 +1,208 @@
+"""The vectorized synchronous-round engine (`repro.engine_vec`).
+
+Degenerate topologies (edgeless, single node), faulty-node vectors at
+the f-bound, the `engine` spec field's serialization/cache behavior,
+and the builder's eager rejection of event-only features.  The
+cross-engine skew agreement itself lives in
+``tests/test_equivalence.py``.
+"""
+
+import math
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.baselines.gcs_single import GcsParams
+from repro.baselines.srikanth_toueg import StParams
+from repro.core.params import Parameters
+from repro.core.protocol import ENGINES, SystemBuilder
+from repro.engine_vec.csr import CSRAdjacency
+from repro.engine_vec.engine import (
+    VecStreams,
+    fast_trigger_mask,
+    slow_trigger_mask,
+)
+from repro.errors import ConfigError
+from repro.harness.scenario import Scenario
+from repro.harness.sweep import (
+    ScenarioSpec,
+    SweepRunner,
+    run_cell,
+    spec_hash,
+)
+from repro.service.store import ResultStore
+from repro.topology import ClusterGraph
+
+GCS = GcsParams(rho=1e-3, d=1.0, u=0.01, mu=0.01, period=10.0,
+                kappa=0.3, slack=0.1)
+
+
+def vec_gcs(graph, until=100.0, seed=3):
+    return (SystemBuilder("gcs_single").topology(graph)
+            .payload(params=GCS, until=until)
+            .engine("vectorized").seed(seed).build())
+
+
+class TestDegenerateTopologies:
+    def test_single_node_edgeless_graph_runs(self):
+        result = vec_gcs(ClusterGraph.line(1)).run()
+        assert result.max_local_skew == 0.0
+        assert result.max_global_skew == 0.0
+        assert result.detail["nodes"] == 1
+
+    def test_edgeless_node_never_triggers(self):
+        # Degree 0 everywhere: segment reductions see only empty
+        # segments, so the masked fills must never read as estimates.
+        result = vec_gcs(ClusterGraph.line(1), until=1000.0).run()
+        assert result.detail["rounds"] == 100
+        assert result.max_global_skew == 0.0
+
+    def test_single_node_srikanth_toueg_drifts_by_d_per_round(self):
+        p = StParams(n=1, f=0, rho=0.0, d=1.0, u=0.0, period=10.0)
+        result = (SystemBuilder("srikanth_toueg")
+                  .payload(params=p, rounds=5)
+                  .engine("vectorized").seed(0).build().run())
+        assert result.max_global_skew == 0.0
+
+    def test_csr_empty_segments_masked(self):
+        # One isolated node next to a connected pair.
+        csr = CSRAdjacency(ClusterGraph(3, [(1, 2)], name="pair+iso"))
+        values = np.array([5.0, 1.0, 9.0])
+        up = csr.segment_max(csr.gather(values))
+        down = csr.segment_min(csr.gather(values))
+        assert up[0] == -math.inf and down[0] == math.inf
+        assert up[1] == 9.0 and down[2] == 1.0
+        gamma = fast_trigger_mask(up - values, values - down,
+                                  kappa=0.3, slack=0.1)
+        assert not gamma[0]  # masked fills never fire a trigger
+
+
+class TestFaultyVectors:
+    def test_silent_faults_at_f_bound(self):
+        # n = 3f + 1 with exactly f silent nodes: the quorum
+        # (n - f = 5) still closes every round.
+        p = StParams(n=7, f=2, rho=1e-4, d=1.0, u=0.01, period=10.0)
+        result = (SystemBuilder("srikanth_toueg")
+                  .payload(params=p, rounds=10, silent_faults=2,
+                           rate_spread=True)
+                  .engine("vectorized").seed(5).build().run())
+        assert result.detail["silent_faults"] == 2
+        # Correct nodes stay inside the analytic resync envelope.
+        assert result.max_global_skew <= 2 * (p.u + p.rho * p.period)
+
+    def test_silent_faults_beyond_f_rejected(self):
+        p = StParams(n=7, f=2, rho=0.0, d=1.0, u=0.0, period=10.0)
+        builder = (SystemBuilder("srikanth_toueg")
+                   .payload(params=p, rounds=3, silent_faults=3)
+                   .engine("vectorized").seed(0))
+        with pytest.raises(ConfigError, match="silent"):
+            builder.build().run()
+
+    def test_lynch_welch_trims_at_f_bound(self):
+        params = Parameters.practical(rho=1e-4, d=1.0, u=0.1, f=1)
+        result = (SystemBuilder("lynch_welch").params(params)
+                  .rounds(8).engine("vectorized").seed(2)
+                  .build().run())
+        assert result.max_global_skew <= params.intra_skew_bound()
+
+
+class TestEngineSelection:
+    def test_engines_constant(self):
+        assert ENGINES == ("event", "vectorized")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown engine"):
+            SystemBuilder("gcs_single").engine("cuda")
+
+    def test_master_slave_not_vectorized(self):
+        builder = (SystemBuilder("master_slave")
+                   .topology(ClusterGraph.line(2))
+                   .params(Parameters.practical(rho=1e-4, d=1.0,
+                                                u=0.1, f=1))
+                   .engine("vectorized"))
+        with pytest.raises(ConfigError, match="vectorized"):
+            builder.build()
+
+    def test_strategy_rejected_on_vectorized(self):
+        params = Parameters.practical(rho=1e-4, d=1.0, u=0.1, f=1)
+        builder = (SystemBuilder("ftgcs")
+                   .topology(ClusterGraph.line(3)).params(params)
+                   .rounds(2).faults("equivocate")
+                   .engine("vectorized"))
+        with pytest.raises(ConfigError):
+            builder.build()
+
+
+class TestSpecSerialization:
+    def spec(self, engine="vectorized", timing=False, seed=9):
+        s = (Scenario.line(4).protocol("gcs_single")
+             .payload(params=GCS, until=50.0).seed(seed))
+        if engine != "event":
+            s = s.engine(engine)
+        if timing:
+            s = s.timed()
+        return s.build()
+
+    def test_engine_round_trips_through_dict(self):
+        spec = self.spec(timing=True)
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.engine == "vectorized"
+        assert clone.timing is True
+
+    def test_spec_hash_differs_by_engine(self):
+        assert spec_hash(self.spec("event")) \
+            != spec_hash(self.spec("vectorized"))
+
+    def test_result_store_keys_engines_separately(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        event_spec = self.spec("event")
+        vec_spec = self.spec("vectorized")
+        store.put(event_spec, run_cell(event_spec))
+        assert store.get(event_spec) is not None
+        assert store.get(vec_spec) is None  # no cross-engine hit
+        store.put(vec_spec, run_cell(vec_spec))
+        assert store.stats()["entries"] == 2
+
+    def test_sweep_timing_extras_on_vectorized(self):
+        cells = SweepRunner(processes=1).run(
+            [self.spec(timing=True)], base_seed=9)
+        timing = cells[0].extras["timing"]
+        assert timing["wall_seconds"] > 0.0
+        assert timing["rounds_per_second"] > 0.0
+
+
+class TestVecStreams:
+    def test_streams_deterministic_and_namespaced(self):
+        def draw(scope, name):
+            stream = VecStreams(7, scope).stream(name)
+            return stream.uniform(0.0, 1.0, 5)
+
+        assert np.array_equal(draw("gcs_single", "delays"),
+                              draw("gcs_single", "delays"))
+        assert not np.array_equal(draw("gcs_single", "delays"),
+                                  draw("gcs_single", "other"))
+        assert not np.array_equal(draw("gcs_single", "delays"),
+                                  draw("ftgcs", "delays"))
+
+    def test_fast_trigger_closed_form(self):
+        # Level s=1 opens at up >= 2*kappa - slack = 0.5 (down small).
+        up = np.array([0.0, 0.49, 0.51, 2.0])
+        down = np.zeros(4)
+        fast = fast_trigger_mask(up, down, kappa=0.3, slack=0.1)
+        assert fast.tolist() == [False, False, True, True]
+        # down past 2*s*kappa + slack closes every level below up.
+        blocked = fast_trigger_mask(np.array([0.51]),
+                                    np.array([0.71]),
+                                    kappa=0.3, slack=0.1)
+        assert blocked.tolist() == [False]
+
+    def test_slow_trigger_odd_rung_form(self):
+        kappa, slack = 0.3, 0.1
+        # m=1 rung: down + slack >= kappa and up - slack <= kappa.
+        assert slow_trigger_mask(np.array([0.0]), np.array([0.35]),
+                                 kappa, slack).tolist() == [True]
+        # up far above every rung down reaches: no odd m in range.
+        assert slow_trigger_mask(np.array([2.0]), np.array([0.35]),
+                                 kappa, slack).tolist() == [False]

@@ -14,9 +14,9 @@ from repro.harness.tables import Table
 
 
 class TestRegistryContents:
-    def test_all_sixteen_registered(self):
-        assert REGISTRY.ids() == [f"t{i:02d}" for i in range(1, 17)]
-        assert len(REGISTRY) == 16
+    def test_all_seventeen_registered(self):
+        assert REGISTRY.ids() == [f"t{i:02d}" for i in range(1, 18)]
+        assert len(REGISTRY) == 17
 
     def test_metadata_complete(self):
         for experiment in REGISTRY:
@@ -93,7 +93,7 @@ class TestRegistryValidation:
 
 class TestRunExperiment:
     @pytest.mark.parametrize("experiment_id",
-                             [f"t{i:02d}" for i in range(1, 17)])
+                             [f"t{i:02d}" for i in range(1, 18)])
     def test_every_experiment_runs_quick(self, experiment_id):
         experiment = REGISTRY.get(experiment_id)
         table = run_experiment(experiment_id, quick=True)
@@ -215,3 +215,38 @@ class TestT14ProtocolGrid:
         pooled = run_experiment("t14", quick=True, processes=2)
         assert pooled.rows == table.rows
         assert pooled.notes == table.notes
+
+
+class TestT17VectorizedScale:
+    """t17: cross-engine skew agreement plus the 1e5-node D=256 cell."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_experiment("t17", quick=True)
+
+    def test_quick_shape(self, table):
+        # Three small diameters x two engines, plus two big cells.
+        assert len(table.rows) == 8
+        assert table.columns[:4] == ["topology", "D", "nodes", "engine"]
+
+    def test_small_d_rows_agree_across_engines(self, table):
+        vec_line_rows = [row for row in table.rows
+                        if row[0] == "line" and row[3] == "vectorized"]
+        assert len(vec_line_rows) == 3
+        for row in vec_line_rows:
+            assert row[8] is True  # agrees within one level width
+
+    def test_d256_cell_has_1e5_nodes_and_throughput(self, table):
+        big = [row for row in table.rows if row[1] == 256]
+        assert len(big) == 1
+        row = big[0]
+        assert row[0] == "caterpillar"
+        assert row[2] >= 100_000
+        assert row[3] == "vectorized"
+        assert row[7] > 0  # measured rounds/s
+
+    def test_skew_columns_deterministic(self, table):
+        # rounds/s is wall clock; every other column is reproducible.
+        again = run_experiment("t17", quick=True)
+        stable = [row[:7] + row[8:] for row in table.rows]
+        assert stable == [row[:7] + row[8:] for row in again.rows]

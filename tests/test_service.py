@@ -265,12 +265,12 @@ class TestRestApi:
     def test_health(self, client):
         body = client.get("/health").get_json()
         assert body["status"] == "ok"
-        assert body["experiments"] == 16
+        assert body["experiments"] == 17
 
     def test_experiments_listing(self, client):
         body = client.get("/experiments").get_json()
         ids = [entry["id"] for entry in body["experiments"]]
-        assert ids == [f"t{i:02d}" for i in range(1, 17)]
+        assert ids == [f"t{i:02d}" for i in range(1, 18)]
         assert all(entry["claim"] for entry in body["experiments"])
 
     def test_result_formats(self, client):
@@ -494,3 +494,43 @@ class TestScenarioLibrary:
         assert response.status_code == 400
         assert "no scenario library" \
             in response.get_json()["error"]
+
+
+class TestOpenApi:
+    """GET /openapi.json describes the whole live routing table."""
+
+    def test_document_served(self, client):
+        response = client.get("/openapi.json")
+        assert response.status_code == 200
+        doc = response.get_json()
+        assert doc["openapi"].startswith("3.")
+        assert doc["info"]["title"] == "repro simulation service"
+
+    def test_every_route_documented(self, client):
+        """Each (path, method) Flask serves appears in the document,
+        and vice versa — adding a route without describing it (or
+        describing a route that does not exist) fails here."""
+        doc = client.get("/openapi.json").get_json()
+        documented = {
+            (path, method.upper())
+            for path, item in doc["paths"].items()
+            for method in item
+            if method in ("get", "post", "put", "delete", "patch")}
+        served = set()
+        for rule in client.application.url_map.iter_rules():
+            if rule.endpoint == "static":
+                continue
+            # Flask's <job_id> converters are OpenAPI's {job_id}.
+            path = rule.rule.replace("<", "{").replace(">", "}")
+            for method in rule.methods - {"HEAD", "OPTIONS"}:
+                served.add((path, method))
+        assert documented == served
+
+    def test_spec_schema_mentions_engine_cache_keying(self, client):
+        """The ScenarioSpec schema documents that 'engine' is part of
+        the content hash (the result cache keys engines separately)."""
+        doc = client.get("/openapi.json").get_json()
+        spec = doc["components"]["schemas"]["ScenarioSpec"]
+        assert spec["properties"]["engine"]["enum"] \
+            == ["event", "vectorized"]
+        assert "separately" in spec["description"]
