@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test verify list run serve smoke-t16 smoke-serve smoke-vec bench-quick bench-quick-ci bench bench-record
+.PHONY: test verify list run serve smoke-t16 smoke-serve smoke-vec smoke-adversary bench-quick bench-quick-ci bench bench-record
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -10,10 +10,10 @@ test:
 # pre-merge smoke check in its non-strict form (the throughput
 # comparison against BENCH_kernel.json is hardware-sensitive, so only
 # the explicit `make bench-quick` gate hard-fails on it) + the
-# cross-engine equivalence matrix.
-verify: test bench-quick-ci smoke-vec
+# cross-engine equivalence matrix + the adversary-layer smoke.
+verify: test bench-quick-ci smoke-vec smoke-adversary
 
-# List every registered experiment (the T1-T12 registry).
+# List every registered experiment (the T1-T18 registry).
 list:
 	$(PYTHON) -m repro list
 
@@ -45,6 +45,13 @@ smoke-serve:
 smoke-vec:
 	$(PYTHON) benchmarks/smoke_vec.py
 
+# Adversary-layer smoke (CI runs this): the quick T18 resilience sweep
+# (static + adaptive adversaries, both engines, absorption-envelope
+# column) plus the adversary cells of the equivalence matrix.  About a
+# second.
+smoke-adversary:
+	$(PYTHON) benchmarks/smoke_adversary.py
+
 # Pre-merge smoke check: kernel/substrate microbenchmarks, < 60 s.
 # --check asserts event throughput within 10% of BENCH_kernel.json;
 # use it on hardware comparable to the recorded baseline.  CI (and
@@ -56,7 +63,7 @@ bench-quick:
 bench-quick-ci:
 	$(PYTHON) -m repro bench-quick
 
-# Full pytest-benchmark suite (tables T1-T12 + kernel microbenches).
+# Full pytest-benchmark suite (tables T1-T18 + kernel microbenches).
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q --benchmark-only
 

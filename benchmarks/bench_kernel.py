@@ -6,6 +6,8 @@ system round, so substrate regressions show up independently of the
 experiment suite.
 """
 
+import pytest
+
 from repro.clocks import ConstantRate, HardwareClock, LogicalClock
 from repro.core.params import Parameters
 from repro.core.system import FtgcsSystem
@@ -81,3 +83,24 @@ def test_system_round_throughput(benchmark):
         return result.rounds_completed
 
     assert benchmark(run) >= 1
+
+
+def test_adversary_overhead(benchmark):
+    """The adversary layer must not slow the no-adversary hot path.
+
+    Times the bare vectorized GCS cell and asserts its headline skews
+    still match the pre-adversary-layer constants bit-for-bit; the
+    static/adaptive slowdown ratios ride along in the report (see
+    ``repro.harness.microbench.bench_adversary_overhead``).
+    """
+    pytest.importorskip("numpy")
+    from repro.harness.microbench import bench_adversary_overhead
+
+    result = benchmark.pedantic(bench_adversary_overhead,
+                                kwargs={"repeats": 1}, rounds=1,
+                                iterations=1)
+    assert result["baseline_unchanged"] is True
+    # A static adversary's per-round act is O(slots) masked writes —
+    # same order as the round itself; generous cap to stay hardware-
+    # agnostic.
+    assert result["static_ratio"] < 3.0

@@ -1,0 +1,40 @@
+"""Benchmark T18: adversarial resilience under the unified layer."""
+
+import pytest
+
+from conftest import run_registry
+
+
+def test_t18_resilience(benchmark, show):
+    pytest.importorskip("numpy")
+    table = run_registry(benchmark, "t18")
+    show(table)
+    protocols = set(table.column("protocol"))
+    assert protocols == {"ftgcs", "gcs_single", "srikanth_toueg"}
+    # The fault-free reference rows carry zero extra skew by
+    # construction, one per protocol.
+    baselines = [row for row in table.rows if row[1] == "none"]
+    assert len(baselines) == 3
+    assert all(row[6] == 0.0 for row in baselines)
+    # Both engines appear: the same .adversarial(...) spelling runs on
+    # the vectorized struct-of-arrays engine and the event kernel.
+    assert set(table.column("engine")) == {"vectorized", "event"}
+    # The deadband-protected protocols stay inside the absorption
+    # envelope on every adversarial row.  (gcs_single is the
+    # fault-INtolerant baseline; its rows are allowed to escape.)
+    protected = [row for row in table.rows
+                 if row[1] != "none" and row[0] != "gcs_single"]
+    assert protected and all(row[8] is True for row in protected)
+    # Adaptive search dominates every static pattern at equal budget
+    # on the ftgcs vectorized challenge cells.
+    ft_amp = max(row[2] for row in table.rows if row[0] == "ftgcs")
+    ft = {row[1]: row[6] for row in table.rows
+          if row[0] == "ftgcs" and row[3] == "vectorized"
+          and row[2] == ft_amp}
+    static = [ft[name] for name in ("silent", "equivocate",
+                                    "fast_clock")]
+    assert max(ft["greedy"], ft["random_restart"]) >= max(static)
+    # The scale cell reports a measured, positive rounds/s.
+    timed = [row for row in table.rows if row[9] != "-"]
+    assert len(timed) == 1 and timed[0][9] > 0.0
+    assert timed[0][4] >= 10_000

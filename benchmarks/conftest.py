@@ -1,6 +1,6 @@
 """Shared helpers for the benchmark suite.
 
-Each benchmark regenerates one experiment table (T1-T12, see DESIGN.md)
+Each benchmark regenerates one experiment table (T1-T18, see DESIGN.md)
 through the experiment registry and prints it, so
 ``pytest benchmarks/ --benchmark-only`` reproduces every "table and
 figure" of the paper in one go.  Timings use ``benchmark.pedantic``

@@ -1,0 +1,76 @@
+"""The adversary-layer smoke check (``make smoke-adversary``).
+
+Runs the quick T18 resilience sweep (static and adaptive adversaries
+through the unified :mod:`repro.faults.adversary` layer, both engines,
+absorption-envelope column) plus the three adversary cells of the
+cross-engine equivalence matrix.  Prints both reports and exits
+nonzero if any envelope is violated, the adaptive models fail to
+dominate the static patterns, or the engines disagree on an adversary
+cell.  Takes a few seconds; CI runs it on every push.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def main() -> int:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        print("smoke-adversary: numpy unavailable; the vectorized "
+              "adversary path cannot run here — skipping (not a "
+              "failure)", file=sys.stderr)
+        return 0
+
+    from repro.engine_vec.equivalence import quick_cells, run_equivalence
+    from repro.harness.registry import run_experiment
+
+    failures: list[str] = []
+    started = time.perf_counter()
+
+    table = run_experiment("t18", quick=True)
+    print(table.format())
+    protected = [row for row in table.rows
+                 if row[1] != "none" and row[0] != "gcs_single"]
+    broken = [row for row in protected if row[8] is not True]
+    if broken:
+        failures.append(
+            f"{len(broken)} deadband-protected row(s) escaped the "
+            f"absorption envelope: "
+            + ", ".join(f"{r[0]}/{r[1]}@{r[2]}" for r in broken))
+    ft_amp = max(row[2] for row in table.rows if row[0] == "ftgcs")
+    ft = {row[1]: row[6] for row in table.rows
+          if row[0] == "ftgcs" and row[3] == "vectorized"
+          and row[2] == ft_amp}
+    static = max(ft[name] for name in ("silent", "equivocate",
+                                       "fast_clock"))
+    adaptive = max(ft["greedy"], ft["random_restart"])
+    if adaptive < static:
+        failures.append(
+            f"adaptive search ({adaptive:.4g}) below the best static "
+            f"pattern ({static:.4g}) at equal budget")
+
+    adversary_cells = [cell for cell in quick_cells()
+                       if "adv" in cell.name]
+    report = run_equivalence(cells=adversary_cells)
+    print(report.summary())
+    if not report.passed:
+        failures.append("the engines disagree on an adversary "
+                        "equivalence cell")
+
+    elapsed = time.perf_counter() - started
+    print(f"[smoke-adversary finished in {elapsed:.1f}s]")
+    if failures:
+        for line in failures:
+            print(f"smoke-adversary: FAILED — {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,53 @@ def system_failure_probability(num_clusters: int, f: int, p: float,
 
 
 # ----------------------------------------------------------------------
+# Adversarial resilience: the absorption envelope (t18)
+# ----------------------------------------------------------------------
+
+def resilience_bound(amplitude: float, *, kappa: float, slack: float,
+                     correction: float) -> float:
+    """Envelope on the *extra* steady-state skew an amplitude-capped
+    adversary can sustain against a trigger-governed correction loop.
+
+    Adapted from the absorption arguments of the self-stabilizing
+    pulse-sync line (Tan & Jiang, arXiv:1809.03165; Lenzen & Rybicki
+    peer-review framing in arXiv:2006.15832), restated for the
+    deadband triggers used here: a per-round injection of magnitude at
+    most ``amplitude`` into estimates that feed ``FT``/``ST`` triggers
+    with level width ``2 * kappa`` and hysteresis ``slack``
+
+    - is absorbed outright below the deadband ``2 * kappa - slack``
+      (no trigger decision changes, so honest clocks are untouched);
+    - above it converts into real displacement at most one correction
+      quantum ``correction`` per round (``mu * period`` for the GCS
+      family: the speed advantage a flipped trigger grants between
+      re-evaluations) while honest neighbors' own triggers push back
+      as soon as the displacement itself crosses a level.
+
+    The sustainable excess is therefore at most the supra-deadband
+    part of the lie plus one in-flight correction quantum::
+
+        max(0, amplitude - max(0, 2 * kappa - slack)) + correction
+
+    Clique protocols without a deadband (Srikanth–Toueg) instantiate
+    ``kappa = slack = 0`` and ``correction = u``: an accept time is
+    bracketed by honest proposals once fewer than ``n - 2f`` faulty
+    arrivals can enter a quorum, so displacement is capped by the lie
+    itself plus the jitter width.  This is an *envelope*, not a tight
+    bound — t18 plots measured skew against it.
+    """
+    if amplitude < 0:
+        raise ParameterError(
+            f"amplitude must be >= 0: {amplitude!r}")
+    if kappa < 0 or slack < 0 or correction < 0:
+        raise ParameterError(
+            f"kappa/slack/correction must be >= 0: "
+            f"{kappa!r}, {slack!r}, {correction!r}")
+    deadband = max(0.0, 2.0 * kappa - slack)
+    return max(0.0, amplitude - deadband) + correction
+
+
+# ----------------------------------------------------------------------
 # Per-run bound report
 # ----------------------------------------------------------------------
 

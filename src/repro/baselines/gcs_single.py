@@ -221,9 +221,13 @@ class GcsSingleSystem:
                  seed: int = 0,
                  liars: dict[int, dict[int, int]] | None = None,
                  rate_spread: bool = True,
-                 batched_delivery: bool = True) -> None:
+                 batched_delivery: bool = True,
+                 liar_bias: float | None = None,
+                 liar_ramp: float | None = None) -> None:
         """``liars`` maps a node id to its per-neighbor phantom
-        directions (see :class:`GcsLiarNode`).  ``batched_delivery``
+        directions (see :class:`GcsLiarNode`); ``liar_bias``/
+        ``liar_ramp`` override every liar's phantom shape (``None``
+        keeps the :class:`GcsLiarNode` defaults).  ``batched_delivery``
         selects the network's delivery path (measurements are
         bit-identical either way; ``False`` is the legacy per-message
         event stream for A/B benchmarks)."""
@@ -258,7 +262,8 @@ class GcsSingleSystem:
                             f"liar {node_id} given non-neighbor "
                             f"{neighbor}")
                 liar = GcsLiarNode(node_id, self.sim, self.network,
-                                   params, directions)
+                                   params, directions,
+                                   bias=liar_bias, ramp=liar_ramp)
                 self.liars[node_id] = liar
                 self.network.set_handler(node_id, liar.on_message)
                 continue

@@ -15,7 +15,7 @@ Usage::
     python -m repro cache stats                # result-cache maintenance
 
 Experiment ids are the T-identifiers of DESIGN.md section 3
-(``t01`` … ``t17``); every one of them executes through
+(``t01`` … ``t18``); every one of them executes through
 :func:`~repro.harness.registry.run_experiment` and the parallel sweep
 engine, so ``--processes`` applies everywhere.  The bare legacy forms
 (``python -m repro t07``, ``python -m repro --list``) still work and
@@ -76,7 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run experiments through the registry")
     run_p.add_argument(
         "ids", nargs="*", metavar="tNN",
-        help="experiment ids (t01..t17); see 'list'")
+        help="experiment ids (t01..t18); see 'list'")
     run_p.add_argument(
         "--all", action="store_true",
         help="run every experiment in order")

@@ -64,8 +64,10 @@ from repro.topology.schedule import TopologySchedule
 #: discrete-event kernel (full per-message fidelity, every capability);
 #: ``"vectorized"`` is the numpy struct-of-arrays round engine
 #: (:mod:`repro.engine_vec`) for protocols advertising
-#: ``supports_vectorized`` — static topologies, no fault strategies or
-#: loss models, but million-node scale.
+#: ``supports_vectorized`` — static topologies, no per-delivery fault
+#: strategies or loss models (fault injection goes through the
+#: engine-agnostic :mod:`repro.faults.adversary` layer instead), but
+#: million-node scale.
 ENGINES = ("event", "vectorized")
 
 
@@ -97,6 +99,9 @@ class BuildContext:
     loss: dict | None = None
     config: dict = field(default_factory=dict)
     payload: dict = field(default_factory=dict)
+    #: Engine-agnostic adversary spec (``{"name": ..., **kwargs}``, see
+    #: :data:`repro.faults.adversary.ADVERSARIES`) or ``None``.
+    adversary: dict | None = None
 
 
 @dataclass
@@ -150,6 +155,12 @@ class ProtocolRunResult:
     #: nonzero count means the global-skew estimate decode ran as an
     #: underestimate after some link bring-up (sound but lossy).
     reannounce_cap_hits: int = 0
+    #: Uniform adversary counters block (``None`` on adversary-free
+    #: runs): the resolved model spec plus ``count``, ``amplitude``,
+    #: ``mechanism``, and — on the vectorized engine — the injection
+    #: totals (``rounds_acted``, ``injected_abs_max``/``_sum``,
+    #: ``silenced_slots``).
+    adversary: dict | None = None
     detail: Any = None
 
 
@@ -193,6 +204,11 @@ class SyncProtocol:
     #: ``SystemBuilder.engine("vectorized")`` can compile it to the
     #: struct-of-arrays engine.
     supports_vectorized: bool = False
+    #: The vectorized round model additionally accepts per-round
+    #: fault-vector injection from an
+    #: :class:`~repro.faults.adversary.AdversaryModel`
+    #: (``SystemBuilder.adversary(...)`` on ``engine("vectorized")``).
+    supports_vectorized_faults: bool = False
     #: Requires a cluster graph (clique-only protocols set False).
     needs_graph: bool = True
     #: Requires ``BuildContext.params`` (protocols whose parameters
@@ -208,6 +224,10 @@ class SyncProtocol:
         #: :class:`ProtocolRunResult` in :meth:`collect`.
         self.node_crashes = 0
         self.node_rejoins = 0
+        #: Uniform adversary counters (adapters fill it in
+        #: ``build_nodes`` when ``ctx.adversary`` is set and copy it
+        #: into :class:`ProtocolRunResult` in ``collect``).
+        self.adversary_counters: dict | None = None
         #: Network node ids currently down due to node churn; rejoin
         #: link restoration skips links whose far end is still here.
         self._crashed_net_nodes: set[int] = set()
@@ -453,6 +473,7 @@ class SystemBuilder:
         self._strategy: str | None = None
         self._strategy_args: tuple = ()
         self._faults_per_cluster: int | None = None
+        self._adversary: dict | None = None
         self._first_contact = False
         self._loss: dict | None = None
         self._config: dict = {}
@@ -512,6 +533,26 @@ class SystemBuilder:
             self._faults_per_cluster = per_cluster
         return self
 
+    def adversary(self, name: str, **kwargs) -> "SystemBuilder":
+        """Attach an engine-agnostic adversary model (resolved via
+        :data:`repro.faults.adversary.ADVERSARIES`).
+
+        Unlike :meth:`faults` — the event-kernel-only named-strategy
+        path — an adversary composes with *both* engines: per-round
+        fault-vector injection on ``engine("vectorized")`` (protocols
+        declaring ``supports_vectorized_faults``), the protocol's
+        native fault mechanism on the event kernel.  ``kwargs`` are
+        the budget knobs (``amplitude``, ``count``) plus model
+        specifics; ``.adversary(None)`` clears.
+        """
+        if name is None:
+            self._adversary = None
+            return self
+        from repro.faults.adversary import get_adversary
+        get_adversary(name, **kwargs)  # eager name/kwargs validation
+        self._adversary = {"name": name, **kwargs}
+        return self
+
     def first_contact(self, enabled: bool = True) -> "SystemBuilder":
         """Enable first-contact estimator bring-up: per-neighbor
         estimator state follows the live edge set (dormant while a
@@ -561,6 +602,17 @@ class SystemBuilder:
         :class:`~repro.engine_vec.engine.VecSystem`.
         """
         protocol = self._protocol
+        adversary_model = None
+        if self._adversary is not None:
+            if self._strategy is not None:
+                raise ConfigError(
+                    "compose either .faults(...) or .adversary(...), "
+                    "not both")
+            from repro.faults.adversary import (
+                get_adversary,
+                validate_event_support,
+            )
+            adversary_model = get_adversary(**self._adversary)
         if self._engine == "vectorized":
             if not protocol.supports_vectorized:
                 raise ConfigError(
@@ -569,7 +621,21 @@ class SystemBuilder:
             if self._strategy is not None:
                 raise ConfigError(
                     "the vectorized engine does not support the named "
-                    "fault-strategy model; use the event engine")
+                    "fault-strategy model; use .adversary(...) or the "
+                    "event engine")
+            if adversary_model is not None:
+                if not protocol.supports_vectorized_faults:
+                    raise ConfigError(
+                        f"protocol {protocol.name!r} does not support "
+                        f"vectorized fault injection "
+                        f"(supports_vectorized_faults is False)")
+                if not adversary_model.supports_vectorized:
+                    raise ConfigError(
+                        f"adversary {adversary_model.name!r} has no "
+                        f"vectorized realization; use the event "
+                        f"engine")
+        elif adversary_model is not None:
+            validate_event_support(adversary_model, protocol.name)
             if self._schedule is not None and not self._schedule.is_static:
                 raise ConfigError(
                     "the vectorized engine runs static topologies "
@@ -612,7 +678,9 @@ class SystemBuilder:
             faults_per_cluster=self._faults_per_cluster,
             first_contact=self._first_contact,
             loss=dict(self._loss) if self._loss else None,
-            config=dict(self._config), payload=dict(self._payload))
+            config=dict(self._config), payload=dict(self._payload),
+            adversary=(dict(self._adversary)
+                       if self._adversary else None))
         if protocol.needs_params and ctx.params is None:
             raise ConfigError(
                 f"protocol {protocol.name!r} needs params; call "

@@ -249,6 +249,40 @@ def quick_cells() -> list[EquivalenceCell]:
                                until=1000.0,
                                tolerance=tol_params.kappa, seed=seed))
 
+    # -- adversary layer (engine-agnostic AdversaryModel) --------------
+    # Silent adversary ≡ native silent_faults: on the degenerate cell
+    # both engines are deterministic and perfect, so the unified
+    # spelling must reproduce the exact 0.0 the legacy payload gives.
+    adv_st = StParams(n=7, f=2, rho=0.0, d=1.0, u=0.0, period=10.0)
+
+    def adv_st_factory(params=adv_st):
+        return (SystemBuilder("srikanth_toueg")
+                .payload(params=params, rounds=5)
+                .adversary("silent", count=2))
+
+    cells.append(EquivalenceCell(
+        name="st-adv-silent-exact", protocol="srikanth_toueg",
+        mode="exact", factory=adv_st_factory))
+    # Equivocate adversary: the event engine realizes per-delivery
+    # liars (GcsLiarNode, bias = amplitude, ramp = 0), the vectorized
+    # engine masked estimate writes.  Same placement and directions,
+    # different mechanisms — the budget is one trigger-level width,
+    # as for the benign stochastic cells (measured diff ~u, far
+    # inside it).
+    adv_gcs = GcsParams(rho=1e-3, d=1.0, u=0.01, mu=0.01,
+                        period=10.0, kappa=0.3, slack=0.1)
+
+    def adv_gcs_factory(params=adv_gcs):
+        return (SystemBuilder("gcs_single")
+                .topology(ClusterGraph.line(6))
+                .payload(params=params, until=1000.0)
+                .adversary("equivocate"))
+
+    cells.append(EquivalenceCell(
+        name="gcs-adv-equivocate-tol", protocol="gcs_single",
+        mode="tolerance", factory=adv_gcs_factory,
+        tolerance=adv_gcs.kappa))
+
     # -- lynch_welch ---------------------------------------------------
     lw_params = Parameters.practical(rho=1e-4, d=1.0, u=0.1, f=1)
     lw_bound = lw_params.intra_skew_bound()
@@ -283,6 +317,20 @@ def quick_cells() -> list[EquivalenceCell]:
             mode="envelope", factory=ft_factory, seed=seed,
             bound_global=ft_global,
             bound_local=ft_params.local_skew_bound(ft_global)))
+
+    # Equivocate adversary on FTGCS: event side is the legacy
+    # strategy adapter, vectorized side masked estimate writes into
+    # the cluster-round skeleton — structural port vs re-execution,
+    # so the envelope is the contract (as for the benign ftgcs cells).
+    def ft_adv_factory(params=ft_params, graph=ft_graph):
+        return (SystemBuilder("ftgcs").topology(graph).params(params)
+                .rounds(4).adversary("equivocate"))
+
+    cells.append(EquivalenceCell(
+        name="ftgcs-adv-equivocate-envelope", protocol="ftgcs",
+        mode="envelope", factory=ft_adv_factory,
+        bound_global=ft_global,
+        bound_local=ft_params.local_skew_bound(ft_global)))
 
     return cells
 

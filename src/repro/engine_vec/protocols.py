@@ -48,6 +48,11 @@ from repro.core.protocol import BuildContext, ProtocolRunResult
 from repro.engine_vec.csr import CSRAdjacency
 from repro.engine_vec.engine import VecStreams, fast_trigger_mask
 from repro.errors import ConfigError
+from repro.faults.adversary import (
+    CliqueAdversaryRuntime,
+    VecAdversaryRuntime,
+    get_adversary,
+)
 
 
 def _reject_unknown(mapping: dict, allowed: tuple, what: str,
@@ -65,6 +70,19 @@ def _spread(values: np.ndarray) -> float:
     return float(values.max() - values.min())
 
 
+def _injected_up_down(csr: CSRAdjacency, clocks: np.ndarray,
+                      estimates: np.ndarray, offsets: np.ndarray,
+                      keep: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The masked-write half of per-round fault-vector injection:
+    displaced estimates enter the trigger reductions, silenced slots
+    drop out (the ``±inf`` fills make them neutral — a node with no
+    surviving estimate comes out trigger-false, like degree 0)."""
+    est = estimates + offsets
+    up = csr.segment_max(np.where(keep, est, -np.inf)) - clocks
+    down = clocks - csr.segment_min(np.where(keep, est, np.inf))
+    return up, down
+
+
 class VecRoundModel:
     """Shared plumbing: context, streams, result assembly."""
 
@@ -74,10 +92,19 @@ class VecRoundModel:
         self.ctx = ctx
         self.streams = VecStreams(ctx.seed, self.name)
 
+    def _adversary_model(self):
+        """The resolved adversary model, or ``None``; models with no
+        vectorized injection hook must keep ``ctx.adversary`` empty
+        (the builder's ``supports_vectorized_faults`` check)."""
+        if self.ctx.adversary is None:
+            return None
+        return get_adversary(**self.ctx.adversary)
+
     def _result(self, *, max_global: float, max_local: float,
                 series: list, messages_sent: int, rounds: int,
                 nodes: int, detail_extra: dict | None = None,
-                with_stabilization: bool = True) -> ProtocolRunResult:
+                with_stabilization: bool = True,
+                adversary: dict | None = None) -> ProtocolRunResult:
         detail = {"engine": "vectorized", "rounds": rounds,
                   "nodes": nodes}
         if detail_extra:
@@ -91,7 +118,7 @@ class VecRoundModel:
             max_global_skew=max_global, max_local_skew=max_local,
             series=series, messages_sent=messages_sent,
             events_processed=rounds, stabilization_time=stab,
-            detail=detail)
+            adversary=adversary, detail=detail)
 
 
 class VecGcsSingle(VecRoundModel):
@@ -118,7 +145,8 @@ class VecGcsSingle(VecRoundModel):
             raise ConfigError(
                 "gcs_single liars are not supported on the vectorized "
                 "engine (per-victim phantom messages are per-message "
-                "state); use the event engine")
+                "state); use .adversary('equivocate', ...) or the "
+                "event engine")
         payload.pop("liars", None)
         _reject_unknown(payload, self._PAYLOAD, "payload", self.name)
         try:
@@ -136,10 +164,17 @@ class VecGcsSingle(VecRoundModel):
         self.rounds = int(math.floor(
             until / self.params.period + 1e-9))
         self.csr = CSRAdjacency(ctx.graph)
+        model = self._adversary_model()
+        self.adv = None
+        if model is not None:
+            self.adv = VecAdversaryRuntime(
+                model, self.csr, self.streams,
+                default_amplitude=4.0 * self.params.kappa)
 
     def run(self) -> ProtocolRunResult:
         p = self.params
         csr = self.csr
+        adv = self.adv
         n = csr.num_nodes
         ids = np.arange(n)
         if self.rate_spread:
@@ -150,26 +185,48 @@ class VecGcsSingle(VecRoundModel):
         delays = self.streams.stream("delays")
         series: list[tuple[float, float, float]] = []
         max_local = max_global = 0.0
+        last_local = 0.0
         slots = csr.num_slots
         for r in range(1, self.rounds + 1):
             estimates = csr.gather(clocks)
             if p.u > 0.0 and slots:
                 estimates = estimates + delays.uniform(
                     -p.u / 2.0, p.u / 2.0, slots)
-            up = csr.segment_max(estimates) - clocks
-            down = clocks - csr.segment_min(estimates)
+            if adv is not None:
+                def lookahead(offsets, keep):
+                    up, down = _injected_up_down(csr, clocks, estimates,
+                                                 offsets, keep)
+                    gamma = fast_trigger_mask(
+                        up, down, p.kappa, p.slack).astype(np.float64)
+                    return adv.local_skew(
+                        clocks + rate * (1.0 + p.mu * gamma) * p.period)
+
+                offsets, keep = adv.round_vectors(
+                    r, honest_local_skew=last_local,
+                    evaluate=lookahead)
+                up, down = _injected_up_down(csr, clocks, estimates,
+                                             offsets, keep)
+            else:
+                up = csr.segment_max(estimates) - clocks
+                down = clocks - csr.segment_min(estimates)
             gamma = fast_trigger_mask(up, down, p.kappa,
                                       p.slack).astype(np.float64)
             clocks = clocks + rate * (1.0 + p.mu * gamma) * p.period
-            local = csr.edge_skew(clocks)
-            global_ = _spread(clocks)
+            if adv is not None:
+                local = adv.local_skew(clocks)
+                global_ = adv.global_skew(clocks)
+            else:
+                local = csr.edge_skew(clocks)
+                global_ = _spread(clocks)
+            last_local = local
             series.append((r * p.period, local, global_))
             max_local = max(max_local, local)
             max_global = max(max_global, global_)
         return self._result(
             max_global=max_global, max_local=max_local, series=series,
             messages_sent=self.rounds * slots, rounds=self.rounds,
-            nodes=n)
+            nodes=n,
+            adversary=adv.counters() if adv is not None else None)
 
 
 class VecSrikanthToueg(VecRoundModel):
@@ -211,11 +268,60 @@ class VecSrikanthToueg(VecRoundModel):
                 f"{self.silent_faults} silent faults exceed "
                 f"f={self.params.f}")
         self.rate_spread = bool(payload.get("rate_spread", True))
+        model = self._adversary_model()
+        self.adv = None
+        if model is not None:
+            if self.silent_faults:
+                raise ConfigError(
+                    "compose either payload silent_faults or "
+                    ".adversary(...), not both")
+            # A faulty clique member displaces its per-receiver
+            # arrival times; the amplitude default is the delay bound
+            # d (the largest displacement a Byzantine proposer can
+            # pass off as network latency).
+            self.adv = CliqueAdversaryRuntime(
+                model, self.params.n, self.params.f, self.streams,
+                default_amplitude=self.params.d)
+
+    def _resync(self, naive: np.ndarray, delay: np.ndarray,
+                live: np.ndarray | None) -> np.ndarray:
+        """One resync: relay fixed point, then quorum accept.  ``live``
+        holds the speaking faulty members' arrival rows ``(k, count)``
+        (``None``: none speak — exactly the silent/absent case, so the
+        no-adversary path and a silent adversary are bit-identical)."""
+        p = self.params
+        f = p.f
+        count = naive.size
+        extra = 0 if live is None else live.shape[0]
+        propose = naive
+        if count - 1 + extra >= f + 1:
+            for _ in range(self._MAX_RELAY_ITER):
+                arrivals = propose[:, None] + delay
+                np.fill_diagonal(arrivals, np.inf)
+                pool = arrivals if extra == 0 \
+                    else np.vstack([arrivals, live])
+                kth = np.partition(pool, f, axis=0)[f]
+                pulled = np.minimum(naive, kth)
+                if np.array_equal(pulled, propose):
+                    break
+                propose = pulled
+        arrivals = propose[:, None] + delay
+        # A node's own proposal counts toward its quorum at its
+        # propose time (it never receives its own broadcast).
+        np.fill_diagonal(arrivals, 0.0)
+        arrivals[np.arange(count),
+                 np.arange(count)] = propose
+        pool = arrivals if extra == 0 else np.vstack([arrivals, live])
+        quorum = p.n - f
+        return np.partition(pool, quorum - 1, axis=0)[quorum - 1]
 
     def run(self) -> ProtocolRunResult:
         p = self.params
-        n, f = p.n, p.f
-        correct = np.arange(self.silent_faults, n)
+        n = p.n
+        adv = self.adv
+        fc = adv.faulty_ids.size if adv is not None \
+            else self.silent_faults
+        correct = np.arange(fc, n)
         count = correct.size
         if self.rate_spread:
             rate = 1.0 + p.rho * (correct / max(n - 1, 1))
@@ -223,7 +329,10 @@ class VecSrikanthToueg(VecRoundModel):
             rate = np.ones(count)
         offset = np.zeros(count)
         delays = self.streams.stream("delays")
+        adv_delays = self.streams.stream("adv_delays") \
+            if adv is not None else None
         max_skew = 0.0
+        last_skew = 0.0
         # The event adapter's horizon is (rounds + 1) * period, which
         # executes the round-(rounds + 1) resync just before the end;
         # mirror that so steady-state maxima cover the same window.
@@ -236,25 +345,32 @@ class VecSrikanthToueg(VecRoundModel):
                                        size=(count, count))
             else:
                 delay = np.full((count, count), p.d)
-            propose = naive
-            if count - 1 >= f + 1:
-                for _ in range(self._MAX_RELAY_ITER):
-                    arrivals = propose[:, None] + delay
-                    np.fill_diagonal(arrivals, np.inf)
-                    kth = np.partition(arrivals, f, axis=0)[f]
-                    pulled = np.minimum(naive, kth)
-                    if np.array_equal(pulled, propose):
-                        break
-                    propose = pulled
-            arrivals = propose[:, None] + delay
-            # A node's own proposal counts toward its quorum at its
-            # propose time (it never receives its own broadcast).
-            np.fill_diagonal(arrivals, 0.0)
-            arrivals[np.arange(count),
-                     np.arange(count)] = propose
-            quorum = n - f
-            accept = np.partition(arrivals, quorum - 1,
-                                  axis=0)[quorum - 1]
+            if adv is not None:
+                # Faulty delay draws come from a dedicated stream, in
+                # a fixed per-round order, so the honest draw sequence
+                # matches the adversary-free run exactly.
+                if p.u > 0.0:
+                    fdelay = adv_delays.uniform(p.d - p.u, p.d,
+                                                (fc, count))
+                else:
+                    fdelay = np.full((fc, count), p.d)
+
+                def lookahead(off, keep):
+                    live = (boundary + fdelay + off)[keep]
+                    acc = self._resync(
+                        naive, delay, live if live.size else None)
+                    new_offset = boundary + p.d - rate * acc
+                    return _spread(rate * float(acc.max())
+                                   + new_offset)
+
+                off, keep = adv.round_pairs(
+                    r, honest_local_skew=last_skew,
+                    evaluate=lookahead)
+                live = (boundary + fdelay + off)[keep]
+                accept = self._resync(
+                    naive, delay, live if live.size else None)
+            else:
+                accept = self._resync(naive, delay, None)
             # Probe 1: just before the first accept, on old offsets —
             # the largest drift accumulated since the last resync.
             t_pre = float(accept.min())
@@ -262,7 +378,8 @@ class VecSrikanthToueg(VecRoundModel):
             offset = boundary + p.d - rate * accept
             # Probe 2: just after the last accept, on new offsets.
             t_post = float(accept.max())
-            max_skew = max(max_skew, _spread(rate * t_post + offset))
+            last_skew = _spread(rate * t_post + offset)
+            max_skew = max(max_skew, last_skew)
         horizon = (total_rounds + 1) * p.period
         max_skew = max(max_skew, _spread(rate * horizon + offset))
         return self._result(
@@ -271,7 +388,8 @@ class VecSrikanthToueg(VecRoundModel):
             rounds=total_rounds, nodes=n,
             detail_extra={"max_skew": max_skew,
                           "silent_faults": self.silent_faults},
-            with_stabilization=False)
+            with_stabilization=False,
+            adversary=adv.counters() if adv is not None else None)
 
 
 class VecLynchWelch(VecRoundModel):
@@ -367,10 +485,21 @@ class VecFtgcs(VecRoundModel):
         self.rounds = int(ctx.rounds)
         self.cluster_offsets = ctx.config.get("cluster_offsets")
         self.csr = CSRAdjacency(ctx.graph)
+        model = self._adversary_model()
+        self.adv = None
+        if model is not None:
+            # A "faulty" skeleton node is a cluster whose broadcast
+            # estimate the coalition controls; the amplitude default
+            # is the steady-state estimate error E (the budget the
+            # paper's per-cluster f < k/3 grants an adversary).
+            self.adv = VecAdversaryRuntime(
+                model, self.csr, self.streams,
+                default_amplitude=self.params.cap_e)
 
     def run(self) -> ProtocolRunResult:
         p = self.params
         csr = self.csr
+        adv = self.adv
         n = csr.num_nodes
         rate = 1.0 + p.rho * (np.arange(n) % 2)
         clocks = np.zeros(n)
@@ -380,27 +509,51 @@ class VecFtgcs(VecRoundModel):
         estimates_rng = self.streams.stream("estimates")
         series: list[tuple[float, float, float]] = []
         max_local = max_global = 0.0
+        last_local = 0.0
         slots = csr.num_slots
         for r in range(1, self.rounds + 1):
             estimates = csr.gather(clocks)
             if p.cap_e > 0.0 and slots:
                 estimates = estimates + estimates_rng.uniform(
                     -p.cap_e, p.cap_e, slots)
-            up = csr.segment_max(estimates) - clocks
-            down = clocks - csr.segment_min(estimates)
+            if adv is not None:
+                def lookahead(offsets, keep):
+                    up, down = _injected_up_down(csr, clocks, estimates,
+                                                 offsets, keep)
+                    gamma = fast_trigger_mask(
+                        up, down, p.kappa,
+                        p.delta_trigger).astype(np.float64)
+                    return adv.local_skew(
+                        clocks + rate * (1.0 + p.mu * gamma)
+                        * p.round_length)
+
+                offsets, keep = adv.round_vectors(
+                    r, honest_local_skew=last_local,
+                    evaluate=lookahead)
+                up, down = _injected_up_down(csr, clocks, estimates,
+                                             offsets, keep)
+            else:
+                up = csr.segment_max(estimates) - clocks
+                down = clocks - csr.segment_min(estimates)
             gamma = fast_trigger_mask(
                 up, down, p.kappa, p.delta_trigger).astype(np.float64)
             clocks = clocks + rate * (1.0 + p.mu * gamma) \
                 * p.round_length
-            local = csr.edge_skew(clocks)
-            global_ = _spread(clocks)
+            if adv is not None:
+                local = adv.local_skew(clocks)
+                global_ = adv.global_skew(clocks)
+            else:
+                local = csr.edge_skew(clocks)
+                global_ = _spread(clocks)
+            last_local = local
             series.append((r * p.round_length, local, global_))
             max_local = max(max_local, local)
             max_global = max(max_global, global_)
         return self._result(
             max_global=max_global, max_local=max_local, series=series,
             messages_sent=self.rounds * slots, rounds=self.rounds,
-            nodes=n)
+            nodes=n,
+            adversary=adv.counters() if adv is not None else None)
 
 
 #: Protocol name -> vectorized round model; the vectorized engine's

@@ -1,0 +1,939 @@
+"""The engine-agnostic adversary layer.
+
+The paper's fault model is Byzantine — up to ``f`` corrupted members
+per cluster, no behavioural assumptions — but until this module the
+implementation of that model was welded to the event kernel: a
+:class:`~repro.faults.strategies.ByzantineStrategy` hooks per-message
+handlers and therefore only exists where messages exist.  An
+:class:`AdversaryModel` describes the *same* adversary one level up,
+in terms both engines can realize:
+
+observe / act phases
+    Each round (vectorized engine) or each delivery (event kernel) the
+    adversary first *observes* — a read-only view of public state —
+    and then *acts* within its budget.  On the vectorized engine the
+    act is literal: the model returns per-slot clock-estimate offsets
+    and a keep/silence mask, applied as masked numpy writes into the
+    struct-of-arrays round state.  On the event kernel the act phase
+    is realized by the existing strategy drivers: the seven
+    :data:`~repro.faults.strategies.STRATEGIES` classes *are* the
+    per-delivery act implementations, re-homed here as event-side
+    adapters behind the same names (legacy ``ScenarioSpec.strategy``
+    specs resolve through :func:`resolve_strategy` and stay
+    bit-identical, ``spec_hash`` included).
+
+budget contract
+    An adversary controls at most its fault budget (``count`` nodes —
+    per-cluster ``f`` on the clique protocols) and may displace any
+    clock estimate it emits by at most ``amplitude`` time units.  The
+    runtimes *enforce* the contract: an act that touches a non-faulty
+    slot, silences an honest sender, or exceeds the amplitude is
+    rejected at runtime with a :class:`~repro.errors.ConfigError`
+    naming the violation — a model cannot quietly cheat its way to an
+    impressive skew.
+
+adaptive models
+    ``greedy`` picks, every round, the budget-feasible action
+    maximizing a one-step lookahead of the honest local skew;
+    ``random_restart`` evaluates a seeded batch of random
+    budget-feasible actions and keeps the best.  Both need the
+    lookahead closure the vectorized round models provide, so they are
+    vectorized-only.  Randomness comes from ``vec/<protocol>/adv/*``
+    seed streams — bit-reproducible across processes and pool sizes.
+
+The registry :data:`ADVERSARIES` is the one name space:
+``Scenario.adversarial("equivocate", ...)``,
+``SystemBuilder.adversary(...)``, and ``ScenarioSpec.adversary`` all
+resolve here, eagerly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigError
+from repro.faults.strategies import STRATEGIES
+
+#: Kwargs every adversary accepts (the budget knobs); model-specific
+#: knobs are validated by each constructor.
+_COMMON_KWARGS = ("amplitude", "count")
+
+
+@dataclass(frozen=True)
+class AdversaryBudget:
+    """The enforced contract: how many nodes, how large a lie.
+
+    ``amplitude`` caps the absolute clock-estimate displacement (time
+    units) any controlled sender may apply; ``count`` is the number of
+    controlled nodes (clique protocols additionally cap it at the
+    parameter set's ``f``).
+    """
+
+    amplitude: float
+    count: int
+
+
+class AdversaryModel:
+    """Base class: one adversary, realizable on one or both engines.
+
+    Subclasses override the vectorized :meth:`act` /
+    :meth:`act_pairs` hooks (graph and clique shapes respectively)
+    and/or the event-side :meth:`event_strategy` mapping.  ``observe``
+    defaults to a no-op; models that adapt to public state override
+    it.
+    """
+
+    name = ""
+    #: Realizable on the event kernel (via a strategy adapter or a
+    #: protocol payload mechanism).
+    supports_event = False
+    #: Has a vectorized act implementation (masked numpy writes).
+    supports_vectorized = False
+
+    def __init__(self, *, amplitude: float | None = None,
+                 count: int | None = None) -> None:
+        if amplitude is not None and amplitude < 0:
+            raise ConfigError(
+                f"adversary amplitude must be >= 0: {amplitude!r}")
+        if count is not None and count < 1:
+            raise ConfigError(
+                f"adversary count must be >= 1: {count!r}")
+        self.amplitude = amplitude
+        self.count = count
+
+    # -- vectorized observe/act -----------------------------------------
+
+    def observe(self, view: "ObserveView") -> None:
+        """Read-only phase before each act; default no-op."""
+
+    def act(self, view: "ActView") -> tuple[Any, Any]:
+        """Graph-shaped act: return ``(offsets, keep)`` over slots.
+
+        ``offsets`` is a float array over the CSR slots (additive
+        displacement of the estimate seen at that slot; must be zero
+        outside the faulty-sender slots and within ``±amplitude``),
+        ``keep`` a bool array (``False`` silences the slot; honest
+        slots must stay ``True``).
+        """
+        raise ConfigError(
+            f"adversary {self.name!r} has no vectorized act() for "
+            f"graph protocols; use the event engine")
+
+    def act_pairs(self, view: "PairActView") -> tuple[Any, Any]:
+        """Clique-shaped act: ``(offsets, keep)`` with ``offsets`` of
+        shape ``(faulty, receivers)`` (per faulty-sender,
+        per-correct-receiver arrival displacement) and ``keep`` of
+        shape ``(faulty,)`` (``False``: that sender says nothing)."""
+        raise ConfigError(
+            f"adversary {self.name!r} has no vectorized act() for "
+            f"clique protocols; use the event engine")
+
+    # -- event-side realization -----------------------------------------
+
+    def event_strategy(self) -> tuple[str, tuple] | None:
+        """The FTGCS-family strategy realization ``(name, args)``, or
+        ``None`` when the model has no per-delivery driver."""
+        return None
+
+    def spec(self) -> dict:
+        """The model's resolved knobs, for counters and describe()."""
+        out: dict[str, Any] = {"name": self.name}
+        if self.amplitude is not None:
+            out["amplitude"] = self.amplitude
+        if self.count is not None:
+            out["count"] = self.count
+        return out
+
+    def describe(self) -> str:
+        knobs = ", ".join(f"{k}={v!r}" for k, v in self.spec().items()
+                          if k != "name")
+        return f"{type(self).__name__}({knobs})"
+
+
+@dataclass
+class ObserveView:
+    """Public state an adversary may read before acting."""
+
+    round_index: int
+    #: Honest-only local (edge) skew after the previous round, or 0.0
+    #: on the first round.
+    honest_local_skew: float = 0.0
+
+
+@dataclass
+class ActView:
+    """Inputs to a graph-shaped act (CSR slot space)."""
+
+    round_index: int
+    amplitude: float
+    num_slots: int
+    #: Bool over slots: the slot's *sender* is adversary-controlled.
+    faulty_slots: Any
+    #: Receiver node id per slot (``csr.row``).
+    receivers: Any
+    #: Sender node id per slot (``csr.indices``).
+    senders: Any
+    #: Seeded generator (``vec/<protocol>/adv/<model>`` stream).
+    rng: Any
+    #: One-step lookahead: ``evaluate(offsets, keep) -> honest local
+    #: skew`` after this round under that action, or ``None`` when the
+    #: round model provides no lookahead (static models never need it).
+    evaluate: Callable[[Any, Any], float] | None = None
+
+
+@dataclass
+class PairActView:
+    """Inputs to a clique-shaped act (faulty x receiver space)."""
+
+    round_index: int
+    amplitude: float
+    #: Controlled node ids (the first ``count`` clique members).
+    faulty_ids: Any
+    #: Correct node ids (arrival columns, in order).
+    receiver_ids: Any
+    rng: Any
+    evaluate: Callable[[Any, Any], float] | None = None
+
+
+# ----------------------------------------------------------------------
+# Static adversaries (the seven legacy strategy names)
+# ----------------------------------------------------------------------
+
+class SilentAdversary(AdversaryModel):
+    """Controlled nodes say nothing at all.
+
+    Event side: :class:`~repro.faults.strategies.SilentStrategy` on the
+    FTGCS family; the ``silent_faults`` payload mechanism on
+    Srikanth–Toueg (where silencing the first ``count`` members is the
+    protocol's native fault knob).
+    """
+
+    name = "silent"
+    supports_event = True
+    supports_vectorized = True
+
+    def act(self, view: ActView):
+        import numpy as np
+
+        return (np.zeros(view.num_slots), ~view.faulty_slots)
+
+    def act_pairs(self, view: PairActView):
+        import numpy as np
+
+        fc = len(view.faulty_ids)
+        return (np.zeros((fc, len(view.receiver_ids))),
+                np.zeros(fc, dtype=bool))
+
+    def event_strategy(self):
+        return ("silent", ())
+
+
+class CrashAdversary(AdversaryModel):
+    """Honest until ``crash_time``, then fail-stop (event-only: the
+    mid-run transition is inherently per-delivery state)."""
+
+    name = "crash"
+    supports_event = True
+
+    def __init__(self, *, crash_time: float = 0.0, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.crash_time = crash_time
+
+    def spec(self) -> dict:
+        out = super().spec()
+        out["crash_time"] = self.crash_time
+        return out
+
+    def event_strategy(self):
+        return ("crash", (self.crash_time,))
+
+
+class RandomPulseAdversary(AdversaryModel):
+    """Amplitude-capped noise: each controlled estimate is displaced
+    by an independent uniform draw in ``[-amplitude, +amplitude]``.
+
+    Event side: :class:`~repro.faults.strategies.RandomPulseStrategy`
+    (pulse spam at random times — the per-delivery analogue)."""
+
+    name = "random_pulse"
+    supports_event = True
+    supports_vectorized = True
+
+    def __init__(self, *, pulses_per_round: float | None = None,
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.pulses_per_round = pulses_per_round
+
+    def act(self, view: ActView):
+        import numpy as np
+
+        offsets = np.zeros(view.num_slots)
+        hits = int(view.faulty_slots.sum())
+        if hits:
+            offsets[view.faulty_slots] = view.rng.uniform(
+                -view.amplitude, view.amplitude, hits)
+        return offsets, np.ones(view.num_slots, dtype=bool)
+
+    def act_pairs(self, view: PairActView):
+        import numpy as np
+
+        fc = len(view.faulty_ids)
+        rc = len(view.receiver_ids)
+        offsets = view.rng.uniform(-view.amplitude, view.amplitude,
+                                   (fc, rc))
+        return offsets, np.ones(fc, dtype=bool)
+
+    def event_strategy(self):
+        if self.pulses_per_round is not None:
+            return ("random_pulse", (self.pulses_per_round,))
+        return ("random_pulse", ())
+
+
+class FastClockAdversary(AdversaryModel):
+    """An out-of-spec oscillator, amplitude-capped.
+
+    Vectorized act: the controlled clock appears progressively ahead —
+    a ramp of ``amplitude * r / ramp_rounds`` capped at ``amplitude``
+    (the displacement a faster-than-``1+rho`` clock accumulates before
+    the lie saturates the plausible window).  Event side:
+    :class:`~repro.faults.strategies.FastClockStrategy` with
+    ``speed_factor``."""
+
+    name = "fast_clock"
+    supports_event = True
+    supports_vectorized = True
+
+    def __init__(self, *, speed_factor: float = 2.0,
+                 ramp_rounds: int = 8, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if speed_factor <= 0:
+            raise ConfigError(
+                f"speed_factor must be positive: {speed_factor!r}")
+        if ramp_rounds < 1:
+            raise ConfigError(
+                f"ramp_rounds must be >= 1: {ramp_rounds!r}")
+        self.speed_factor = speed_factor
+        self.ramp_rounds = ramp_rounds
+
+    def spec(self) -> dict:
+        out = super().spec()
+        out["speed_factor"] = self.speed_factor
+        return out
+
+    def _ramp(self, r: int, amplitude: float) -> float:
+        return min(amplitude, amplitude * r / self.ramp_rounds)
+
+    def act(self, view: ActView):
+        import numpy as np
+
+        offsets = np.where(view.faulty_slots,
+                           self._ramp(view.round_index, view.amplitude),
+                           0.0)
+        return offsets, np.ones(view.num_slots, dtype=bool)
+
+    def act_pairs(self, view: PairActView):
+        import numpy as np
+
+        fc = len(view.faulty_ids)
+        rc = len(view.receiver_ids)
+        # Arrival-time displacement: a fast clock proposes *early*.
+        offsets = np.full((fc, rc),
+                          -self._ramp(view.round_index, view.amplitude))
+        return offsets, np.ones(fc, dtype=bool)
+
+    def event_strategy(self):
+        return ("fast_clock", (self.speed_factor,))
+
+
+def _equivocate_signs(receivers, amplitude):
+    """The two-faced split: even-id receivers see ``+amplitude``, odd
+    see ``-amplitude`` (mirrors the event strategy's parity split)."""
+    import numpy as np
+
+    return np.where(receivers % 2 == 0, amplitude, -amplitude)
+
+
+class EquivocateAdversary(AdversaryModel):
+    """The two-faced attack: each controlled sender shows one group of
+    receivers a clock ``amplitude`` ahead and the other ``amplitude``
+    behind, maximizing disagreement.  Event side:
+    :class:`~repro.faults.strategies.EquivocatorStrategy` (``spread``
+    is the amplitude when given)."""
+
+    name = "equivocate"
+    supports_event = True
+    supports_vectorized = True
+
+    def act(self, view: ActView):
+        import numpy as np
+
+        offsets = np.where(
+            view.faulty_slots,
+            _equivocate_signs(view.receivers, view.amplitude), 0.0)
+        return offsets, np.ones(view.num_slots, dtype=bool)
+
+    def act_pairs(self, view: PairActView):
+        import numpy as np
+
+        fc = len(view.faulty_ids)
+        signs = _equivocate_signs(view.receiver_ids, view.amplitude)
+        return (np.broadcast_to(signs, (fc, len(view.receiver_ids))
+                                ).copy(),
+                np.ones(fc, dtype=bool))
+
+    def event_strategy(self):
+        if self.amplitude is not None:
+            return ("equivocate", (self.amplitude,))
+        return ("equivocate", ())
+
+
+class PullApartAdversary(EquivocateAdversary):
+    """Equivocation whose group assignment flips every round,
+    attempting to resonate with the correction loop."""
+
+    name = "pull_apart"
+
+    def act(self, view: ActView):
+        offsets, keep = super().act(view)
+        if view.round_index % 2 == 0:
+            offsets = -offsets
+        return offsets, keep
+
+    def act_pairs(self, view: PairActView):
+        offsets, keep = super().act_pairs(view)
+        if view.round_index % 2 == 0:
+            offsets = -offsets
+        return offsets, keep
+
+    def event_strategy(self):
+        if self.amplitude is not None:
+            return ("pull_apart", (self.amplitude,))
+        return ("pull_apart", ())
+
+
+class CollusionAdversary(AdversaryModel):
+    """Coordinated equivocators sharing one global push convention
+    (event-only: the coalition's vantage-point split is defined over
+    the cluster structure the vectorized skeletons abstract away)."""
+
+    name = "collusion"
+    supports_event = True
+
+    def event_strategy(self):
+        if self.amplitude is not None:
+            return ("collusion", (self.amplitude,))
+        return ("collusion", ())
+
+
+# ----------------------------------------------------------------------
+# Adaptive adversaries (vectorized-only: they need the lookahead)
+# ----------------------------------------------------------------------
+
+def _static_candidates(view, faulty_shape_offsets):
+    """The budget-feasible static patterns a searcher starts from:
+    both equivocation orientations, both constant pushes, and full
+    silence.  ``faulty_shape_offsets(pattern)`` embeds a per-target
+    pattern into the full (masked) offset arrays."""
+    import numpy as np  # noqa: F401  (callers are numpy-bound)
+
+    equiv, keep_all = faulty_shape_offsets("equivocate")
+    candidates = [
+        (equiv, keep_all),
+        (-equiv, keep_all),
+    ]
+    plus, _ = faulty_shape_offsets("plus")
+    candidates.append((plus, keep_all))
+    candidates.append((-plus, keep_all))
+    candidates.append(faulty_shape_offsets("silent"))
+    return candidates
+
+
+class _AdaptiveBase(AdversaryModel):
+    """Shared candidate plumbing for the searching adversaries."""
+
+    supports_vectorized = True
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.last_observed_skew = 0.0
+
+    def observe(self, view: ObserveView) -> None:
+        self.last_observed_skew = view.honest_local_skew
+
+    @staticmethod
+    def _graph_patterns(view: ActView):
+        import numpy as np
+
+        keep_all = np.ones(view.num_slots, dtype=bool)
+
+        def embed(pattern):
+            if pattern == "silent":
+                return np.zeros(view.num_slots), ~view.faulty_slots
+            if pattern == "plus":
+                offsets = np.where(view.faulty_slots, view.amplitude,
+                                   0.0)
+            else:  # equivocate
+                offsets = np.where(
+                    view.faulty_slots,
+                    _equivocate_signs(view.receivers, view.amplitude),
+                    0.0)
+            return offsets, keep_all
+
+        return embed, keep_all
+
+    @staticmethod
+    def _pair_patterns(view: PairActView):
+        import numpy as np
+
+        fc = len(view.faulty_ids)
+        rc = len(view.receiver_ids)
+        keep_all = np.ones(fc, dtype=bool)
+
+        def embed(pattern):
+            if pattern == "silent":
+                return np.zeros((fc, rc)), np.zeros(fc, dtype=bool)
+            if pattern == "plus":
+                return np.full((fc, rc), view.amplitude), keep_all
+            signs = _equivocate_signs(view.receiver_ids, view.amplitude)
+            return (np.broadcast_to(signs, (fc, rc)).copy(), keep_all)
+
+        return embed, keep_all
+
+    @staticmethod
+    def _pick(candidates, evaluate):
+        """Deterministic argmax: ties go to the earliest candidate."""
+        best = None
+        best_skew = -1.0
+        for offsets, keep in candidates:
+            skew = evaluate(offsets, keep)
+            if skew > best_skew:
+                best_skew = skew
+                best = (offsets, keep)
+        return best
+
+    def _require_evaluate(self, view):
+        if view.evaluate is None:
+            raise ConfigError(
+                f"adaptive adversary {self.name!r} needs a lookahead-"
+                f"capable round model (no evaluate closure provided)")
+
+
+class GreedyAdversary(_AdaptiveBase):
+    """Per-round greedy pick from the budget set: evaluate every
+    static pattern's one-step lookahead and act with the argmax.
+    Deterministic (no random draws; ties break to the first
+    candidate)."""
+
+    name = "greedy"
+
+    def act(self, view: ActView):
+        self._require_evaluate(view)
+        embed, _ = self._graph_patterns(view)
+        return self._pick(_static_candidates(view, embed), view.evaluate)
+
+    def act_pairs(self, view: PairActView):
+        self._require_evaluate(view)
+        embed, _ = self._pair_patterns(view)
+        return self._pick(_static_candidates(view, embed), view.evaluate)
+
+
+class RandomRestartAdversary(_AdaptiveBase):
+    """Seeded random-restart search: each round draws ``restarts``
+    random budget-feasible sign patterns (scaled to the full
+    amplitude), evaluates each plus the static candidates, and acts
+    with the best.  Draws come from the model's ``vec/adv`` stream in
+    a fixed order, so serial and pooled runs are bit-identical."""
+
+    name = "random_restart"
+
+    def __init__(self, *, restarts: int = 8, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if restarts < 1:
+            raise ConfigError(f"restarts must be >= 1: {restarts!r}")
+        self.restarts = restarts
+
+    def spec(self) -> dict:
+        out = super().spec()
+        out["restarts"] = self.restarts
+        return out
+
+    def act(self, view: ActView):
+        import numpy as np
+
+        self._require_evaluate(view)
+        embed, keep_all = self._graph_patterns(view)
+        candidates = _static_candidates(view, embed)
+        hits = int(view.faulty_slots.sum())
+        for _ in range(self.restarts):
+            offsets = np.zeros(view.num_slots)
+            if hits:
+                signs = view.rng.choice((-1.0, 1.0), hits)
+                offsets[view.faulty_slots] = signs * view.amplitude
+            candidates.append((offsets, keep_all))
+        return self._pick(candidates, view.evaluate)
+
+    def act_pairs(self, view: PairActView):
+        import numpy as np
+
+        self._require_evaluate(view)
+        embed, keep_all = self._pair_patterns(view)
+        candidates = _static_candidates(view, embed)
+        fc = len(view.faulty_ids)
+        rc = len(view.receiver_ids)
+        for _ in range(self.restarts):
+            signs = view.rng.choice((-1.0, 1.0), (fc, rc))
+            candidates.append((signs * view.amplitude, keep_all))
+        return self._pick(candidates, view.evaluate)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+#: Adversary models addressable by name from picklable specs.  The
+#: first seven are the legacy strategy names (event realizations are
+#: the re-homed :data:`~repro.faults.strategies.STRATEGIES` classes);
+#: ``greedy``/``random_restart`` are the adaptive searchers.
+ADVERSARIES: dict[str, type[AdversaryModel]] = {
+    "silent": SilentAdversary,
+    "crash": CrashAdversary,
+    "random_pulse": RandomPulseAdversary,
+    "fast_clock": FastClockAdversary,
+    "equivocate": EquivocateAdversary,
+    "pull_apart": PullApartAdversary,
+    "collusion": CollusionAdversary,
+    "greedy": GreedyAdversary,
+    "random_restart": RandomRestartAdversary,
+}
+
+
+def get_adversary(name: str, **kwargs) -> AdversaryModel:
+    """Construct the named adversary; unknown names and bad kwargs
+    fail here (the eager half of build-time validation)."""
+    cls = ADVERSARIES.get(name)
+    if cls is None:
+        raise ConfigError(f"unknown adversary {name!r}; known: "
+                          f"{sorted(ADVERSARIES)}")
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ConfigError(
+            f"bad adversary kwargs for {name!r}: {exc}") from None
+
+
+def resolve_strategy(name: str):
+    """Resolve a legacy strategy name through the adversary registry.
+
+    Every :data:`~repro.faults.strategies.STRATEGIES` name is also an
+    :data:`ADVERSARIES` name; this is the single lookup the protocol
+    adapters use, so legacy ``strategy=`` specs and the new
+    ``adversary=`` specs share one namespace.  Returns the strategy
+    *class* (the event-side driver factory input).
+    """
+    model_cls = ADVERSARIES.get(name)
+    strategy_cls = STRATEGIES.get(name)
+    if model_cls is None or strategy_cls is None:
+        raise ConfigError(f"unknown strategy {name!r}; known: "
+                          f"{sorted(STRATEGIES)}")
+    return strategy_cls
+
+
+def stride_placement(num_nodes: int, count: int):
+    """Evenly strided controlled-node ids over ``range(num_nodes)``.
+
+    The one placement both engines use for graph protocols, so the
+    event-side ``liars`` realization and the vectorized fault vectors
+    corrupt the *same* nodes.
+    """
+    import numpy as np
+
+    if count < 1:
+        raise ConfigError(f"adversary count must be >= 1: {count!r}")
+    if count >= num_nodes:
+        raise ConfigError(
+            f"adversary count {count} must leave honest nodes "
+            f"(n={num_nodes})")
+    return np.unique(
+        np.round(np.linspace(0, num_nodes - 1, count)).astype(np.int64))
+
+
+def default_count(num_nodes: int) -> int:
+    """Default controlled-node count for graph protocols: 5% of the
+    grid, at least one, never the whole graph."""
+    return max(1, min(num_nodes - 1, num_nodes // 20))
+
+
+# ----------------------------------------------------------------------
+# Vectorized runtimes (budget enforcement + counters)
+# ----------------------------------------------------------------------
+
+class _CounterMixin:
+    def _init_counters(self, model: AdversaryModel, count: int,
+                       amplitude: float, mechanism: str) -> None:
+        self.model = model
+        self.amplitude = amplitude
+        self.budget = AdversaryBudget(amplitude=amplitude, count=count)
+        self._counters = {
+            **model.spec(),
+            "count": count,
+            "amplitude": amplitude,
+            "mechanism": mechanism,
+            "rounds_acted": 0,
+            "injected_abs_max": 0.0,
+            "injected_abs_sum": 0.0,
+            "silenced_slots": 0,
+        }
+
+    def counters(self) -> dict:
+        """The uniform ``ProtocolRunResult.adversary`` block."""
+        return dict(self._counters)
+
+    def _record(self, injected_abs, silenced: int) -> None:
+        c = self._counters
+        c["rounds_acted"] += 1
+        if injected_abs.size:
+            c["injected_abs_max"] = max(c["injected_abs_max"],
+                                        float(injected_abs.max()))
+            c["injected_abs_sum"] += float(injected_abs.sum())
+        c["silenced_slots"] += silenced
+
+    def _check_amplitude(self, offsets) -> None:
+        import numpy as np
+
+        worst = float(np.max(np.abs(offsets))) if offsets.size else 0.0
+        if worst > self.amplitude * (1.0 + 1e-9) + 1e-15:
+            raise ConfigError(
+                f"adversary {self.model.name!r} act() exceeded its "
+                f"amplitude budget: |offset| {worst:g} > "
+                f"{self.amplitude:g}")
+
+
+class VecAdversaryRuntime(_CounterMixin):
+    """Per-round fault-vector injection for CSR graph protocols.
+
+    Owns the placement (``stride_placement``), the ``vec/adv/*`` seed
+    stream, the budget enforcement, the counters, and the honest-only
+    skew measurements the round models report (matching the event
+    engine's correct-edges convention).
+    """
+
+    def __init__(self, model: AdversaryModel, csr, streams,
+                 default_amplitude: float) -> None:
+        import numpy as np
+
+        if not model.supports_vectorized:
+            raise ConfigError(
+                f"adversary {model.name!r} has no vectorized "
+                f"realization; use the event engine")
+        n = csr.num_nodes
+        count = model.count if model.count is not None \
+            else default_count(n)
+        amplitude = model.amplitude if model.amplitude is not None \
+            else default_amplitude
+        self.faulty_nodes = stride_placement(n, count)
+        faulty_mask = np.zeros(n, dtype=bool)
+        faulty_mask[self.faulty_nodes] = True
+        self.faulty_mask = faulty_mask
+        self.honest_mask = ~faulty_mask
+        self.honest_ids = np.nonzero(self.honest_mask)[0]
+        #: Slots whose *sender* is controlled.
+        self.faulty_slots = faulty_mask[csr.indices]
+        self.csr = csr
+        honest_edges = (self.honest_mask[csr.edge_a]
+                        & self.honest_mask[csr.edge_b])
+        self._edge_a = csr.edge_a[honest_edges]
+        self._edge_b = csr.edge_b[honest_edges]
+        self.rng = streams.stream(f"adv/{model.name}")
+        self._init_counters(model, int(self.faulty_nodes.size),
+                            amplitude, "vectorized")
+
+    def round_vectors(self, round_index: int, *,
+                      honest_local_skew: float = 0.0,
+                      evaluate=None):
+        """Observe, act, enforce the budget; returns
+        ``(offsets, keep)`` ready for the masked estimate writes."""
+        import numpy as np
+
+        csr = self.csr
+        self.model.observe(ObserveView(
+            round_index=round_index,
+            honest_local_skew=honest_local_skew))
+        offsets, keep = self.model.act(ActView(
+            round_index=round_index, amplitude=self.amplitude,
+            num_slots=csr.num_slots, faulty_slots=self.faulty_slots,
+            receivers=csr.row, senders=csr.indices, rng=self.rng,
+            evaluate=evaluate))
+        offsets = np.asarray(offsets, dtype=np.float64)
+        keep = np.asarray(keep, dtype=bool)
+        if offsets.shape != (csr.num_slots,) \
+                or keep.shape != (csr.num_slots,):
+            raise ConfigError(
+                f"adversary {self.model.name!r} act() returned wrong "
+                f"shapes: {offsets.shape}, {keep.shape} for "
+                f"{csr.num_slots} slots")
+        honest = ~self.faulty_slots
+        if np.any(offsets[honest] != 0.0):
+            raise ConfigError(
+                f"adversary {self.model.name!r} act() wrote offsets "
+                f"outside its fault set (budget: "
+                f"{self.budget.count} node(s))")
+        if np.any(~keep[honest]):
+            raise ConfigError(
+                f"adversary {self.model.name!r} act() silenced honest "
+                f"slots (budget: {self.budget.count} node(s))")
+        self._check_amplitude(offsets)
+        self._record(np.abs(offsets[self.faulty_slots]),
+                     int((~keep).sum()))
+        return offsets, keep
+
+    def local_skew(self, clocks) -> float:
+        """Max skew over honest–honest edges (the event engine's
+        correct-edges convention)."""
+        import numpy as np
+
+        if self._edge_a.size == 0:
+            return 0.0
+        return float(np.max(np.abs(clocks[self._edge_a]
+                                   - clocks[self._edge_b])))
+
+    def global_skew(self, clocks) -> float:
+        import numpy as np
+
+        honest = clocks[self.honest_ids]
+        if honest.size == 0:
+            return 0.0
+        return float(honest.max() - honest.min())
+
+
+class CliqueAdversaryRuntime(_CounterMixin):
+    """Per-round arrival-vector injection for clique protocols
+    (Srikanth–Toueg): the first ``count ≤ f`` members are controlled,
+    mirroring the ``silent_faults`` convention, and each act displaces
+    per-receiver arrival times within ``±amplitude``."""
+
+    def __init__(self, model: AdversaryModel, n: int, f: int, streams,
+                 default_amplitude: float) -> None:
+        import numpy as np
+
+        if not model.supports_vectorized:
+            raise ConfigError(
+                f"adversary {model.name!r} has no vectorized "
+                f"realization; use the event engine")
+        count = model.count if model.count is not None else max(f, 1)
+        if count > f:
+            raise ConfigError(
+                f"adversary count {count} exceeds the clique fault "
+                f"budget f={f}")
+        if count >= n:
+            raise ConfigError(
+                f"adversary count {count} must leave honest nodes "
+                f"(n={n})")
+        amplitude = model.amplitude if model.amplitude is not None \
+            else default_amplitude
+        self.faulty_ids = np.arange(count)
+        self.correct_ids = np.arange(count, n)
+        self.rng = streams.stream(f"adv/{model.name}")
+        self._init_counters(model, count, amplitude, "vectorized")
+
+    def round_pairs(self, round_index: int, *,
+                    honest_local_skew: float = 0.0, evaluate=None):
+        """Observe, act, enforce the budget; returns
+        ``(offsets, keep)`` with shapes ``(count, correct)`` /
+        ``(count,)``."""
+        import numpy as np
+
+        self.model.observe(ObserveView(
+            round_index=round_index,
+            honest_local_skew=honest_local_skew))
+        offsets, keep = self.model.act_pairs(PairActView(
+            round_index=round_index, amplitude=self.amplitude,
+            faulty_ids=self.faulty_ids, receiver_ids=self.correct_ids,
+            rng=self.rng, evaluate=evaluate))
+        offsets = np.asarray(offsets, dtype=np.float64)
+        keep = np.asarray(keep, dtype=bool)
+        expect = (self.faulty_ids.size, self.correct_ids.size)
+        if offsets.shape != expect or keep.shape != (expect[0],):
+            raise ConfigError(
+                f"adversary {self.model.name!r} act_pairs() returned "
+                f"wrong shapes: {offsets.shape}, {keep.shape} for "
+                f"{expect}")
+        self._check_amplitude(offsets)
+        self._record(np.abs(offsets[keep]) if keep.any()
+                     else np.abs(offsets[:0]), int((~keep).sum()))
+        return offsets, keep
+
+
+# ----------------------------------------------------------------------
+# Event-side validation helpers
+# ----------------------------------------------------------------------
+
+#: Per-protocol event-engine realizations: strategy adapters for the
+#: FTGCS family, native payload mechanisms for the baselines.
+_EVENT_MECHANISMS = {
+    "ftgcs": "strategy",
+    "lynch_welch": "strategy",
+    "gcs_single": "liars",
+    "srikanth_toueg": "silent_faults",
+}
+
+
+def validate_event_support(model: AdversaryModel,
+                           protocol: str) -> str:
+    """Check (eagerly) that ``model`` is realizable on the event
+    engine under ``protocol``; returns the mechanism name."""
+    mechanism = _EVENT_MECHANISMS.get(protocol)
+    if mechanism is None:
+        raise ConfigError(
+            f"protocol {protocol!r} has no event-engine adversary "
+            f"realization; supported: {sorted(_EVENT_MECHANISMS)}")
+    if not model.supports_event:
+        raise ConfigError(
+            f"adversary {model.name!r} is search-based "
+            f"(vectorized-only); use .engine('vectorized')")
+    if mechanism == "strategy":
+        if model.event_strategy() is None:
+            raise ConfigError(
+                f"adversary {model.name!r} has no event-side strategy "
+                f"adapter for protocol {protocol!r}")
+    elif mechanism == "silent_faults":
+        if model.name != "silent":
+            raise ConfigError(
+                f"srikanth_toueg on the event engine realizes only "
+                f"the 'silent' adversary (its native silent_faults "
+                f"mechanism); got {model.name!r} — use the "
+                f"vectorized engine")
+    elif mechanism == "liars":
+        if model.name != "equivocate":
+            raise ConfigError(
+                f"gcs_single on the event engine realizes only the "
+                f"'equivocate' adversary (its native liars "
+                f"mechanism); got {model.name!r} — use the "
+                f"vectorized engine")
+    return mechanism
+
+
+__all__ = [
+    "ADVERSARIES",
+    "ActView",
+    "AdversaryBudget",
+    "AdversaryModel",
+    "CliqueAdversaryRuntime",
+    "CollusionAdversary",
+    "CrashAdversary",
+    "EquivocateAdversary",
+    "FastClockAdversary",
+    "GreedyAdversary",
+    "ObserveView",
+    "PairActView",
+    "PullApartAdversary",
+    "RandomPulseAdversary",
+    "RandomRestartAdversary",
+    "SilentAdversary",
+    "VecAdversaryRuntime",
+    "default_count",
+    "get_adversary",
+    "resolve_strategy",
+    "stride_placement",
+    "validate_event_support",
+]

@@ -1,5 +1,5 @@
 """Experiment harness: scenario builders, the sweep engine, tables,
-and the registered T1-T12 suite.
+and the registered T1-T18 suite.
 
 The stable programmatic surface (see API.md):
 

@@ -47,6 +47,7 @@ from repro.analysis.bounds import (
     cluster_failure_bound_3ep,
     cluster_failure_bound_binomial,
     cluster_failure_probability,
+    resilience_bound,
 )
 from repro.analysis.metrics import log_log_fit
 from repro.baselines.gcs_single import GcsParams
@@ -99,16 +100,58 @@ def t01_plan(quick: bool, seed: int) -> ExperimentPlan:
     params = fast_dynamics_params(f=1)
     diameters = (2, 4, 8) if quick else (2, 4, 8, 16, 32)
     rounds = 40 if quick else 80
+    # The engine-agnostic adversary spelling: on the (default) event
+    # engine this realizes the exact legacy equivocator strategy, and
+    # it lets ``run_experiment("t01", engine="vectorized")`` move the
+    # whole grid onto the numpy round engine unchanged.
     specs = [
         Scenario.line(diameter + 1).params(params).rounds(rounds)
-        .seed(seed).attack("equivocate")
+        .seed(seed).adversarial("equivocate")
         .offsets(gradient_offsets(diameter + 1, 2.2 * params.kappa))
         .tag("D", diameter).build()
         for diameter in diameters]
 
     def finish(cells, table: Table) -> Table:
-        for diameter, cell in zip(diameters, cells):
-            result = cell.result.detail
+        for diameter, cell, spec in zip(diameters, cells, specs):
+            detail = cell.result.detail
+            if isinstance(detail, dict) \
+                    and detail.get("engine") == "vectorized":
+                # Vectorized rows (engine override): steady skews from
+                # the series tail; the cluster-round skeleton has no
+                # node-level machinery, so the node column carries the
+                # cluster skew against the node bound (envelope
+                # contract, see repro.engine_vec.protocols).
+                from repro.analysis.bounds import BoundsReport
+                series = cell.result.series
+                tail = series[int(len(series) * 0.7):] or series
+                local = max(v for _, v, _ in tail)
+                bounds = BoundsReport.for_run(
+                    params, diameter,
+                    global_skew=cell.result.max_global_skew)
+                holds = (local <= bounds.local_skew_bound
+                         and local <= bounds.node_local_skew_bound)
+                table.add_row(diameter, cell.result.max_global_skew,
+                              local, bounds.local_skew_bound, local,
+                              bounds.node_local_skew_bound, holds)
+                # Cross-engine agreement, t17-style: run the event
+                # twin of the same spec and hold both engines to the
+                # shared analytic envelope.
+                from dataclasses import replace
+
+                from repro.harness.sweep import SweepRunner
+                twin = SweepRunner().run(
+                    [replace(spec, engine="event")],
+                    base_seed=spec.seed)[0]
+                twin_steady = twin.steady_state_skews(
+                    tail_fraction=0.3)
+                agrees = (holds and twin_steady["local_cluster"]
+                          <= bounds.local_skew_bound)
+                table.add_note(
+                    f"D={diameter}: vectorized steady local "
+                    f"{local:.4g} vs event {twin_steady['local_cluster']:.4g}; "
+                    f"agrees (both within cluster bound): {agrees}")
+                continue
+            result = detail
             steady = cell.steady_state_skews(tail_fraction=0.3)
             bounds = result.bounds
             holds = (steady["local_cluster"] <= bounds.local_skew_bound
@@ -1291,6 +1334,162 @@ def t17_plan(quick: bool, seed: int) -> ExperimentPlan:
 
 
 # ----------------------------------------------------------------------
+# T18 — adversarial resilience: injected error vs achieved skew
+# ----------------------------------------------------------------------
+
+@REGISTRY.experiment(
+    "t18",
+    title="T18  Adversarial resilience: injected error vs achieved "
+          "skew",
+    claim="Amplitude-capped adversaries — static and search-based "
+          "adaptive, engine-agnostic through the unified "
+          "AdversaryModel layer — stay within the absorption envelope "
+          "on the deadband-protected protocols (sub-deadband lies are "
+          "absorbed outright), adaptive search dominates every static "
+          "pattern at equal budget, and the vectorized injection path "
+          "sustains 1e4+-node sweeps at measured rounds/s.",
+    columns=["protocol", "adversary", "amplitude", "engine", "nodes",
+             "local skew", "extra", "envelope", "within", "rounds/s"],
+    default_seed=18)
+def t18_plan(quick: bool, seed: int) -> ExperimentPlan:
+    ft = fast_dynamics_params(f=1)
+    gcs = GcsParams(rho=1e-3, d=1.0, u=0.01, mu=0.01, period=10.0,
+                    kappa=0.3, slack=0.1)
+    st = StParams(n=8, f=2, rho=1e-3, d=1.0, u=0.01, period=10.0)
+    ft_n, gcs_n = 6, 16
+    ft_rounds = 40 if quick else 80
+    gcs_until = (40 if quick else 100) * gcs.period
+    st_rounds = 20 if quick else 60
+    # Challenge amplitudes sit well above each protocol's deadband
+    # (2*kappa - slack); the "_lo" rows sit below it, exhibiting
+    # outright absorption.  The clique has no deadband: its envelope
+    # is the lie itself plus the jitter width.
+    ft_amp, ft_amp_lo = 2.5 * ft.kappa, 0.5 * ft.kappa
+    gcs_amp, gcs_amp_lo = 4.0 * gcs.kappa, 0.5 * gcs.kappa
+    st_amp, st_amp_lo = st.d, 0.1 * st.d
+
+    def ft_cell() -> Scenario:
+        return (Scenario.line(ft_n).params(ft).rounds(ft_rounds)
+                .seed(seed))
+
+    def gcs_cell() -> Scenario:
+        return (Scenario.line(gcs_n).protocol("gcs_single")
+                .payload(params=gcs, until=gcs_until).seed(seed))
+
+    def st_cell() -> Scenario:
+        return (Scenario.of_protocol("srikanth_toueg")
+                .payload(params=st, rounds=st_rounds).seed(seed))
+
+    specs: list = []
+    grid: list[tuple] = []
+
+    def cell(protocol, adversary, amplitude, engine, nodes, builder,
+             timed=False):
+        if adversary is not None:
+            builder = builder.adversarial(adversary,
+                                          amplitude=amplitude)
+        if engine == "vectorized":
+            builder = builder.engine("vectorized")
+        if timed:
+            builder = builder.timed()
+        specs.append(builder.tag(protocol, adversary or "none",
+                                 engine).build())
+        grid.append((protocol, adversary, amplitude, engine, nodes,
+                     timed))
+
+    # Fault-free baselines (the "extra skew" reference points).
+    cell("ftgcs", None, 0.0, "vectorized", ft_n, ft_cell())
+    cell("gcs_single", None, 0.0, "vectorized", gcs_n, gcs_cell())
+    cell("srikanth_toueg", None, 0.0, "vectorized", st.n, st_cell())
+    # Static vs adaptive at the challenge amplitude, vectorized.
+    for adv in ("silent", "equivocate", "fast_clock", "greedy",
+                "random_restart"):
+        cell("ftgcs", adv, ft_amp, "vectorized", ft_n, ft_cell())
+        cell("gcs_single", adv, gcs_amp, "vectorized", gcs_n,
+             gcs_cell())
+    for adv in ("silent", "random_pulse", "greedy", "random_restart"):
+        cell("srikanth_toueg", adv, st_amp, "vectorized", st.n,
+             st_cell())
+    # Sub-deadband absorption rows.
+    cell("ftgcs", "equivocate", ft_amp_lo, "vectorized", ft_n,
+         ft_cell())
+    cell("gcs_single", "equivocate", gcs_amp_lo, "vectorized", gcs_n,
+         gcs_cell())
+    cell("srikanth_toueg", "random_pulse", st_amp_lo, "vectorized",
+         st.n, st_cell())
+    # Engine-agnostic twins: the same .adversarial(...) spelling on
+    # the event kernel (strategy adapter / liars / silent_faults).
+    cell("ftgcs", "equivocate", ft_amp, "event", ft_n, ft_cell())
+    cell("gcs_single", "equivocate", gcs_amp, "event", gcs_n,
+         gcs_cell())
+    cell("srikanth_toueg", "silent", st_amp, "event", st.n, st_cell())
+    # Scale cell: adaptive search at 1e4+ (quick) / 1e5+ (full) nodes.
+    length, width = (63, 160) if quick else (255, 393)
+    big_rounds = 20 if quick else 50
+    cell("gcs_single", "random_restart", gcs_amp, "vectorized",
+         length * width,
+         Scenario.on("caterpillar", length, width)
+         .protocol("gcs_single")
+         .payload(params=gcs, until=big_rounds * gcs.period)
+         .seed(seed), timed=True)
+
+    def envelope(protocol: str, amplitude: float) -> float:
+        if protocol == "ftgcs":
+            return resilience_bound(
+                amplitude, kappa=ft.kappa, slack=ft.delta_trigger,
+                correction=ft.mu * ft.round_length)
+        if protocol == "gcs_single":
+            return resilience_bound(
+                amplitude, kappa=gcs.kappa, slack=gcs.slack,
+                correction=gcs.mu * gcs.period)
+        return resilience_bound(amplitude, kappa=0.0, slack=0.0,
+                                correction=st.u)
+
+    def finish(cells, table: Table) -> Table:
+        baseline = {
+            spec_row[0]: cell.result.max_local_skew
+            for spec_row, cell in zip(grid, cells)
+            if spec_row[1] is None}
+        for (protocol, adv, amp, engine, nodes, timed), cell in zip(
+                grid, cells):
+            skew = cell.result.max_local_skew
+            if adv is None:
+                table.add_row(protocol, "none", 0.0, engine, nodes,
+                              skew, 0.0, "-", "-", "-")
+                continue
+            extra = max(0.0, skew - baseline[protocol])
+            env = envelope(protocol, amp)
+            within = extra <= env * (1.0 + 1e-9)
+            if timed:
+                wall = cell.extras["timing"]["wall_seconds"]
+                rounds = cell.result.detail.get("rounds", 0)
+                rate = rounds / wall if wall > 0 else float("nan")
+            else:
+                rate = "-"
+            table.add_row(protocol, adv, amp, engine, nodes, skew,
+                          extra, env, within, rate)
+        table.add_note(
+            "extra = max(0, local skew - same-protocol fault-free "
+            "baseline); envelope = resilience_bound(...) — the "
+            "absorption argument adapted from arXiv:1809.03165 / "
+            "arXiv:2006.15832 (deadband 2*kappa - slack plus one "
+            "correction quantum per round)")
+        table.add_note(
+            "greedy/random_restart are search-based adaptive "
+            "adversaries (vectorized-only, one-step lookahead over "
+            "budget-feasible patterns); 'within' False on the "
+            "fault-INtolerant gcs_single baseline is the expected "
+            "paper narrative, not a regression")
+        table.add_note(
+            "rounds/s is in-worker wall clock (machine-dependent, "
+            "excluded from determinism guarantees); every skew column "
+            "is bit-reproducible, serial == pooled")
+        return table
+
+    return ExperimentPlan(specs=specs, finish=finish)
+
+
+# ----------------------------------------------------------------------
 # Backward-compatible wrappers
 # ----------------------------------------------------------------------
 
@@ -1447,6 +1646,16 @@ def t17_scale(quick: bool = True, seed: int = 17,
                           processes=processes)
 
 
+def t18_resilience(quick: bool = True, seed: int = 18,
+                   processes: int | None = None) -> Table:
+    """Adversarial resilience sweep: injected-error magnitude vs
+    achieved skew for FTGCS, gcs_single, and srikanth_toueg under the
+    unified adversary layer — static vs search-based adaptive models,
+    both engines, with the analytic absorption envelope alongside."""
+    return run_experiment("t18", quick=quick, seed=seed,
+                          processes=processes)
+
+
 #: All experiments, for "run everything" entry points.
 ALL_EXPERIMENTS = {
     "t01": t01_local_skew_vs_diameter,
@@ -1466,6 +1675,7 @@ ALL_EXPERIMENTS = {
     "t15": t15_t_interval,
     "t16": t16_robustness,
     "t17": t17_scale,
+    "t18": t18_resilience,
 }
 
 

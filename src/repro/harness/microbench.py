@@ -216,6 +216,65 @@ def bench_vectorized_rounds(nodes: int = 20_000, rounds: int = 50,
             "rounds_per_second": rounds / best}
 
 
+def bench_adversary_overhead(rounds: int = 100,
+                             repeats: int = 3) -> dict:
+    """Adversary-layer overhead on the vectorized round engine.
+
+    Runs the same GCS caterpillar cell bare, with a static adversary
+    (silent), and with a search-based one (random_restart), reporting
+    the wall-clock ratios.  The bare run doubles as a hot-path
+    regression guard: its headline skews are asserted bit-equal to the
+    pre-adversary-layer constants, so ``no adversary == no new work``
+    stays an enforced invariant, not a hope.  Skipped when numpy is
+    unavailable.
+    """
+    try:
+        from repro.baselines.gcs_single import GcsParams
+        from repro.harness.scenario import Scenario
+        import numpy  # noqa: F401
+    except ImportError:
+        return {"name": "adversary_overhead", "seconds": None,
+                "static_ratio": None, "adaptive_ratio": None,
+                "baseline_unchanged": None}
+
+    params = GcsParams(rho=1e-3, d=1.0, u=0.01, mu=0.01, period=10.0,
+                       kappa=0.3, slack=0.1)
+    base = (Scenario.on("caterpillar", 15, 40)
+            .protocol("gcs_single").engine("vectorized")
+            .payload(params=params, until=rounds * params.period)
+            .seed(42))
+    bare = base.build()
+    static = base.adversarial("silent").build()
+    adaptive = base.adversarial("random_restart").build()
+
+    last: list = [None]
+
+    def run_bare() -> None:
+        last[0] = SweepRunner(processes=1).run([bare],
+                                               base_seed=42)[0]
+
+    bare_best = _best_of(run_bare, repeats)
+    static_best = _best_of(
+        lambda: SweepRunner(processes=1).run([static], base_seed=42),
+        repeats)
+    adaptive_best = _best_of(
+        lambda: SweepRunner(processes=1).run([adaptive],
+                                             base_seed=42), repeats)
+    # Pre-adversary-layer headline skews of this exact cell at
+    # rounds=100 (caterpillar(15, 40), seed 42): the bare path must
+    # not drift when the fault-injection layer evolves.
+    result = last[0].result
+    unchanged = (
+        result.max_local_skew == 0.5000000000001137
+        and result.max_global_skew == 0.9999999999992042
+    ) if rounds == 100 else None
+    return {"name": "adversary_overhead", "nodes": 600,
+            "rounds": rounds, "seconds": bare_best,
+            "static_ratio": static_best / bare_best,
+            "adaptive_ratio": adaptive_best / bare_best,
+            "baseline_unchanged": unchanged}
+
+
 def bench_sweep(cells: int = 8, rounds: int = 20,
                 processes: int | None = None) -> dict:
     """A small scenario grid: serial wall clock vs a worker pool.
@@ -273,6 +332,7 @@ def run_all_micro(quick: bool = True,
         bench_delivery_batching(ttl=6 if quick else 10),
         bench_system_rounds(rounds=4 * scale),
         bench_vectorized_rounds(nodes=20_000 * scale),
+        bench_adversary_overhead(),
         bench_sweep(cells=4 * scale, rounds=15, processes=processes),
     ]
 
@@ -295,6 +355,21 @@ def microbench_table(results: list[dict]) -> Table:
                 f"({r['messages']} msgs)", r["seconds"],
                 r["speedup"], "batched/legacy speedup "
                 f"({r['messages_per_second']:,.0f} msg/s)")
+        elif r["name"] == "adversary_overhead":
+            if r["seconds"] is None:
+                table.add_row("adversary overhead", float("nan"),
+                              float("nan"), "skipped (numpy missing)")
+            else:
+                guard = {True: "baseline unchanged: yes",
+                         False: "baseline unchanged: NO",
+                         None: "baseline guard skipped"}[
+                             r["baseline_unchanged"]]
+                table.add_row(
+                    f"adversary n={r['nodes']} "
+                    f"({r['rounds']} rounds)", r["seconds"],
+                    r["adaptive_ratio"],
+                    f"adaptive/bare slowdown (static "
+                    f"{r['static_ratio']:.2f}x; {guard})")
         elif r["name"] == "vectorized_rounds":
             if r["seconds"] is None:
                 table.add_row("vectorized rounds", float("nan"),

@@ -172,7 +172,7 @@ class ExperimentRegistry:
         return plan.finish(cells, experiment.make_table())
 
 
-#: The process-wide registry holding T1–T17 (and any extensions).
+#: The process-wide registry holding T1–T18 (and any extensions).
 REGISTRY = ExperimentRegistry()
 
 _builtin_loaded = False
@@ -188,7 +188,7 @@ def _load_builtin_experiments() -> None:
     global _builtin_loaded
     if _builtin_loaded:
         return
-    import repro.harness.experiments  # noqa: F401  (registers T1-T17)
+    import repro.harness.experiments  # noqa: F401  (registers T1-T18)
 
     # Only after the import succeeds: a partial failure must re-raise
     # on the next call, not leave a silently truncated registry.

@@ -188,6 +188,17 @@ class Scenario:
         """Place a named fault strategy in every cluster."""
         return self._with(strategy=strategy, strategy_args=tuple(args))
 
+    def adversarial(self, name: str, **kwargs) -> "Scenario":
+        """Attach a unified engine-agnostic adversary
+        (:data:`~repro.faults.adversary.ADVERSARIES`): a named
+        :class:`~repro.faults.adversary.AdversaryModel` plus its knobs,
+        e.g. ``.adversarial("equivocate", amplitude=2.0)`` or
+        ``.adversarial("greedy", count=3)``.  The name, kwargs, and
+        the engine × protocol realization are validated at
+        :meth:`build`; mutually exclusive with :meth:`attack` (the
+        legacy per-strategy spelling, unchanged for back-compat)."""
+        return self._with(adversary={"name": name, **kwargs})
+
     def faults_per_cluster(self, count: int) -> "Scenario":
         """Override the per-cluster fault count (default ``params.f``)."""
         return self._with(faults_per_cluster=count)
@@ -364,6 +375,41 @@ class Scenario:
         if strategy is not None and strategy not in STRATEGIES:
             raise ConfigError(f"unknown strategy {strategy!r}; known: "
                               f"{sorted(STRATEGIES)}")
+        adversary = fields.get("adversary")
+        if adversary:
+            if strategy is not None:
+                raise ConfigError(
+                    "compose either .attack(...) or .adversarial(...), "
+                    "not both")
+            if kind in _SCHEDULE_BLIND_KINDS:
+                raise ConfigError(
+                    f"cell kind {kind!r} has no fault layer; "
+                    f".adversarial(...) needs a protocol cell")
+            from repro.faults.adversary import (
+                get_adversary,
+                validate_event_support,
+            )
+            model = get_adversary(**adversary)
+            name = None
+            if kind == "protocol":
+                name = protocol or "ftgcs"
+            elif kind in _LEGACY_PROTOCOL_KINDS:
+                name = kind
+            if name is not None:
+                proto = get_protocol(name)
+                if engine not in (None, "event"):
+                    if not proto.supports_vectorized_faults:
+                        raise ConfigError(
+                            f"protocol {name!r} has no vectorized "
+                            f"fault injection "
+                            f"(supports_vectorized_faults is False)")
+                    if not model.supports_vectorized:
+                        raise ConfigError(
+                            f"adversary {model.name!r} has no "
+                            f"vectorized realization; use the event "
+                            f"engine")
+                else:
+                    validate_event_support(model, name)
         for collector in fields.get("collect", ()):
             if collector not in COLLECTORS:
                 raise ConfigError(

@@ -126,8 +126,10 @@ def encode(value: Any) -> Any:
                 f"cannot serialize unregistered dataclass "
                 f"{type(value).__module__}.{name}; call "
                 f"register_serializable first")
+        omit_empty = getattr(registered, "_SERIALIZE_OMIT_EMPTY", ())
         fields = {f.name: encode(getattr(value, f.name))
-                  for f in dataclasses.fields(value)}
+                  for f in dataclasses.fields(value)
+                  if f.name not in omit_empty or getattr(value, f.name)}
         return {_DC: name, "fields": fields}
     raise ConfigError(
         f"cannot serialize {type(value).__name__!r} value: {value!r}")

@@ -214,11 +214,19 @@ class ScenarioSpec:
     timing: bool = False
     payload: dict = field(default_factory=dict)
     collect: tuple = ()
+    #: Unified adversary spec ``{"name": ..., **kwargs}`` (see
+    #: :mod:`repro.faults.adversary`); empty means none.  Mutually
+    #: exclusive with the legacy ``strategy`` spelling.
+    adversary: dict = field(default_factory=dict)
 
     #: Spec fields that are tuples in the dataclass but commonly arrive
     #: as lists from hand-authored JSON/YAML (scenario library files,
     #: ``POST /jobs`` bodies); :meth:`from_dict` coerces them.
     _TUPLE_FIELDS = ("graph_args", "strategy_args", "key", "collect")
+    #: Fields the canonical codec omits when falsy, so specs that never
+    #: used them keep their historical encodings (and ``spec_hash``)
+    #: bit-identical across the field's introduction.
+    _SERIALIZE_OMIT_EMPTY = ("adversary",)
 
     def to_dict(self) -> dict:
         """JSON-safe plain-data form of the spec.
@@ -419,6 +427,8 @@ def _run_protocol_cell(spec: ScenarioSpec) -> SweepCellResult:
     if spec.strategy is not None:
         builder.faults(spec.strategy, *spec.strategy_args,
                        per_cluster=spec.faults_per_cluster)
+    if spec.adversary:
+        builder.adversary(**spec.adversary)
     if spec.config:
         builder.configure(**spec.config)
     if spec.payload:

@@ -31,6 +31,16 @@ srikanth_toueg silent*  no        no            no     yes        no      ``payl
 knobs (``liars``, ``silent_faults``) rather than the named-strategy
 model, so their ``supports_faults`` flag is ``False``.
 
+The engine-agnostic adversary layer (:mod:`repro.faults.adversary`,
+``SystemBuilder.adversary(...)``) sits above both mechanisms: on the
+event kernel it realizes through the strategy adapters (FTGCS family)
+or the native payload knobs (``gcs_single`` equivocate → ``liars``,
+``srikanth_toueg`` silent → ``silent_faults``), and on the vectorized
+engine through per-round fault-vector injection for the protocols
+declaring ``supports_vectorized_faults`` (``ftgcs``, ``gcs_single``,
+``srikanth_toueg``).  Every adversarial run reports the uniform
+``ProtocolRunResult.adversary`` counters block.
+
 ``churn = links`` — master–slave applies node churn as link silencing
 only (a crashed slave stops hearing its master and coasts; its
 estimator state survives the outage).  The full crash-with-amnesia
@@ -69,8 +79,14 @@ from repro.core.protocol import (
 )
 from repro.core.system import FtgcsSystem, SystemConfig
 from repro.errors import ConfigError
+from repro.faults.adversary import (
+    get_adversary,
+    resolve_strategy,
+    stride_placement,
+    validate_event_support,
+)
 from repro.faults.placement import place_everywhere
-from repro.faults.strategies import STRATEGIES
+from repro.faults.strategies import STRATEGIES  # noqa: F401  (re-export)
 
 
 def _fault_counters(protocol: SyncProtocol) -> dict:
@@ -81,15 +97,33 @@ def _fault_counters(protocol: SyncProtocol) -> dict:
         "dropped_link_down": network.dropped_link_down,
         "node_crashes": protocol.node_crashes,
         "node_rejoins": protocol.node_rejoins,
+        "adversary": protocol.adversary_counters,
     }
 
 
 def _strategy_factory(name: str, args: tuple):
-    cls = STRATEGIES.get(name)
-    if cls is None:
-        raise ConfigError(f"unknown strategy {name!r}; known: "
-                          f"{sorted(STRATEGIES)}")
+    cls = resolve_strategy(name)
     return lambda _node, _cls=cls, _args=args: _cls(*_args)
+
+
+def _event_adversary(protocol: SyncProtocol, ctx: BuildContext):
+    """Resolve ``ctx.adversary`` for an event-engine build.
+
+    Returns the constructed model (or ``None``), records the uniform
+    counters block on the protocol, and re-checks realizability — the
+    builder validates eagerly, but direct ``BuildContext`` users get
+    the same error here.
+    """
+    if ctx.adversary is None:
+        return None
+    model = get_adversary(**ctx.adversary)
+    mechanism = validate_event_support(model, protocol.name)
+    protocol.adversary_counters = {
+        **model.spec(),
+        "mechanism": mechanism,
+        "engine": "event",
+    }
+    return model
 
 
 def prepare_ftgcs_config(graph, params, config=None,
@@ -135,6 +169,7 @@ class FtgcsProtocol(SyncProtocol):
     supports_first_contact = True
     supports_node_churn = True
     supports_vectorized = True
+    supports_vectorized_faults = True
 
     system_class = FtgcsSystem
 
@@ -146,14 +181,25 @@ class FtgcsProtocol(SyncProtocol):
     def build_nodes(self, ctx: BuildContext) -> None:
         params = ctx.params
         strategy_factory = None
+        faults_per_cluster = ctx.faults_per_cluster
         if ctx.strategy is not None:
             strategy_factory = _strategy_factory(ctx.strategy,
                                                  ctx.strategy_args)
+        model = _event_adversary(self, ctx)
+        if model is not None:
+            # The adversary's act phase IS the re-homed strategy
+            # driver — same factory path, bit-identical placement.
+            strategy_factory = _strategy_factory(*model.event_strategy())
+            if model.count is not None:
+                faults_per_cluster = model.count
+            self.adversary_counters.update(
+                count=(faults_per_cluster if faults_per_cluster
+                       is not None else params.f))
         config = prepare_ftgcs_config(
             ctx.graph, params,
             config=SystemConfig(**ctx.config) if ctx.config else None,
             strategy_factory=strategy_factory,
-            faults_per_cluster=ctx.faults_per_cluster)
+            faults_per_cluster=faults_per_cluster)
         if ctx.first_contact:
             config.dynamic_estimators = True
         self.system = self._make_system(ctx.graph, params, ctx.seed,
@@ -340,6 +386,7 @@ class GcsSingleProtocol(SyncProtocol):
     supports_dynamic_topology = True
     supports_node_churn = True
     supports_vectorized = True
+    supports_vectorized_faults = True
     needs_params = False
 
     def build_nodes(self, ctx: BuildContext) -> None:
@@ -351,6 +398,33 @@ class GcsSingleProtocol(SyncProtocol):
             raise ConfigError(
                 f"gcs_single needs payload[{missing.args[0]!r}]") from None
         self.sample_interval = payload.pop("sample_interval", None)
+        model = _event_adversary(self, ctx)
+        if model is not None:
+            # Equivocation realized through the protocol's native
+            # liars mechanism: the same strided placement the
+            # vectorized runtime uses, each liar showing even-id
+            # neighbors +amplitude and odd-id ones -amplitude
+            # (bias=amplitude, no ramp).
+            if payload.get("liars"):
+                raise ConfigError(
+                    "compose either payload liars or .adversary(...), "
+                    "not both")
+            n = ctx.graph.num_clusters
+            amplitude = (model.amplitude if model.amplitude is not None
+                         else 4.0 * gcs_params.kappa)
+            count = (model.count if model.count is not None
+                     else max(1, min(n - 1, n // 20)))
+            liars = {}
+            graph = ctx.graph
+            for node in stride_placement(n, count).tolist():
+                directions = {nb: (1 if nb % 2 == 0 else -1)
+                              for nb in graph.neighbors(node)}
+                liars[node] = directions
+            payload["liars"] = liars
+            payload["liar_bias"] = amplitude
+            payload["liar_ramp"] = 0.0
+            self.adversary_counters.update(count=len(liars),
+                                           amplitude=amplitude)
         self.system = GcsSingleSystem(ctx.graph, gcs_params,
                                       seed=ctx.seed, **payload)
         self.sim = self.system.sim
@@ -409,6 +483,7 @@ class SrikanthTouegProtocol(SyncProtocol):
     needs_graph = False
     needs_params = False
     supports_vectorized = True
+    supports_vectorized_faults = True
 
     def build_nodes(self, ctx: BuildContext) -> None:
         payload = dict(ctx.payload)
@@ -417,6 +492,22 @@ class SrikanthTouegProtocol(SyncProtocol):
         except KeyError:
             raise ConfigError(
                 "srikanth_toueg needs payload['params']") from None
+        model = _event_adversary(self, ctx)
+        if model is not None:
+            # Silence realized through the protocol's native
+            # silent_faults mechanism (first ``count <= f`` members).
+            if payload.get("silent_faults"):
+                raise ConfigError(
+                    "compose either payload silent_faults or "
+                    ".adversary(...), not both")
+            count = (model.count if model.count is not None
+                     else max(st_params.f, 1))
+            if count > st_params.f:
+                raise ConfigError(
+                    f"adversary count {count} exceeds the clique "
+                    f"fault budget f={st_params.f}")
+            payload["silent_faults"] = count
+            self.adversary_counters.update(count=count)
         self.rounds = payload.pop("rounds", ctx.rounds)
         self.sample_interval = payload.pop("sample_interval", None)
         self.system = SrikanthTouegSystem(st_params, seed=ctx.seed,

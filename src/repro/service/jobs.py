@@ -1,7 +1,7 @@
 """Async job manager: queued sweep jobs over one warm worker pool.
 
 A *job* is one table-sized unit of work — a registry experiment
-(``t01`` … ``t17``) or an ad-hoc grid of
+(``t01`` … ``t18``) or an ad-hoc grid of
 :class:`~repro.harness.sweep.ScenarioSpec` cells.  Submission returns
 immediately with a :class:`Job` handle; background worker threads
 drain the queue, so many users (or one impatient one) can stack

@@ -45,7 +45,7 @@ _JOB_REQUEST = {
     "properties": {
         "experiment": {
             "type": "string",
-            "description": "Registry id (t01..t17).",
+            "description": "Registry id (t01..t18).",
         },
         "scenario": {
             "type": "string",
@@ -152,7 +152,7 @@ def openapi_document() -> dict:
             "/experiments": {
                 "get": {
                     "summary": "Registry metadata for every "
-                               "experiment (t01..t17).",
+                               "experiment (t01..t18).",
                     "responses": _json_response(
                         "id, title, claim, columns, default seed, "
                         "tags per experiment."),

@@ -20,7 +20,7 @@ class TestList:
 
     def test_listing_mentions_all_experiments(self):
         text = list_experiments()
-        for i in range(1, 18):
+        for i in range(1, 19):
             assert f"t{i:02d}" in text
 
     def test_bench_quick_listed(self):
@@ -30,7 +30,7 @@ class TestList:
         assert main(["list", "--format", "json"]) == 0
         entries = json.loads(capsys.readouterr().out)
         assert [e["id"] for e in entries] == [f"t{i:02d}"
-                                              for i in range(1, 18)]
+                                              for i in range(1, 19)]
         assert all(e["claim"] for e in entries)
 
 

@@ -186,6 +186,6 @@ class TestExperimentsSmoke:
     def test_run_all_registry(self):
         from repro.harness.experiments import ALL_EXPERIMENTS
 
-        assert len(ALL_EXPERIMENTS) == 17
+        assert len(ALL_EXPERIMENTS) == 18
         assert sorted(ALL_EXPERIMENTS) == [f"t{i:02d}"
-                                           for i in range(1, 18)]
+                                           for i in range(1, 19)]

@@ -14,9 +14,9 @@ from repro.harness.tables import Table
 
 
 class TestRegistryContents:
-    def test_all_seventeen_registered(self):
-        assert REGISTRY.ids() == [f"t{i:02d}" for i in range(1, 18)]
-        assert len(REGISTRY) == 17
+    def test_all_eighteen_registered(self):
+        assert REGISTRY.ids() == [f"t{i:02d}" for i in range(1, 19)]
+        assert len(REGISTRY) == 18
 
     def test_metadata_complete(self):
         for experiment in REGISTRY:
@@ -93,7 +93,7 @@ class TestRegistryValidation:
 
 class TestRunExperiment:
     @pytest.mark.parametrize("experiment_id",
-                             [f"t{i:02d}" for i in range(1, 18)])
+                             [f"t{i:02d}" for i in range(1, 19)])
     def test_every_experiment_runs_quick(self, experiment_id):
         experiment = REGISTRY.get(experiment_id)
         table = run_experiment(experiment_id, quick=True)

@@ -265,12 +265,12 @@ class TestRestApi:
     def test_health(self, client):
         body = client.get("/health").get_json()
         assert body["status"] == "ok"
-        assert body["experiments"] == 17
+        assert body["experiments"] == 18
 
     def test_experiments_listing(self, client):
         body = client.get("/experiments").get_json()
         ids = [entry["id"] for entry in body["experiments"]]
-        assert ids == [f"t{i:02d}" for i in range(1, 18)]
+        assert ids == [f"t{i:02d}" for i in range(1, 19)]
         assert all(entry["claim"] for entry in body["experiments"])
 
     def test_result_formats(self, client):
