@@ -1,17 +1,32 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test verify list run serve smoke-t16 smoke-serve smoke-vec smoke-adversary bench-quick bench-quick-ci bench bench-record
+.PHONY: test verify lint list run serve smoke-t16 smoke-serve smoke-vec smoke-adversary bench-quick bench-quick-ci bench bench-record
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-# What CI runs (.github/workflows/ci.yml): tier-1 tests + the
-# pre-merge smoke check in its non-strict form (the throughput
-# comparison against BENCH_kernel.json is hardware-sensitive, so only
-# the explicit `make bench-quick` gate hard-fails on it) + the
-# cross-engine equivalence matrix + the adversary-layer smoke.
-verify: test bench-quick-ci smoke-vec smoke-adversary
+# What CI runs (.github/workflows/ci.yml): the determinism/contract
+# lint + tier-1 tests + the pre-merge smoke check in its non-strict
+# form (the throughput comparison against BENCH_kernel.json is
+# hardware-sensitive, so only the explicit `make bench-quick` gate
+# hard-fails on it) + the cross-engine equivalence matrix + the
+# adversary-layer smoke.
+verify: lint test bench-quick-ci smoke-vec smoke-adversary
+
+# Determinism & contract static analysis (src/repro/lint): AST rules
+# (raw-rng, wall-clock, unordered-iter, stream-label) plus the
+# import-and-introspect contract pass (spec codec, capability flags,
+# equivalence coverage, registry coverage).  Exit 1 on any finding.
+# ruff runs too when installed (CI pins it; local devs without ruff
+# still get the repro pass).
+lint:
+	$(PYTHON) -m repro lint
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src; \
+	else \
+		echo "[lint] ruff not installed; skipping ruff check"; \
+	fi
 
 # List every registered experiment (the T1-T18 registry).
 list:

@@ -1,0 +1,26 @@
+"""Benchmark T17: vectorized-engine skew agreement and scale."""
+
+import pytest
+
+from conftest import run_registry
+
+
+def test_t17_scale(benchmark, show):
+    pytest.importorskip("numpy")
+    table = run_registry(benchmark, "t17")
+    show(table)
+    # Three small line diameters on both engines, plus the two big
+    # caterpillar cells only the vectorized engine can touch.
+    assert len(table.rows) == 8
+    assert set(table.column("engine")) == {"event", "vectorized"}
+    # Every vectorized small-D row agrees with its event twin within
+    # one trigger-level width.
+    small_vec = [row for row in table.rows
+                 if row[0] == "line" and row[3] == "vectorized"]
+    assert small_vec and all(row[8] is True for row in small_vec)
+    # The D=256 caterpillar runs 1e5+ nodes at a measured, positive
+    # round throughput.
+    big = [row for row in table.rows if row[1] == 256]
+    assert len(big) == 1
+    assert big[0][2] >= 100_000
+    assert big[0][7] > 0.0

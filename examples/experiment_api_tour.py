@@ -91,6 +91,14 @@ class NoSyncProtocol(SyncProtocol):
 
     name = "no_sync"
     needs_params = False
+    # Declare the full capability set explicitly — `repro lint`'s
+    # contract pass flags protocols that silently inherit the
+    # SyncProtocol defaults.
+    supports_faults = False
+    supports_dynamic_topology = False
+    supports_node_churn = False
+    supports_first_contact = False
+    supports_vectorized = False
 
     def build_nodes(self, ctx):
         from repro.clocks.hardware import HardwareClock

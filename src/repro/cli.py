@@ -13,6 +13,7 @@ Usage::
     python -m repro bench-quick                # pre-merge smoke (<60 s)
     python -m repro serve --port 8765          # the HTTP simulation service
     python -m repro cache stats                # result-cache maintenance
+    python -m repro lint                       # determinism & contract lint
 
 Experiment ids are the T-identifiers of DESIGN.md section 3
 (``t01`` … ``t18``); every one of them executes through
@@ -50,7 +51,8 @@ from repro.errors import ConfigError
 from repro.harness.registry import REGISTRY, run_experiment
 
 #: Subcommand names (the legacy shim treats anything else as `run` ids).
-COMMANDS = ("run", "list", "show", "bench-quick", "serve", "cache")
+COMMANDS = ("run", "list", "show", "bench-quick", "serve", "cache",
+            "lint")
 BENCH_QUICK = "bench-quick"
 
 #: Extensions `run --save` understands, mapped to the Table writer.
@@ -171,6 +173,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache directory "
              "(default: REPRO_CACHE_DIR or ~/.cache/repro/results)")
 
+    lint_p = sub.add_parser(
+        "lint",
+        help="determinism & contract static analysis over src/ "
+             "(exit 1 on findings)")
+    lint_p.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to scan (default: all of src/)")
+    lint_p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format on stdout (default: text)")
+    lint_p.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="also write the JSON report to PATH (written even when "
+             "findings fail the run, so CI can upload it)")
+    lint_p.add_argument(
+        "--no-contracts", dest="contracts", action="store_false",
+        help="skip the import-and-introspect contract pass (AST "
+             "rules only; useful on partial checkouts)")
+
     return parser
 
 
@@ -289,6 +310,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     status = sys.stderr if machine else sys.stdout
     tables = []
     for id in ids:
+        # repro: allow[wall-clock] -- elapsed-time status line on
+        # stderr; never part of the table bytes.
         started = time.perf_counter()
         try:
             table = run_experiment(id, quick=not args.full,
@@ -299,6 +322,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # a plan with event-only cells) are user errors, not bugs.
             print(f"error: {error}", file=sys.stderr)
             return 2
+        # repro: allow[wall-clock] -- same status-line measurement.
         elapsed = time.perf_counter() - started
         tables.append(table)
         if not machine:
@@ -344,6 +368,27 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"entries:    {stats['entries']}")
     print(f"bytes:      {stats['bytes']}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import repo_root, run_lint
+    from repro.lint.report import format_json, format_text
+
+    root = repo_root()
+    paths = args.paths or None
+    report = run_lint(root=root, paths=paths, contracts=args.contracts)
+    if args.format == "json":
+        print(format_json(report))
+    else:
+        print(format_text(report))
+    if args.output is not None:
+        from pathlib import Path
+
+        Path(args.output).write_text(format_json(report) + "\n",
+                                     encoding="utf-8")
+        print(f"[lint report written to {args.output}]",
+              file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _baseline_event_throughput() -> float | None:
@@ -412,6 +457,8 @@ def run_bench_quick(quick: bool = True,
     """
     from repro.harness.microbench import microbench_table, run_all_micro
 
+    # repro: allow[wall-clock] -- bench-quick is the wall-clock
+    # measurement harness itself.
     started = time.perf_counter()
     results = run_all_micro(quick=quick, processes=processes)
     table = microbench_table(results)
@@ -425,8 +472,9 @@ def run_bench_quick(quick: bool = True,
     print(smoke.format())
     print(f"[registry smoke: {BENCH_SMOKE_EXPERIMENT} ok, "
           f"{len(smoke.rows)} rows]")
-    print(f"[{BENCH_QUICK} finished in "
-          f"{time.perf_counter() - started:.1f}s]")
+    # repro: allow[wall-clock] -- bench harness elapsed-time line.
+    elapsed = time.perf_counter() - started
+    print(f"[{BENCH_QUICK} finished in {elapsed:.1f}s]")
     return status
 
 
@@ -454,9 +502,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     parser.print_usage()
     print("error: give a subcommand (run, list, show, bench-quick, "
-          "serve, cache)", file=sys.stderr)
+          "serve, cache, lint)", file=sys.stderr)
     return 2
 
 

@@ -572,6 +572,9 @@ def t09_plan(quick: bool, seed: int) -> ExperimentPlan:
     params = fast_dynamics_params(f=1, c_global=2.0)
     diameters = (2, 4) if quick else (2, 4, 8)
     rounds = 20 if quick else 40
+    # repro: allow[raw-rng] -- t09's offset stream predates derive_seed;
+    # re-deriving it would redraw every initial offset and change the
+    # published table bytes.
     rng = random.Random(seed)
     specs = []
     for diameter in diameters:

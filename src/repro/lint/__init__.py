@@ -1,0 +1,136 @@
+"""``repro.lint`` — the project's determinism & contract linter.
+
+The platform's load-bearing guarantees (bit-identical serial vs
+parallel sweeps, the cross-engine equivalence matrix, zero-execution
+cache hits) rest on conventions no generic tool checks: all
+randomness flows through :func:`repro.sim.rng.derive_seed` under
+collision-free stream labels, deterministic paths never read the wall
+clock, unordered collections never feed the event stream, and every
+``ScenarioSpec`` field participates in the canonical content hash.
+This package enforces them statically, in two halves:
+
+* the **AST pass** (:mod:`repro.lint.astpass`) reads ``src/`` without
+  importing it — rules ``raw-rng``, ``wall-clock``,
+  ``unordered-iter``, ``stream-label``;
+* the **contract pass** (:mod:`repro.lint.contracts`) imports the
+  live registries and introspects them — rules ``spec-codec``,
+  ``capability``, ``registry-coverage``.
+
+Deliberate violations are suppressed inline with
+``repro: allow[<rule>] -- <reason>`` (:mod:`repro.lint.pragmas`);
+a reasonless pragma is itself a finding.  The CLI surface is
+``repro lint`` (text or JSON, nonzero exit on findings), wired into
+``make lint``, ``make verify``, and CI.
+
+:func:`run_lint` is the library entry point the CLI, tests, and CI
+all share.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.astpass import cross_module_findings, lint_module
+from repro.lint.contracts import run_contracts
+from repro.lint.pragmas import apply_suppressions, parse_pragmas
+from repro.lint.report import (Finding, LintReport, format_json,
+                               format_text, report_dict, sort_findings)
+from repro.lint.rules import RULES
+
+
+def repo_root() -> Path:
+    """The repository root (``src/repro/lint`` → three levels up).
+
+    Falls back to the working directory when the package is imported
+    from somewhere that does not look like the source tree (an
+    installed copy), so ``repro lint`` keeps working from a checkout
+    cwd.
+    """
+    root = Path(__file__).resolve().parents[3]
+    if (root / "src" / "repro").is_dir():
+        return root
+    return Path.cwd()
+
+
+def iter_source_files(root: Path,
+                      paths: Sequence[str] | None = None) -> list[Path]:
+    """The files the AST pass scans, in canonical (sorted) order.
+
+    Default scope is ``src/`` — benchmarks and tests measure wall
+    time and seed ad-hoc generators by design, so scanning them would
+    only produce noise.  Explicit ``paths`` (files or directories)
+    override the default scope.
+    """
+    if paths:
+        files: list[Path] = []
+        for entry in paths:
+            path = Path(entry)
+            if not path.is_absolute():
+                path = root / path
+            if path.is_dir():
+                files.extend(path.rglob("*.py"))
+            else:
+                files.append(path)
+        return sorted(set(files))
+    return sorted((root / "src").rglob("*.py"))
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(root: Path | None = None, *,
+             paths: Sequence[str] | None = None,
+             contracts: bool = True) -> LintReport:
+    """Run both passes and return the finished report.
+
+    ``contracts=False`` restricts the run to the AST pass (useful on
+    a tree that does not import).  Pragma suppression applies to every
+    AST finding, including cross-module stream-label collisions (each
+    site suppresses independently); contract findings are never
+    suppressible — they break guarantees no single call site can
+    vouch for.
+    """
+    if root is None:
+        root = repo_root()
+    files = iter_source_files(root, paths)
+    findings: list[Finding] = []
+    labels = []
+    indexes = {}
+    for file in files:
+        text = file.read_text(encoding="utf-8")
+        rel = _relpath(file, root)
+        site_findings, file_labels = lint_module(text, rel)
+        index = parse_pragmas(text, rel)
+        indexes[rel] = index
+        findings.extend(apply_suppressions(site_findings, index))
+        findings.extend(index.findings)
+        labels.extend(file_labels)
+    for finding in cross_module_findings(labels):
+        index = indexes.get(finding.path)
+        if index is not None and index.suppressed(finding.line,
+                                                 finding.rule):
+            continue
+        findings.append(finding)
+    if contracts:
+        findings.extend(run_contracts(root))
+    return LintReport(findings=sort_findings(findings),
+                      files_scanned=len(files))
+
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "RULES",
+    "format_json",
+    "format_text",
+    "iter_source_files",
+    "repo_root",
+    "report_dict",
+    "run_lint",
+    "sort_findings",
+]

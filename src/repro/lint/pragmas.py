@@ -1,0 +1,118 @@
+"""Inline suppression pragmas: ``repro: allow[<rule>] -- <reason>``.
+
+A pragma suppresses findings of the named rule(s) on its own line; a
+pragma that is the *only* thing on its line covers the next
+non-comment line instead (for statements too long to share a line
+with their justification).  Several rules can share one pragma:
+``allow[raw-rng,unordered-iter]``.
+
+The reason after ``--`` is mandatory: a suppression without a recorded
+justification is exactly the kind of unreviewable exception this
+linter exists to prevent, so a bare pragma is itself a finding
+(``bare-pragma``), as is a pragma naming a rule id that does not
+exist (typos would otherwise silently suppress nothing).  Bare and
+unknown-rule pragmas still suppress what they name — the finding
+points at the pragma, not at the code it covers, so fixing the pragma
+is one local edit.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.lint.report import Finding
+from repro.lint.rules import RULES
+
+#: The comment form ``repro: allow[rule-a,rule-b] -- reason``
+#: (reason optional at the parse level; its absence is the
+#: bare-pragma finding).
+_PRAGMA = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*))?")
+
+#: A line that holds nothing but the pragma comment (the standalone
+#: form, which covers the following line).
+_STANDALONE = re.compile(r"^\s*#")
+
+
+@dataclass
+class PragmaIndex:
+    """Suppressions parsed from one source file.
+
+    ``suppressions`` maps 1-based line numbers to the rule ids
+    suppressed there.  Findings produced *by* the pragmas themselves
+    (bare, unknown rule) are collected at parse time and are never
+    suppressible — a pragma cannot vouch for itself.
+    """
+
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    findings: list[Finding] = field(default_factory=list)
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        return rule in self.suppressions.get(line, ())
+
+
+def parse_pragmas(text: str, relpath: str) -> PragmaIndex:
+    """Scan ``text`` for pragmas; return the suppression index.
+
+    Line-based on purpose: pragmas live in comments, which the AST
+    pass never sees, and a regex over raw lines keeps the pragma
+    syntax usable in any file the linter can read.  The false-positive
+    risk (the pragma pattern inside a string literal) is accepted —
+    the pattern is distinctive enough that an accidental match is
+    effectively authored intent.
+    """
+    index = PragmaIndex()
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        rules = {name.strip() for name in match.group("rules").split(",")
+                 if name.strip()}
+        reason = match.group("reason")
+        unknown = sorted(name for name in rules if name not in RULES)
+        if not rules:
+            index.findings.append(Finding(
+                path=relpath, line=lineno, rule="bare-pragma",
+                message="pragma suppresses no rule",
+                hint=RULES["bare-pragma"].hint))
+        if unknown:
+            index.findings.append(Finding(
+                path=relpath, line=lineno, rule="bare-pragma",
+                message=f"pragma names unknown rule(s): "
+                        f"{', '.join(unknown)}",
+                hint=RULES["bare-pragma"].hint))
+        if reason is None and rules and not unknown:
+            index.findings.append(Finding(
+                path=relpath, line=lineno, rule="bare-pragma",
+                message="pragma has no reason (need `-- <why>`)",
+                hint=RULES["bare-pragma"].hint))
+        target = lineno
+        if _STANDALONE.match(line):
+            # Standalone comment pragma: cover the next non-comment,
+            # non-blank line.
+            for offset, later in enumerate(lines[lineno:], start=1):
+                stripped = later.strip()
+                if stripped and not stripped.startswith("#"):
+                    target = lineno + offset
+                    break
+        index.suppressions.setdefault(target, set()).update(rules)
+        # The pragma's own line stays covered in the standalone form
+        # too, so a finding anchored at the comment is suppressible.
+        if target != lineno:
+            index.suppressions.setdefault(lineno, set()).update(rules)
+    return index
+
+
+def apply_suppressions(findings: list[Finding],
+                       index: PragmaIndex) -> list[Finding]:
+    """Drop findings a pragma covers; pragma findings pass through."""
+    kept = [finding for finding in findings
+            if finding.rule == "bare-pragma"
+            or not index.suppressed(finding.line, finding.rule)]
+    return kept
+
+
+__all__ = ["PragmaIndex", "apply_suppressions", "parse_pragmas"]

@@ -1,0 +1,108 @@
+"""Finding objects and report rendering for ``repro lint``.
+
+A :class:`Finding` is one rule violation pinned to a ``file:line``.
+Two renderers share the same finding list: :func:`format_text` (the
+human form the CLI prints by default, one line per finding plus a
+summary) and :func:`format_json` (the machine form CI uploads as an
+artifact on failure — a stable top-level shape of ``{"findings":
+[...], "counts": {...}, "total": N}``).
+
+Ordering is canonical everywhere: findings sort by path, then line,
+then rule id, so two runs over the same tree produce byte-identical
+reports — the linter holds itself to the determinism bar it enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at ``path:line``.
+
+    ``path`` is repo-relative (posix separators); ``line`` is
+    1-based, with ``1`` standing in for whole-file/contract findings
+    that have no sharper anchor.  ``hint`` is the fix suggestion shown
+    after the message.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run: findings plus scan bookkeeping."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        """``rule id -> finding count`` (sorted by rule id)."""
+        tally: dict[str, int] = {}
+        for finding in self.findings:
+            tally[finding.rule] = tally.get(finding.rule, 0) + 1
+        return dict(sorted(tally.items()))
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Canonical report order: path, line, rule, message."""
+    return sorted(findings,
+                  key=lambda f: (f.path, f.line, f.rule, f.message))
+
+
+def format_text(report: LintReport) -> str:
+    """The human-readable report (what ``repro lint`` prints)."""
+    lines = []
+    for finding in sort_findings(report.findings):
+        line = (f"{finding.location()}: [{finding.rule}] "
+                f"{finding.message}")
+        if finding.hint:
+            line += f"  (fix: {finding.hint})"
+        lines.append(line)
+    if report.findings:
+        by_rule = ", ".join(f"{rule}: {count}"
+                            for rule, count in report.counts().items())
+        lines.append(f"{len(report.findings)} finding(s) across "
+                     f"{report.files_scanned} file(s) ({by_rule})")
+    else:
+        lines.append(f"ok: 0 findings across {report.files_scanned} "
+                     "file(s)")
+    return "\n".join(lines)
+
+
+def report_dict(report: LintReport) -> dict:
+    """The JSON-safe report object (``--format json`` / ``--output``)."""
+    return {
+        "findings": [asdict(f) for f in sort_findings(report.findings)],
+        "counts": report.counts(),
+        "total": len(report.findings),
+        "files_scanned": report.files_scanned,
+        "ok": report.ok,
+    }
+
+
+def format_json(report: LintReport) -> str:
+    return json.dumps(report_dict(report), indent=2, sort_keys=True)
+
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "format_json",
+    "format_text",
+    "report_dict",
+    "sort_findings",
+]

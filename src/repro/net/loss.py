@@ -34,6 +34,7 @@ import random
 from abc import ABC, abstractmethod
 
 from repro.errors import ConfigError, NetworkError
+from repro.sim.rng import derive_seed
 
 
 class LossModel(ABC):
@@ -149,9 +150,12 @@ def validate_loss_spec(spec: dict) -> None:
         raise ConfigError(
             f"unknown loss kind {kind!r}; known: {list(LOSS_KINDS)}")
     try:
-        # Building against a throwaway RNG runs the constructors'
-        # argument checks without consuming any real stream.
-        build_loss_model(spec, random.Random(0))
+        # Building against a throwaway derived stream runs the
+        # constructors' argument checks without consuming any real
+        # stream (the trial model is discarded, so the label never
+        # collides with live draws).
+        build_loss_model(
+            spec, random.Random(derive_seed(0, "net/loss-validate")))
     except NetworkError as exc:
         raise ConfigError(f"bad loss spec {spec!r}: {exc}") from exc
     except TypeError as exc:

@@ -319,7 +319,11 @@ class MasterSlaveProtocol(SyncProtocol):
     """
 
     name = "master_slave"
+    supports_faults = False
+    supports_dynamic_topology = False
     supports_node_churn = True
+    supports_first_contact = False
+    supports_vectorized = False  # event-only; chasing is not a round
 
     def build_nodes(self, ctx: BuildContext) -> None:
         payload = dict(ctx.payload)
@@ -383,8 +387,10 @@ class GcsSingleProtocol(SyncProtocol):
     """
 
     name = "gcs_single"
+    supports_faults = False  # liars ride the payload, not strategies
     supports_dynamic_topology = True
     supports_node_churn = True
+    supports_first_contact = False  # single-node clusters: no estimators
     supports_vectorized = True
     supports_vectorized_faults = True
     needs_params = False
@@ -482,6 +488,10 @@ class SrikanthTouegProtocol(SyncProtocol):
     name = "srikanth_toueg"
     needs_graph = False
     needs_params = False
+    supports_faults = False  # silent faults ride the payload f-bound
+    supports_dynamic_topology = False  # clique broadcast has no topology
+    supports_node_churn = False
+    supports_first_contact = False
     supports_vectorized = True
     supports_vectorized_faults = True
 

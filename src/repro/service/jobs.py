@@ -75,6 +75,8 @@ class Job:
         self.completed_cells = 0
         self.cached_cells = 0
         self.executed_cells = 0
+        # repro: allow[wall-clock] -- job-lifecycle timestamp shown
+        # in the REST status body; results stay deterministic.
         self.created = time.time()
         self.started: float | None = None
         self.finished: float | None = None
@@ -265,6 +267,7 @@ class JobManager:
         for job in self.jobs():
             if job.state == "queued":
                 job.state = "cancelled"
+                # repro: allow[wall-clock] -- lifecycle timestamp.
                 job.finished = time.time()
                 job.finished_event.set()
         with self._pool_lock:
@@ -359,10 +362,12 @@ class JobManager:
                 continue
             if job.cancel_event.is_set():
                 job.state = "cancelled"
+                # repro: allow[wall-clock] -- lifecycle timestamp.
                 job.finished = time.time()
                 job.finished_event.set()
                 continue
             job.state = "running"
+            # repro: allow[wall-clock] -- lifecycle timestamp.
             job.started = time.time()
             try:
                 self._run_job(job)
@@ -370,6 +375,7 @@ class JobManager:
                 job.state = "failed"
                 job.error = f"{type(error).__name__}: {error}"
             finally:
+                # repro: allow[wall-clock] -- lifecycle timestamp.
                 job.finished = time.time()
                 job.finished_event.set()
 
